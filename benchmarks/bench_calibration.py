@@ -1,0 +1,87 @@
+"""Calibration benches: the model and the generator audit themselves.
+
+* Monsoon loop (§3.1): the published LTE parameters are recoverable
+  from a simulated power-monitor recording of a controlled burst.
+* Generator audit: the synthetic study's measured per-app background
+  cadences match the catalog parameters that produced them.
+"""
+
+import pytest
+
+from repro.lab import estimate_parameters, record
+from repro.core.report import render_table
+from repro.radio.lte import LTE_DEFAULT
+from repro.radio.machine import RadioStateMachine
+from repro.trace.arrays import PacketArray
+from repro.trace.packet import Packet, Direction
+from repro.workload.calibration import calibrate
+
+from conftest import write_artifact
+
+
+def test_monsoon_calibration(benchmark, output_dir):
+    packets = PacketArray.from_packets(
+        [Packet(30.0 + 90.0 * k, 80_000, Direction.DOWNLINK, 1) for k in range(8)]
+    )
+    sim = RadioStateMachine(LTE_DEFAULT).simulate(packets, window=(0.0, 800.0))
+
+    def calibrate_once():
+        trace = record(sim, rate_hz=100.0, noise_watts=0.004)
+        return estimate_parameters(trace)
+
+    estimated = benchmark(calibrate_once)
+    rows = [
+        ("idle power (W)", f"{LTE_DEFAULT.idle_power:.4f}", f"{estimated.idle_power:.4f}"),
+        (
+            "tail power (W)",
+            f"{LTE_DEFAULT.tail_phases[0].power:.3f}",
+            f"{estimated.tail_power:.3f}",
+        ),
+        (
+            "active run (promo+tail, s)",
+            f"{LTE_DEFAULT.promotion_duration + LTE_DEFAULT.tail_duration:.2f}",
+            f"{estimated.tail_duration:.2f}",
+        ),
+    ]
+    write_artifact(
+        output_dir,
+        "calibration_monsoon.txt",
+        render_table(["parameter", "published", "recovered"], rows,
+                     title="Simulated Monsoon validation of the LTE model"),
+    )
+    assert estimated.idle_power == pytest.approx(LTE_DEFAULT.idle_power, abs=0.01)
+    assert estimated.tail_power == pytest.approx(
+        LTE_DEFAULT.tail_phases[0].power, rel=0.1
+    )
+    assert estimated.tail_duration == pytest.approx(
+        LTE_DEFAULT.promotion_duration + LTE_DEFAULT.tail_duration, rel=0.1
+    )
+
+
+def test_generator_self_audit(benchmark, bench_dataset, output_dir):
+    report = benchmark.pedantic(
+        lambda: calibrate(bench_dataset), rounds=1, iterations=1
+    )
+    rows = [
+        (
+            r.app,
+            f"{r.configured_period:.0f}",
+            f"{r.measured_period:.0f}",
+            f"{100 * r.period_error:.1f}%",
+            r.n_bursts,
+        )
+        for r in report.rows
+    ]
+    write_artifact(
+        output_dir,
+        "calibration_generator.txt",
+        render_table(
+            ["app", "configured period (s)", "measured", "error", "bursts"],
+            rows,
+            title="Generator self-audit: catalog promises vs measured traffic",
+        ),
+    )
+    benchmark.extra_info["checked"] = report.checked
+    benchmark.extra_info["failures"] = [r.app for r in report.failures]
+    assert report.checked >= 8
+    assert not report.failures

@@ -1,0 +1,72 @@
+"""Throughput micro-benchmarks of the core engines.
+
+Not a paper artefact — these track that the vectorised energy engine,
+flow reconstruction and state labelling stay fast enough to run the
+full 623-day study, and quantify the speedup over the event-driven
+reference machine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.radio import LTE_DEFAULT, RadioStateMachine, compute_packet_energy
+from repro.trace.arrays import PacketArray
+from repro.trace.flow import reconstruct_flows
+from repro.trace.intervals import label_packet_states
+
+
+def _synthetic_packets(n=200_000, seed=3):
+    rng = np.random.default_rng(seed)
+    times = np.sort(rng.uniform(0.0, n / 10.0, size=n))
+    return PacketArray.from_columns(
+        times,
+        rng.integers(60, 1500, size=n).astype(np.uint32),
+        rng.integers(0, 2, size=n).astype(np.uint8),
+        rng.integers(1, 50, size=n).astype(np.uint16),
+        rng.integers(1, 5000, size=n).astype(np.uint32),
+    )
+
+
+@pytest.fixture(scope="module")
+def packets():
+    return _synthetic_packets()
+
+
+def test_vectorized_energy_throughput(benchmark, packets):
+    result = benchmark(compute_packet_energy, LTE_DEFAULT, packets)
+    benchmark.extra_info["packets"] = len(packets)
+    assert result.total_energy > 0
+
+
+def test_machine_energy_throughput(benchmark):
+    small = _synthetic_packets(n=20_000)
+    machine = RadioStateMachine(LTE_DEFAULT)
+    result = benchmark(machine.simulate, small, None, False)
+    benchmark.extra_info["packets"] = len(small)
+    assert result.total_energy > 0
+
+
+def test_flow_reconstruction_throughput(benchmark, packets):
+    table = benchmark(reconstruct_flows, packets)
+    benchmark.extra_info["flows"] = len(table)
+    assert len(table) > 0
+
+
+def test_engines_agree_at_scale(packets):
+    """Cross-check beyond the property tests' small sizes."""
+    machine = RadioStateMachine(LTE_DEFAULT).simulate(
+        packets[: 30_000], record_intervals=False
+    )
+    vector = compute_packet_energy(LTE_DEFAULT, packets[: 30_000])
+    np.testing.assert_allclose(machine.per_packet, vector.per_packet, rtol=1e-9)
+
+
+def test_generation_throughput(benchmark):
+    from repro import StudyConfig, generate_study
+
+    def gen():
+        return generate_study(StudyConfig(n_users=2, duration_days=7.0, seed=8))
+
+    dataset = benchmark.pedantic(gen, rounds=1, iterations=1)
+    benchmark.extra_info["packets"] = dataset.total_packets
+    assert dataset.total_packets > 10_000

@@ -1,0 +1,35 @@
+"""Figure 1: apps appearing in at least two users' top-10 lists.
+
+Paper: a handful of apps (built-in media player, Facebook, Google Play)
+appear in nearly every user's top-10 by data volume; the rest of the
+lists are highly diverse.
+"""
+
+from repro.core.popularity import top10_appearance_counts
+from repro.core.report import render_fig1
+
+from conftest import write_artifact
+
+
+def test_fig1_popularity(benchmark, bench_dataset, output_dir):
+    counts = benchmark(top10_appearance_counts, bench_dataset)
+    write_artifact(output_dir, "fig1_popularity.txt", render_fig1(counts))
+
+    n_users = len(bench_dataset)
+    universal = [a for a, c in counts.items() if c >= 0.75 * n_users]
+    benchmark.extra_info["apps_in_2plus_lists"] = len(counts)
+    benchmark.extra_info["near_universal_apps"] = universal
+
+    # Paper shape: few universal apps, a long diverse tail.
+    assert 1 <= len(universal) <= 8
+    assert len(counts) >= 3 * len(universal)
+    # The paper names the media player, Facebook and Google Play as the
+    # universal ones; our analogues should be among them.
+    assert any(
+        a in universal
+        for a in (
+            "android.process.media",
+            "com.facebook.katana",
+            "com.android.vending",
+        )
+    )

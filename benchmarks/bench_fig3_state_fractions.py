@@ -1,0 +1,46 @@
+"""Figure 3: fraction of energy in each Android process state.
+
+Paper: across all apps, 84% of cellular network energy is consumed in a
+background state (perceptible 8%, service 32%, killable background the
+rest); for all but three of the twelve data/energy-hungry apps,
+background energy exceeds half the app's total.
+"""
+
+from repro.core.statefrac import (
+    background_energy_fraction,
+    state_energy_fractions,
+    state_energy_share,
+)
+from repro.core.report import render_fig3
+from repro.trace.events import ProcessState
+
+from conftest import write_artifact
+
+
+def test_fig3_state_fractions(benchmark, bench_study, output_dir):
+    fractions = benchmark(state_energy_fractions, bench_study)
+    write_artifact(output_dir, "fig3_state_fractions.txt", render_fig3(fractions))
+
+    bg_frac = background_energy_fraction(bench_study)
+    share = state_energy_share(bench_study)
+    benchmark.extra_info["background_fraction"] = round(bg_frac, 3)
+    benchmark.extra_info["paper_background_fraction"] = 0.84
+    benchmark.extra_info["service_share"] = round(share[ProcessState.SERVICE], 3)
+    benchmark.extra_info["perceptible_share"] = round(
+        share[ProcessState.PERCEPTIBLE], 3
+    )
+
+    # Paper shapes.
+    assert 0.65 <= bg_frac <= 0.95
+    assert share[ProcessState.SERVICE] > share[ProcessState.PERCEPTIBLE]
+    bg_states = (
+        ProcessState.PERCEPTIBLE,
+        ProcessState.SERVICE,
+        ProcessState.BACKGROUND,
+    )
+    majority_bg = sum(
+        1
+        for by_state in fractions.values()
+        if sum(by_state[s] for s in bg_states) > 0.5
+    )
+    assert majority_bg >= len(fractions) - 4

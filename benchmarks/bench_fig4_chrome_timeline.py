@@ -1,0 +1,65 @@
+"""Figure 4: Chrome keeps transferring after going to the background.
+
+Paper: a representative trace shows packets continuing for several
+minutes after Chrome is minimised, including periodic page requests.
+Also reproduced here via the in-lab harness: the XHR-every-second page
+transfers in Chrome's background but not in Firefox's.
+"""
+
+from repro.core.report import render_fig4, render_table
+from repro.core.transitions import trace_timeline
+from repro.lab import (
+    CHROME,
+    FIREFOX,
+    STOCK_BROWSER,
+    browser_background_experiment,
+    xhr_test_page,
+)
+
+from conftest import write_artifact
+
+
+def test_fig4_chrome_timeline(benchmark, bench_dataset, output_dir):
+    view = benchmark(trace_timeline, bench_dataset, "com.android.chrome")
+    write_artifact(output_dir, "fig4_chrome_timeline.txt", render_fig4(view))
+
+    benchmark.extra_info["background_bytes"] = view.background_bytes
+    benchmark.extra_info["transition_time"] = round(view.transition, 1)
+
+    # Paper shape: substantial traffic continues after the transition.
+    assert view.background_bytes > 0
+    post_minute = view.times[(view.times > 60.0)]
+    assert len(post_minute) > 0  # continues beyond the first minute
+
+
+def test_fig4_lab_browser_contrast(benchmark, output_dir):
+    page = xhr_test_page()
+
+    def run_all():
+        return {
+            b.name: browser_background_experiment(b, page)
+            for b in (CHROME, FIREFOX, STOCK_BROWSER)
+        }
+
+    results = benchmark(run_all)
+    rows = [
+        (
+            name,
+            r.phase_packets[1],
+            r.phase_packets[2],
+            f"{r.phase_energy[1] + r.phase_energy[2]:.0f}",
+        )
+        for name, r in results.items()
+    ]
+    write_artifact(
+        output_dir,
+        "fig4_lab_browsers.txt",
+        render_table(
+            ["browser", "bg pkts", "screen-off pkts", "bg J"],
+            rows,
+            title="In-lab validation: XHR page across browsers",
+        ),
+    )
+    assert results["chrome"].phase_packets[1] > 0
+    assert results["firefox"].phase_packets[1] == 0
+    assert results["stock"].phase_packets[1] == 0

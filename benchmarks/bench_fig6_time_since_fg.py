@@ -1,0 +1,58 @@
+"""Figure 6: background bytes vs. time since leaving the foreground.
+
+Paper: substantially more traffic in the first minute than any other
+time; periodic spikes at 5- and 10-minute intervals (common timer
+choices); and a long tail of persisting flows.
+"""
+
+import numpy as np
+
+from repro.core.report import render_fig6
+from repro.core.transitions import bytes_since_foreground
+
+from conftest import write_artifact
+
+
+def test_fig6_bytes_since_foreground(benchmark, bench_dataset, output_dir):
+    edges, totals = benchmark(
+        bytes_since_foreground, bench_dataset, 10.0, 7200.0
+    )
+    write_artifact(output_dir, "fig6_time_since_fg.txt", render_fig6(edges, totals))
+
+    def window(lo, hi):
+        return float(totals[(edges >= lo) & (edges < hi)].sum())
+
+    first_minute = window(0, 60)
+    other_minutes = [window(60 * k, 60 * (k + 1)) for k in range(1, 60)]
+    # Phase-locked periodic structure: mass at multiples of 300 s vs the
+    # 10-s bins 30 s later.
+    multiples = [300.0 * k for k in range(1, 20)]
+    on_peak = float(np.mean([window(m, m + 10) for m in multiples]))
+    off_peak = float(np.mean([window(m + 30, m + 40) for m in multiples]))
+
+    benchmark.extra_info["first_minute_mb"] = round(first_minute / 1e6, 1)
+    benchmark.extra_info["max_other_minute_mb"] = round(max(other_minutes) / 1e6, 1)
+    benchmark.extra_info["five_min_spike_ratio"] = round(on_peak / max(off_peak, 1), 2)
+    benchmark.extra_info["tail_beyond_1h_mb"] = round(
+        float(totals[edges > 3600].sum()) / 1e6, 1
+    )
+
+    # Paper shapes: heavy first minute, periodic spikes, long tail.
+    assert first_minute > max(other_minutes)
+    assert on_peak > 2 * off_peak
+    assert float(totals[edges > 3600].sum()) > 0
+
+
+def test_fig6_first_minute_criterion(benchmark, bench_dataset):
+    """§4.1 headline: 84% of apps send >=80% of their background bytes
+    within 60 s of going to the background."""
+    from repro.core.transitions import (
+        first_minute_fractions,
+        fraction_of_apps_above,
+    )
+
+    fractions = benchmark(first_minute_fractions, bench_dataset)
+    share = fraction_of_apps_above(fractions, 0.8)
+    benchmark.extra_info["apps_above_80pct"] = round(share, 3)
+    benchmark.extra_info["paper_value"] = 0.84
+    assert 0.65 <= share <= 0.95

@@ -1,0 +1,66 @@
+"""Headline single-number findings of the paper vs. this reproduction.
+
+* 84% of cellular network energy is consumed in a background state.
+* ~30% of Chrome's network energy is background.
+* 84% of apps send >=80% of their background bytes in the first minute.
+* The in-lab push library: nearly-empty requests every 5 minutes for
+  hours, one visible notification.
+"""
+
+from repro.core.report import render_headlines
+from repro.core.statefrac import background_energy_fraction
+from repro.core.transitions import (
+    first_minute_fractions,
+    fraction_of_apps_above,
+)
+from repro.lab import push_library_experiment
+
+from conftest import write_artifact
+
+
+def test_headline_background_fraction(benchmark, bench_study):
+    frac = benchmark(background_energy_fraction, bench_study)
+    benchmark.extra_info["measured"] = round(frac, 3)
+    benchmark.extra_info["paper"] = 0.84
+    assert 0.65 <= frac <= 0.95
+
+
+def test_headline_chrome_background(benchmark, bench_study):
+    frac = benchmark(
+        background_energy_fraction, bench_study, "com.android.chrome"
+    )
+    benchmark.extra_info["measured"] = round(frac, 3)
+    benchmark.extra_info["paper"] = 0.30
+    assert 0.15 <= frac <= 0.55
+
+
+def test_headline_first_minute_apps(benchmark, bench_dataset, output_dir):
+    fractions = benchmark(first_minute_fractions, bench_dataset)
+    share = fraction_of_apps_above(fractions, 0.8)
+    chrome_bg = None
+    write_artifact(
+        output_dir,
+        "headline_stats.txt",
+        render_headlines(
+            {
+                "apps with >=80% bg bytes in first minute (paper 0.84)": round(
+                    share, 3
+                ),
+                "apps with background-episode traffic": len(fractions),
+            }
+        ),
+    )
+    benchmark.extra_info["measured"] = round(share, 3)
+    benchmark.extra_info["paper"] = 0.84
+    assert 0.65 <= share <= 0.95
+
+
+def test_headline_push_library(benchmark):
+    result = benchmark(push_library_experiment)
+    benchmark.extra_info["requests"] = result.requests
+    benchmark.extra_info["joules_per_notification"] = round(
+        result.joules_per_notification
+    )
+    # Paper anecdote: ~5 h of 5-minute keepalives for one notification.
+    assert result.requests >= 50
+    assert result.joules_per_notification > 300.0

@@ -1,0 +1,55 @@
+"""Robustness: headline statistics across study seeds.
+
+The headline findings must be properties of the modelled population,
+not artefacts of one random realisation. This bench re-generates a
+smaller study under several seeds and checks that every headline stays
+in a tight band.
+"""
+
+from repro import StudyConfig, StudyEnergy, generate_study
+from repro.core.headlines import seed_sweep
+from repro.core.report import render_table
+
+from conftest import write_artifact
+
+SWEEP_SEEDS = (11, 22, 33)
+
+
+def test_headline_seed_robustness(benchmark, output_dir):
+    def build(seed):
+        return StudyEnergy(
+            generate_study(
+                StudyConfig(n_users=8, duration_days=14.0, seed=seed)
+            )
+        )
+
+    results = benchmark.pedantic(
+        lambda: seed_sweep(build, SWEEP_SEEDS), rounds=1, iterations=1
+    )
+    rows = [
+        (
+            key,
+            f"{r.mean:.3f}",
+            f"{r.std:.3f}",
+            f"{r.spread:.3f}",
+        )
+        for key, r in sorted(results.items())
+    ]
+    write_artifact(
+        output_dir,
+        "robustness_seeds.txt",
+        render_table(
+            ["headline", "mean", "std", "max-min"],
+            rows,
+            title=f"Headline stability across seeds {SWEEP_SEEDS}",
+        ),
+    )
+    for key, r in results.items():
+        benchmark.extra_info[key] = {"mean": round(r.mean, 3), "std": round(r.std, 4)}
+
+    bg = results["background_fraction"]
+    assert bg.spread < 0.1
+    chrome = results["chrome_background_fraction"]
+    assert chrome.spread < 0.35  # per-app stat on fewer users: wider band
+    first_minute = results["first_minute_apps"]
+    assert first_minute.spread < 0.12

@@ -1,0 +1,53 @@
+"""Table 1: background-transfer case studies across five app classes.
+
+Paper (units read as J/day, J/flow, MB/flow, J/MB — see DESIGN.md):
+chatty apps (Weibo: 190 J/MB) sit orders of magnitude above batched
+ones (Twitter: 0.65 J/MB); the Accuweather widget is far cheaper than
+the Accuweather app; chunked podcast downloads (Podcastaddict) cost
+more energy than whole-episode ones (Pocketcasts); behaviour evolution
+(Facebook 5 min -> 1 h, Pandora 1 min -> 2 h) is encoded in the
+workload schedules.
+"""
+
+from repro.core.casestudies import case_study_table, efficiency_spread
+from repro.core.report import render_table1
+
+from conftest import write_artifact
+
+
+def test_table1_case_studies(benchmark, bench_study, output_dir):
+    rows = benchmark(case_study_table, bench_study)
+    write_artifact(output_dir, "table1_case_studies.txt", render_table1(rows))
+
+    by_app = {r.app: r for r in rows}
+    benchmark.extra_info["rows"] = len(rows)
+    for short, name in (
+        ("weibo", "com.sina.weibo"),
+        ("twitter", "com.twitter.android"),
+        ("accuweather_app", "com.accuweather.android"),
+        ("accuweather_widget", "com.accuweather.widget"),
+    ):
+        row = by_app.get(name)
+        if row:
+            benchmark.extra_info[f"{short}_j_per_day"] = round(row.joules_per_day, 1)
+            benchmark.extra_info[f"{short}_j_per_mb"] = round(row.joules_per_mb, 2)
+
+    assert len(rows) >= 12  # nearly all sixteen apps appear at 20 users
+
+    # Paper orderings.
+    weibo = by_app["com.sina.weibo"]
+    twitter = by_app["com.twitter.android"]
+    assert weibo.joules_per_mb > 10 * twitter.joules_per_mb
+    assert weibo.joules_per_day > twitter.joules_per_day
+
+    app = by_app["com.accuweather.android"]
+    widget = by_app["com.accuweather.widget"]
+    assert app.joules_per_day > 3 * widget.joules_per_day
+
+    # "Energy consumption differences of up to an order of magnitude
+    # exist between apps with near-identical functionality."
+    assert efficiency_spread(rows) > 50.0
+
+    # Update-frequency estimates recover the profiles' cadences.
+    assert 300.0 <= weibo.update_frequency.median_interval <= 700.0
+    assert 3000.0 <= twitter.update_frequency.median_interval <= 4300.0

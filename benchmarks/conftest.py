@@ -1,0 +1,54 @@
+"""Benchmark fixtures.
+
+Every figure/table bench runs against one shared study at the paper's
+population scale (20 users, 342 apps) over 28 days — the metrics are
+rates and distributions, so duration beyond a few weeks only tightens
+confidence, not shape (run the CLI with ``--days 623`` for the full
+span). The study and its energy attribution are built once per session.
+
+Each bench writes its rendered artefact to ``benchmarks/output/`` and
+records headline numbers in ``benchmark.extra_info`` so the JSON export
+carries the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import StudyConfig, StudyEnergy, generate_study
+
+#: The benchmark study scale.
+BENCH_USERS = 20
+BENCH_DAYS = 28.0
+BENCH_SEED = 42
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def bench_dataset():
+    """The shared 20-user study."""
+    return generate_study(
+        StudyConfig(n_users=BENCH_USERS, duration_days=BENCH_DAYS, seed=BENCH_SEED)
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_study(bench_dataset):
+    """Energy attribution over the shared study."""
+    return StudyEnergy(bench_dataset)
+
+
+@pytest.fixture(scope="session")
+def output_dir():
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def write_artifact(output_dir: Path, name: str, text: str) -> None:
+    """Persist a rendered figure/table and echo it to stdout."""
+    path = output_dir / name
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")

@@ -1,0 +1,105 @@
+"""App-design energy audit: what does *your* sync strategy cost?
+
+Run:
+    python examples/app_energy_audit.py
+
+The paper's §4.2/§6 message to developers: the energy cost of
+background sync is set by its *frequency*, not its bytes — each burst
+pays an ~12 J LTE radio tail. This example uses the radio model and the
+behaviour library directly (no full study needed) to price several sync
+designs for a hypothetical app that moves 24 MB of updates per day,
+then prices them again on 3G, on WiFi, and with fast dormancy.
+"""
+
+import numpy as np
+
+from repro.radio import (
+    LTE_DEFAULT,
+    RadioStateMachine,
+    UMTS_DEFAULT,
+    WIFI_DEFAULT,
+    lte_fast_dormancy_model,
+)
+from repro.core.report import render_table
+from repro.trace.arrays import PacketArray
+from repro.units import DAY, HOUR, MINUTE
+from repro.workload.behavior import ConnAllocator, TrafficContext
+from repro.workload.behaviors import PeriodicUpdateBehavior, PushNotificationBehavior
+from repro.workload.rng import substream
+
+#: The app needs to move this much per day, one way or another.
+DAILY_BYTES = 24e6
+
+DESIGNS = {
+    "poll every 1 min": PeriodicUpdateBehavior(
+        period=1 * MINUTE, bytes_per_update=DAILY_BYTES / (DAY / MINUTE)
+    ),
+    "poll every 5 min": PeriodicUpdateBehavior(
+        period=5 * MINUTE, bytes_per_update=DAILY_BYTES / (DAY / (5 * MINUTE))
+    ),
+    "poll every 1 h (batched)": PeriodicUpdateBehavior(
+        period=1 * HOUR, bytes_per_update=DAILY_BYTES / 24, packets_per_burst=8
+    ),
+    "poll every 6 h (batched)": PeriodicUpdateBehavior(
+        period=6 * HOUR, bytes_per_update=DAILY_BYTES / 4, packets_per_burst=8
+    ),
+    "push (30 min keepalive)": PushNotificationBehavior(
+        keepalive_period=30 * MINUTE,
+        keepalive_bytes=1_000,
+        push_mean_interval=1 * HOUR,
+        push_bytes=DAILY_BYTES / 24,
+    ),
+}
+
+
+def energy_per_day(behavior, model) -> float:
+    """Simulate one day of the design in isolation on the given radio."""
+    ctx = TrafficContext(1, 1, ConnAllocator(), DAY)
+    block = behavior.generate(0.0, DAY, ctx, substream(1, behavior.describe()))
+    order = np.argsort(block.timestamps, kind="stable")
+    packets = PacketArray.from_columns(
+        block.timestamps[order],
+        block.sizes[order],
+        block.directions[order],
+        np.ones(len(block), dtype=np.uint16),
+        block.conns[order],
+    )
+    sim = RadioStateMachine(model).simulate(
+        packets, window=(0.0, DAY), record_intervals=False
+    )
+    # Attributed energy only: the radio's idle floor exists whether or
+    # not this app does, so it is not part of the design's cost.
+    return sim.attributed_energy
+
+
+def main() -> None:
+    rows = []
+    for name, behavior in DESIGNS.items():
+        lte = energy_per_day(behavior, LTE_DEFAULT)
+        rows.append(
+            (
+                name,
+                f"{lte:.0f}",
+                f"{energy_per_day(behavior, lte_fast_dormancy_model()):.0f}",
+                f"{energy_per_day(behavior, UMTS_DEFAULT):.0f}",
+                f"{energy_per_day(behavior, WIFI_DEFAULT):.0f}",
+            )
+        )
+    print(
+        render_table(
+            ["design (24 MB/day)", "LTE J/day", "LTE+FD", "3G", "WiFi"],
+            rows,
+            title="Background sync designs: radio energy per day",
+        )
+    )
+    print(
+        "\nTakeaways (the paper's §6 recommendations):\n"
+        "  * batching dominates: the hourly batch moves the same bytes as\n"
+        "    1-minute polling for a tiny fraction of the energy;\n"
+        "  * fast dormancy recovers much of the tail cost;\n"
+        "  * WiFi is one to two orders of magnitude cheaper per burst."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Browser lingering traffic: the paper's §4.1 finding, end to end.
+
+Run:
+    python examples/browser_linger.py
+
+Part 1 replays the in-lab validation: a page that polls every second,
+opened in Chrome / Firefox / the stock browser, then minimised and the
+screen turned off. Part 2 measures the same phenomenon "in the wild" on
+a generated study: how long Chrome's traffic persists after each
+transition to the background (Fig 5), and what share of each browser's
+energy is spent in the background.
+"""
+
+import numpy as np
+
+from repro import StudyConfig, StudyEnergy, generate_study
+from repro.core.report import format_duration, render_table
+from repro.core.statefrac import background_energy_fraction
+from repro.core.transitions import persistence_durations
+from repro.lab import (
+    CHROME,
+    FIREFOX,
+    STOCK_BROWSER,
+    browser_background_experiment,
+    transit_page,
+    xhr_test_page,
+)
+
+
+def in_lab() -> None:
+    page = xhr_test_page()
+    rows = []
+    for browser in (CHROME, FIREFOX, STOCK_BROWSER):
+        result = browser_background_experiment(browser, page)
+        rows.append(
+            (
+                browser.name,
+                result.phase_packets[0],
+                result.phase_packets[1],
+                result.phase_packets[2],
+                f"{result.phase_energy[1] + result.phase_energy[2]:.0f}",
+            )
+        )
+    print(
+        render_table(
+            ["browser", "foreground pkts", "minimised pkts", "screen-off pkts", "bg J"],
+            rows,
+            title="In-lab: XHR-every-second page (cf. §4.1 validation)",
+        )
+    )
+    egregious = browser_background_experiment(CHROME, transit_page())
+    bg_seconds = sum(p.duration for p in egregious.phases[1:])
+    bg_energy = sum(egregious.phase_energy[1:])
+    print(
+        f"\nThe 'transit page' (poll every 2 s) holds the radio at "
+        f"{bg_energy / bg_seconds:.2f} W for as long as it lives — "
+        f"{bg_energy:.0f} J over {format_duration(bg_seconds)} minimised."
+    )
+
+
+def in_the_wild() -> None:
+    print("\nGenerating an 8-user, 21-day study ...")
+    dataset = generate_study(StudyConfig(n_users=8, duration_days=21.0, seed=17))
+    study = StudyEnergy(dataset)
+
+    rows = []
+    for browser in ("com.android.chrome", "org.mozilla.firefox", "com.android.browser"):
+        samples = persistence_durations(dataset, app=browser)
+        durations = np.sort([s.duration for s in samples])
+        rows.append(
+            (
+                browser,
+                len(samples),
+                format_duration(float(np.median(durations))),
+                format_duration(float(np.percentile(durations, 95))),
+                format_duration(float(durations.max())),
+                f"{background_energy_fraction(study, browser) * 100:.0f}%",
+            )
+        )
+    print(
+        render_table(
+            ["browser", "transitions", "median", "p95", "max", "bg energy"],
+            rows,
+            title="In the wild: traffic persistence after backgrounding (cf. Fig 5)",
+        )
+    )
+    print(
+        "\nChrome lets pages keep polling after it is minimised — its"
+        " persistence tail and background-energy share dwarf Firefox's"
+        " and the stock browser's, exactly as the paper reports."
+    )
+
+
+if __name__ == "__main__":
+    in_lab()
+    in_the_wild()

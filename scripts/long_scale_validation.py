@@ -1,0 +1,73 @@
+"""Long-duration validation runs behind EXPERIMENTS.md's addenda.
+
+Usage:
+    python scripts/long_scale_validation.py [DAYS ...]
+
+For each duration (default: 84 180 400), generates the 20-user study,
+then reports the duration-sensitive results:
+
+* Fig 5's extreme persistence tail (the >6 h / >12 h / >1 day counts —
+  the paper's "persist for more than a day" stragglers only appear at
+  months of observation);
+* Table 2 row B (max consecutive background-only days), which grows
+  towards the paper's 623-day values with the window;
+* generation cost, to document paper-scale feasibility.
+
+Results print as JSON lines, one per duration.
+"""
+
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro import StudyConfig, StudyEnergy, generate_study
+from repro.core import kill_policy_savings, persistence_durations
+
+TABLE2_APPS = (
+    "com.sec.spp.push",
+    "com.sina.weibo",
+    "com.facebook.orca",
+    "com.sec.android.widgetapp.ap.hero.accuweather",
+)
+
+
+def run(days: float, seed: int = 42) -> dict:
+    """One validation run at the given duration."""
+    started = time.time()
+    dataset = generate_study(
+        StudyConfig(n_users=20, duration_days=days, seed=seed)
+    )
+    generated = time.time()
+    result = {
+        "days": days,
+        "gen_seconds": round(generated - started, 1),
+        "packets": dataset.total_packets,
+    }
+
+    samples = persistence_durations(dataset, app="com.android.chrome")
+    durations = np.array([s.duration for s in samples])
+    result["chrome_transitions"] = len(durations)
+    result["persistence_max_hours"] = round(float(durations.max()) / 3600.0, 1)
+    result["persistence_over_6h"] = int((durations > 6 * 3600).sum())
+    result["persistence_over_12h"] = int((durations > 12 * 3600).sum())
+    result["persistence_over_1day"] = int((durations > 86400).sum())
+
+    study = StudyEnergy(dataset)
+    for app in TABLE2_APPS:
+        row = kill_policy_savings(study, app)
+        short = app.split(".")[-1]
+        result[f"B_{short}"] = row.max_consecutive_background_days
+        result[f"C_{short}"] = round(row.avg_energy_reduction_pct, 1)
+    return result
+
+
+def main() -> None:
+    durations = [float(a) for a in sys.argv[1:]] or [84.0, 180.0, 400.0]
+    for days in durations:
+        print(json.dumps(run(days)), flush=True)
+
+
+if __name__ == "__main__":
+    main()

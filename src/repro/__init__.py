@@ -1,0 +1,60 @@
+"""repro: reproduction of "Revisiting Network Energy Efficiency of
+Mobile Apps: Performance in the Wild" (Rosen et al., ACM IMC 2015).
+
+The library has five layers, bottom up:
+
+* :mod:`repro.trace`    -- packet/event data model, flows, datasets;
+* :mod:`repro.radio`    -- LTE/3G/WiFi power models and energy engines;
+* :mod:`repro.workload` -- synthetic 20-user / 342-app study generator
+  (substitute for the paper's non-redistributable 22-month traces);
+* :mod:`repro.core`     -- the paper's analyses, one module per figure
+  or table, plus the SS5 what-if policy simulator;
+* :mod:`repro.lab`      -- the in-lab validation harness (SS4.1's
+  browser experiments).
+
+Quickstart::
+
+    from repro import StudyConfig, generate_study, StudyEnergy
+    from repro.core import background_energy_fraction
+
+    dataset = generate_study(StudyConfig(n_users=5, duration_days=14))
+    study = StudyEnergy(dataset)
+    print(background_energy_fraction(study))   # the paper's 84%
+"""
+
+from repro.core.accounting import StudyEnergy
+from repro.radio import (
+    LTE_DEFAULT,
+    RadioModel,
+    TailPolicy,
+    UMTS_DEFAULT,
+    WIFI_DEFAULT,
+    lte_model,
+    umts_model,
+    wifi_model,
+)
+from repro.trace import Dataset, Direction, Packet, PacketArray, ProcessState
+from repro.workload import StudyConfig, StudyGenerator, generate_study
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dataset",
+    "Direction",
+    "LTE_DEFAULT",
+    "Packet",
+    "PacketArray",
+    "ProcessState",
+    "RadioModel",
+    "StudyConfig",
+    "StudyEnergy",
+    "StudyGenerator",
+    "TailPolicy",
+    "UMTS_DEFAULT",
+    "WIFI_DEFAULT",
+    "__version__",
+    "generate_study",
+    "lte_model",
+    "umts_model",
+    "wifi_model",
+]

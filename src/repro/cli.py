@@ -1,0 +1,480 @@
+"""Command-line interface.
+
+::
+
+    repro generate --users 20 --days 56 --out study.npz
+    repro figure 3 --dataset study.npz
+    repro table 1 --users 10 --days 28
+    repro report --users 20 --days 28
+    repro whatif --app com.sina.weibo --idle-days 3
+    repro lab
+
+Every analysis command accepts either ``--dataset FILE`` (a saved
+study) or generation parameters (``--users/--days/--seed``), in which
+case the study is generated on the fly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import StudyConfig, StudyEnergy, generate_study
+from repro.errors import AnalysisError
+from repro.core import (
+    background_energy_fraction,
+    bytes_since_foreground,
+    case_study_table,
+    first_minute_fractions,
+    kill_policy_savings,
+    persistence_durations,
+    state_energy_fractions,
+    top10_appearance_counts,
+    top_consumers,
+    total_savings,
+    trace_timeline,
+)
+from repro.core import report
+from repro.core.transitions import fraction_of_apps_above
+from repro.core.whatif import savings_on_affected_days
+from repro.core.appreport import app_report, render_app_report
+from repro.core.headlines import headline_stats
+from repro.units import battery_fraction
+from repro.core.longitudinal import weekly_background_energy, improved_apps
+from repro.core.recommend import recommendation_report
+from repro.radio.registry import available_models, get_model
+from repro.trace.io_text import dataset_from_csv
+from repro.trace.summary import summarize
+from repro.workload.scenarios import available_scenarios, get_scenario
+from repro.core.whatif import os_coalescing_savings
+from repro.lab import (
+    CHROME,
+    FIREFOX,
+    STOCK_BROWSER,
+    browser_background_experiment,
+    push_library_experiment,
+    xhr_test_page,
+)
+from repro.trace.dataset import Dataset
+
+#: Table 2's six apps.
+TABLE2_APPS = (
+    "com.sec.spp.push",
+    "com.sina.weibo",
+    "com.facebook.orca",
+    "com.espn.score_center",
+    "com.foursquare.android",
+    "com.sec.android.widgetapp.ap.hero.accuweather",
+)
+
+
+def _add_study_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", help="load a saved study (.npz)")
+    parser.add_argument("--users", type=int, default=20)
+    parser.add_argument("--days", type=float, default=28.0)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--model",
+        default="lte",
+        choices=available_models(),
+        help="radio power model for energy attribution",
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=available_scenarios(),
+        help="named study scale (overrides --users/--days)",
+    )
+
+
+def _study(args: argparse.Namespace, dataset=None) -> StudyEnergy:
+    if dataset is None:
+        dataset = _load_dataset(args)
+    return StudyEnergy(dataset, model=get_model(getattr(args, "model", "lte")))
+
+
+def _load_dataset(args: argparse.Namespace) -> Dataset:
+    if args.dataset:
+        return Dataset.load(args.dataset)
+    if getattr(args, "scenario", None):
+        config = get_scenario(args.scenario, seed=args.seed)
+    else:
+        config = StudyConfig(
+            n_users=args.users, duration_days=args.days, seed=args.seed
+        )
+    print(
+        f"generating study: {config.n_users} users x "
+        f"{config.duration_days:g} days (seed {config.seed}) ...",
+        file=sys.stderr,
+    )
+    return generate_study(config, workers=getattr(args, "workers", 1))
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    dataset.save(args.out)
+    print(f"wrote {args.out}: {dataset}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    number = args.number
+    if number in (2, 3):
+        study = _study(args, dataset)
+    if number == 1:
+        print(report.render_fig1(top10_appearance_counts(dataset)))
+    elif number == 2:
+        print(
+            report.render_fig2(
+                top_consumers(study, by="energy"), top_consumers(study, by="data")
+            )
+        )
+    elif number == 3:
+        print(report.render_fig3(state_energy_fractions(study)))
+    elif number == 4:
+        print(report.render_fig4(trace_timeline(dataset, args.app)))
+    elif number == 5:
+        print(report.render_fig5(persistence_durations(dataset, app=args.app)))
+    elif number == 6:
+        edges, totals = bytes_since_foreground(dataset)
+        print(report.render_fig6(edges, totals))
+    else:
+        print(f"unknown figure {number}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    study = _study(args, dataset)
+    if args.number == 1:
+        print(report.render_table1(case_study_table(study)))
+    elif args.number == 2:
+        results = [kill_policy_savings(study, app) for app in TABLE2_APPS]
+        print(report.render_table2(results))
+    else:
+        print(f"unknown table {args.number}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    study = _study(args, dataset)
+    headlines = {
+        f"{h.description} (paper: {h.paper_value:g})": round(h.measured, 3)
+        for h in headline_stats(study)
+    }
+    print(report.render_headlines(headlines))
+    print()
+    print(report.render_fig1(top10_appearance_counts(dataset)))
+    print()
+    print(
+        report.render_fig2(
+            top_consumers(study, by="energy"), top_consumers(study, by="data")
+        )
+    )
+    print()
+    print(report.render_fig3(state_energy_fractions(study)))
+    print()
+    print(report.render_fig4(trace_timeline(dataset, "com.android.chrome")))
+    print()
+    print(
+        report.render_fig5(
+            persistence_durations(dataset, app="com.android.chrome")
+        )
+    )
+    print()
+    edges, totals = bytes_since_foreground(dataset)
+    print(report.render_fig6(edges, totals))
+    print()
+    print(report.render_table1(case_study_table(study)))
+    print()
+    results = [kill_policy_savings(study, app) for app in TABLE2_APPS]
+    print(report.render_table2(results))
+    return 0
+
+
+def _cmd_whatif(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    study = _study(args, dataset)
+    result = kill_policy_savings(study, args.app, idle_days=args.idle_days)
+    print(report.render_table2([result]))
+    print()
+    try:
+        pct = savings_on_affected_days(study, args.app, args.idle_days)
+        print(f"affected-days total savings: {pct:.1f}%")
+    except AnalysisError:
+        print(
+            "affected-days total savings: policy never activates in this "
+            "study (no 3-day idle stretch)"
+        )
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    study = _study(args, dataset)
+    recommendations = recommendation_report(study, top_n=args.top)
+    total_days = sum(t.duration_days for t in dataset)
+    rows = [
+        (
+            r.app,
+            f"{r.total_energy / 1e3:.0f}",
+            # Average battery share this app's radio energy costs one
+            # user per day — the unit people feel.
+            f"{100 * battery_fraction(r.total_energy) / max(total_days, 1e-9):.1f}%",
+            r.primary.value,
+            f"{r.batching_saving_pct:.0f}%" if r.batching_saving_pct else "-",
+            f"{r.kill_saving_pct:.0f}%" if r.kill_saving_pct else "-",
+            f"{r.lingering_energy_fraction * 100:.0f}%",
+        )
+        for r in recommendations
+    ]
+    print(
+        report.render_table(
+            [
+                "app",
+                "kJ",
+                "battery/user-day",
+                "primary recommendation",
+                "batch",
+                "idle-kill",
+                "linger",
+            ],
+            rows,
+            title="Per-app recommendations (§6 operationalised)",
+        )
+    )
+    return 0
+
+
+def _cmd_longitudinal(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    study = _study(args, dataset)
+    series = weekly_background_energy(study)
+    print(
+        report.render_table(
+            ["week", "background kJ"],
+            [(i + 1, f"{e / 1e3:.0f}") for i, e in enumerate(series.week_energy)],
+            title="Weekly background energy (§3.1)",
+        )
+    )
+    print(
+        "\nmax week-over-week fluctuation: "
+        f"{series.max_fluctuation * 100:.0f}% (paper: up to 60%)"
+    )
+    improved = improved_apps(study)
+    if improved:
+        print("\napps that became more energy-efficient over the study:")
+        for app, comparison in improved.items():
+            first, last = comparison.eras[0], comparison.eras[-1]
+            print(
+                f"  {app}: {first.update_frequency.describe()} -> "
+                f"{last.update_frequency.describe()}, "
+                f"J/day {first.joules_per_day:.0f} -> {last.joules_per_day:.0f}"
+            )
+    else:
+        print("\nno apps flagged as improved in this window")
+    return 0
+
+
+def _cmd_import(args: argparse.Namespace) -> int:
+    pairs = []
+    for spec in args.user:
+        parts = spec.split(":")
+        packets = parts[0]
+        events = parts[1] if len(parts) > 1 and parts[1] else None
+        pairs.append((packets, events))
+    dataset = dataset_from_csv(pairs)
+    dataset.save(args.out)
+    print(f"wrote {args.out}: {dataset}")
+    return 0
+
+
+def _cmd_app(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    study = _study(args, dataset)
+    print(render_app_report(app_report(study, args.app)))
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    summary = summarize(dataset)
+    print(
+        report.render_table(
+            ["user", "days", "packets", "MB", "apps", "sessions", "top app"],
+            [
+                (
+                    u.user_id,
+                    f"{u.days:.0f}",
+                    u.packets,
+                    f"{u.megabytes:.0f}",
+                    u.apps_with_traffic,
+                    u.sessions,
+                    u.top_app,
+                )
+                for u in summary.users
+            ],
+            title="Per-user trace summary",
+        )
+    )
+    print(
+        f"\ncatalog: {summary.total_apps} apps, "
+        f"{summary.apps_with_traffic} with traffic; "
+        f"{summary.total_packets} packets, {summary.total_megabytes:.0f} MB"
+    )
+    print()
+    print(
+        report.render_table(
+            ["category", "MB"],
+            [(c, f"{v:.0f}") for c, v in summary.category_megabytes[:12]],
+            title="Traffic by app category",
+        )
+    )
+    return 0
+
+
+def _cmd_coalesce(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    study = _study(args, dataset)
+    result = os_coalescing_savings(study, period=args.period)
+    print(
+        f"OS-coalesced background scheduling (window {args.period:.0f}s):\n"
+        f"  energy saved: {result.savings_pct:.1f}% of attributed total\n"
+        f"  packets delayed: {result.moved_packets}\n"
+        f"  mean added delay: {result.mean_delay:.0f}s"
+    )
+    return 0
+
+
+def _cmd_lab(args: argparse.Namespace) -> int:
+    page = xhr_test_page()
+    rows = []
+    for browser in (CHROME, FIREFOX, STOCK_BROWSER):
+        result = browser_background_experiment(browser, page)
+        rows.append(
+            (
+                browser.name,
+                result.phase_packets[0],
+                result.phase_packets[1],
+                result.phase_packets[2],
+                f"{result.phase_energy[1] + result.phase_energy[2]:.0f}",
+            )
+        )
+    print(
+        report.render_table(
+            ["browser", "fg pkts", "bg pkts", "screen-off pkts", "bg J"],
+            rows,
+            title="In-lab: XHR-every-second page across browsers",
+        )
+    )
+    push = push_library_experiment()
+    print(
+        f"\npush library: {push.requests} nearly-empty requests over "
+        f"{push.duration / 3600:.0f} h for {push.notifications} visible "
+        f"notification(s); {push.total_energy:.0f} J "
+        f"({push.joules_per_notification:.0f} J/notification)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Revisiting Network Energy Efficiency of "
+            "Mobile Apps' (IMC 2015)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate and save a study")
+    _add_study_args(p)
+    p.add_argument("--out", default="study.npz")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel generation processes (useful at --scenario paper)",
+    )
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("figure", help="reproduce one figure")
+    p.add_argument("number", type=int, choices=range(1, 7))
+    p.add_argument("--app", default="com.android.chrome")
+    _add_study_args(p)
+    p.set_defaults(func=_cmd_figure)
+
+    p = sub.add_parser("table", help="reproduce one table")
+    p.add_argument("number", type=int, choices=(1, 2))
+    _add_study_args(p)
+    p.set_defaults(func=_cmd_table)
+
+    p = sub.add_parser("report", help="full report: headlines + all figures/tables")
+    _add_study_args(p)
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("whatif", help="kill-idle-app policy for one app")
+    p.add_argument("--app", required=True)
+    p.add_argument("--idle-days", type=int, default=3)
+    _add_study_args(p)
+    p.set_defaults(func=_cmd_whatif)
+
+    p = sub.add_parser(
+        "recommend", help="per-app efficiency recommendations (§6)"
+    )
+    p.add_argument("--top", type=int, default=15)
+    _add_study_args(p)
+    p.set_defaults(func=_cmd_recommend)
+
+    p = sub.add_parser(
+        "longitudinal", help="weekly trends and improved apps (§3.1)"
+    )
+    _add_study_args(p)
+    p.set_defaults(func=_cmd_longitudinal)
+
+    p = sub.add_parser(
+        "import", help="build a dataset from packets/events CSVs"
+    )
+    p.add_argument(
+        "user",
+        nargs="+",
+        help="one PACKETS_CSV[:EVENTS_CSV] per user",
+    )
+    p.add_argument("--out", default="study.npz")
+    p.set_defaults(func=_cmd_import)
+
+    p = sub.add_parser("app", help="single-app deep dive")
+    p.add_argument("--app", required=True)
+    _add_study_args(p)
+    p.set_defaults(func=_cmd_app)
+
+    p = sub.add_parser("summary", help="structural overview of a study")
+    _add_study_args(p)
+    p.set_defaults(func=_cmd_summary)
+
+    p = sub.add_parser(
+        "coalesce", help="OS-managed background batching what-if (§6)"
+    )
+    p.add_argument("--period", type=float, default=1800.0)
+    _add_study_args(p)
+    p.set_defaults(func=_cmd_coalesce)
+
+    p = sub.add_parser("lab", help="in-lab browser & push-library experiments")
+    p.set_defaults(func=_cmd_lab)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Measurement-software simulation (§3's collection pipeline).
+
+The paper pre-installed "custom data collection software on each phone
+that transparently collects complete network traces ... including
+packet payloads, user input events, and packet-process mappings". This
+package simulates that apparatus end to end:
+
+* :mod:`repro.collect.logs` writes a device's raw, line-oriented logs —
+  a packet capture, a socket→app mapping log, process-state snapshots,
+  screen and input logs — optionally with the imperfections real
+  collection has (dropped socket records);
+* :mod:`repro.collect.parser` reconstructs a
+  :class:`~repro.trace.dataset.Dataset` from those raw logs, mapping
+  packets to apps through the socket log and bucketing unmappable
+  traffic the way the paper handles delegated/system traffic.
+
+The round trip (trace → raw logs → trace) is tested to preserve every
+analysis in :mod:`repro.core`.
+"""
+
+from repro.collect.logs import CollectionConfig, write_device_logs, collect_dataset
+from repro.collect.parser import (
+    UNKNOWN_APP,
+    parse_dataset,
+    read_device_logs,
+)
+
+__all__ = [
+    "CollectionConfig",
+    "UNKNOWN_APP",
+    "collect_dataset",
+    "parse_dataset",
+    "read_device_logs",
+    "write_device_logs",
+]

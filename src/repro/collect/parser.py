@@ -1,0 +1,178 @@
+"""Raw device-log parser.
+
+Reconstructs traces from the logs written by
+:mod:`repro.collect.logs` (or by anything producing the same format).
+Packets are mapped to apps through the socket log; connections with no
+socket record — lost mappings, or traffic genuinely issued by opaque
+system processes — are attributed to the :data:`UNKNOWN_APP` bucket,
+which mirrors the paper's handling of requests delegated to system
+services ("we label this traffic according to the service from which it
+originated").
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.collect.logs import (
+    INPUT_LOG,
+    PACKETS_LOG,
+    PROCESS_LOG,
+    SCREEN_LOG,
+    SOCKETS_LOG,
+)
+from repro.trace.arrays import PacketArray
+from repro.trace.dataset import AppRegistry, Dataset
+from repro.trace.events import (
+    EventLog,
+    ProcessState,
+    ProcessStateEvent,
+    ScreenEvent,
+    UserInputEvent,
+)
+from repro.trace.packet import Direction
+from repro.trace.trace import UserTrace
+from repro.units import DAY
+
+PathLike = Union[str, Path]
+
+#: Registry name for traffic whose process mapping was lost.
+UNKNOWN_APP = "system.unattributed"
+
+
+def _app_id(registry: AppRegistry, name: str) -> int:
+    if name in registry:
+        return registry.id_of(name)
+    return registry.register(name).app_id
+
+
+def _read_sockets(path: Path, registry: AppRegistry) -> Dict[int, int]:
+    mapping: Dict[int, int] = {}
+    if not path.exists():
+        return mapping
+    with open(path) as handle:
+        for line in handle:
+            parts = line.split()
+            if len(parts) != 3:
+                raise TraceError(f"malformed socket record: {line!r}")
+            _, conn, app = parts
+            mapping[int(conn)] = _app_id(registry, app)
+    return mapping
+
+
+def _read_packets(
+    path: Path, conn_to_app: Dict[int, int], registry: AppRegistry
+) -> PacketArray:
+    times: List[float] = []
+    conns: List[int] = []
+    dirs: List[int] = []
+    sizes: List[int] = []
+    if not path.exists():
+        raise TraceError(f"missing packet log {path}")
+    with open(path) as handle:
+        for line in handle:
+            parts = line.split()
+            if len(parts) != 4:
+                raise TraceError(f"malformed packet record: {line!r}")
+            ts, conn, direction, size = parts
+            times.append(float(ts))
+            conns.append(int(conn))
+            if direction not in ("U", "D"):
+                raise TraceError(f"malformed packet direction: {line!r}")
+            dirs.append(
+                int(Direction.UPLINK if direction == "U" else Direction.DOWNLINK)
+            )
+            sizes.append(int(size))
+    unknown_id: Optional[int] = None
+    apps = np.empty(len(times), dtype=np.uint16)
+    for i, conn in enumerate(conns):
+        app = conn_to_app.get(conn)
+        if app is None:
+            if unknown_id is None:
+                unknown_id = _app_id(registry, UNKNOWN_APP)
+            app = unknown_id
+        apps[i] = app
+    packets = PacketArray.from_columns(
+        np.array(times),
+        np.array(sizes, dtype=np.uint32),
+        np.array(dirs, dtype=np.uint8),
+        apps,
+        np.array(conns, dtype=np.uint32),
+    )
+    return packets.sorted_by_time()
+
+
+def _read_events(directory: Path, registry: AppRegistry) -> EventLog:
+    log = EventLog()
+    process_path = directory / PROCESS_LOG
+    if process_path.exists():
+        with open(process_path) as handle:
+            for line in handle:
+                ts, app, state = line.split()
+                log.add_process_event(
+                    ProcessStateEvent(
+                        float(ts), _app_id(registry, app), ProcessState[state]
+                    )
+                )
+    screen_path = directory / SCREEN_LOG
+    if screen_path.exists():
+        with open(screen_path) as handle:
+            for line in handle:
+                ts, value = line.split()
+                log.add_screen_event(ScreenEvent(float(ts), value == "ON"))
+    input_path = directory / INPUT_LOG
+    if input_path.exists():
+        with open(input_path) as handle:
+            for line in handle:
+                ts, app = line.split()
+                log.add_input_event(UserInputEvent(float(ts), _app_id(registry, app)))
+    return log
+
+
+def read_device_logs(
+    directory: PathLike,
+    registry: Optional[AppRegistry] = None,
+    user_id: int = 1,
+    duration: Optional[float] = None,
+) -> UserTrace:
+    """Parse one device's raw log directory into a trace."""
+    directory = Path(directory)
+    registry = registry if registry is not None else AppRegistry()
+    conn_to_app = _read_sockets(directory / SOCKETS_LOG, registry)
+    packets = _read_packets(directory / PACKETS_LOG, conn_to_app, registry)
+    events = _read_events(directory, registry)
+    horizon = float(packets.timestamps[-1]) if len(packets) else 0.0
+    for event in events:
+        horizon = max(horizon, event.timestamp)
+    if duration is None:
+        duration = float(np.ceil(horizon / DAY) * DAY) or DAY
+    return UserTrace(user_id, 0.0, duration, packets, events)
+
+
+def parse_dataset(
+    root: PathLike, duration: Optional[float] = None
+) -> Dataset:
+    """Parse a ``collect_dataset`` tree back into a labelled dataset."""
+    root = Path(root)
+    directories = sorted(d for d in root.iterdir() if d.is_dir())
+    if not directories:
+        raise TraceError(f"no device log directories under {root}")
+    registry = AppRegistry()
+    users = []
+    for index, directory in enumerate(directories, start=1):
+        users.append(
+            read_device_logs(directory, registry, user_id=index, duration=duration)
+        )
+    if duration is None:
+        # Align every user to the longest observed window.
+        longest = max(u.end for u in users)
+        users = [
+            UserTrace(u.user_id, 0.0, longest, u.packets, u.events) for u in users
+        ]
+    dataset = Dataset(registry, users, metadata={"source": "raw-logs"})
+    dataset.label_states()
+    return dataset

@@ -1,0 +1,172 @@
+"""Study-wide energy accounting.
+
+:class:`StudyEnergy` runs the radio model over every user's merged
+packet timeline once (the radio is shared per device, so attribution
+must happen device-wide) and caches the per-packet attribution. All
+figure/table analyses then reduce those arrays.
+
+The paper's invariant holds by construction and is property-tested: the
+total cellular energy of a device equals the sum over apps of the
+energy attributed to them, plus the radio's idle floor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.radio.attribution import AttributionResult, TailPolicy, attribute_energy
+from repro.radio.base import RadioModel
+from repro.radio.lte import LTE_DEFAULT
+from repro.trace.dataset import Dataset
+from repro.trace.events import BACKGROUND_STATES, FOREGROUND_STATES, ProcessState
+from repro.units import DAY
+
+
+class StudyEnergy:
+    """Per-packet energy attribution for every user of a dataset."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        model: RadioModel = LTE_DEFAULT,
+        policy: TailPolicy = TailPolicy.LAST_PACKET,
+    ) -> None:
+        self.dataset = dataset
+        self.model = model
+        self.policy = policy
+        self._results: Dict[int, AttributionResult] = {}
+        for trace in dataset:
+            self._results[trace.user_id] = attribute_energy(
+                model, trace.packets, window=(trace.start, trace.end), policy=policy
+            )
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def user_result(self, user_id: int) -> AttributionResult:
+        """The cached attribution for one user."""
+        try:
+            return self._results[user_id]
+        except KeyError:
+            raise AnalysisError(f"unknown user id {user_id}") from None
+
+    @property
+    def user_ids(self) -> List[int]:
+        """User ids in dataset order."""
+        return [t.user_id for t in self.dataset]
+
+    def app_id(self, app: str) -> int:
+        """Resolve an app name through the dataset registry."""
+        return self.dataset.registry.id_of(app)
+
+    # ------------------------------------------------------------------
+    # Totals
+    # ------------------------------------------------------------------
+    @property
+    def total_energy(self) -> float:
+        """Radio energy over all users, joules (attributed + idle)."""
+        return sum(r.total_energy for r in self._results.values())
+
+    @property
+    def attributed_energy(self) -> float:
+        """Energy attributed to apps over all users, joules."""
+        return sum(r.attributed_energy for r in self._results.values())
+
+    @property
+    def idle_energy(self) -> float:
+        """Unattributed idle-floor energy over all users, joules."""
+        return sum(r.energy.idle_energy for r in self._results.values())
+
+    def energy_by_app(self) -> Dict[int, float]:
+        """Joules per app id, summed over users."""
+        totals: Dict[int, float] = {}
+        for result in self._results.values():
+            for app, joules in result.energy_by_app().items():
+                totals[app] = totals.get(app, 0.0) + joules
+        return totals
+
+    def bytes_by_app(self) -> Dict[int, int]:
+        """Traffic bytes per app id, summed over users."""
+        totals: Dict[int, int] = {}
+        for trace in self.dataset:
+            for app, volume in trace.packets.bytes_by_app().items():
+                totals[app] = totals.get(app, 0) + volume
+        return totals
+
+    def energy_by_app_state(self) -> Dict[Tuple[int, int], float]:
+        """Joules per (app id, process state), summed over users."""
+        totals: Dict[Tuple[int, int], float] = {}
+        for result in self._results.values():
+            for key, joules in result.energy_by_app_state().items():
+                totals[key] = totals.get(key, 0.0) + joules
+        return totals
+
+    def energy_by_state(self) -> Dict[int, float]:
+        """Joules per process state, summed over apps and users."""
+        totals: Dict[int, float] = {}
+        for (_, state), joules in self.energy_by_app_state().items():
+            totals[state] = totals.get(state, 0.0) + joules
+        return totals
+
+    # ------------------------------------------------------------------
+    # Per-user / per-day reductions
+    # ------------------------------------------------------------------
+    def user_app_energy(self, user_id: int, app_id: int) -> float:
+        """Joules attributed to one app on one device."""
+        return self.user_result(user_id).energy_by_app().get(app_id, 0.0)
+
+    def daily_energy(
+        self, user_id: int, app_id: Optional[int] = None
+    ) -> np.ndarray:
+        """Per-day attributed joules for one user (optionally one app).
+
+        Day ``d`` covers ``[d*86400, (d+1)*86400)`` seconds of study
+        time; the returned array spans the full trace duration.
+        """
+        trace = self.dataset.user(user_id)
+        result = self.user_result(user_id)
+        n_days = int(np.ceil((trace.end - trace.start) / DAY))
+        ts = trace.packets.timestamps
+        energy = result.per_packet
+        if app_id is not None:
+            mask = trace.packets.apps == app_id
+            ts = ts[mask]
+            energy = energy[mask]
+        days = ((ts - trace.start) // DAY).astype(np.int64)
+        return np.bincount(days, weights=energy, minlength=n_days)[:n_days]
+
+    def app_days_with_traffic(
+        self, user_id: int, app_id: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(has-foreground-traffic, has-background-traffic) day masks.
+
+        Foreground means packets labelled FOREGROUND or VISIBLE;
+        background the other three states (the paper's grouping).
+        """
+        trace = self.dataset.user(user_id)
+        n_days = int(np.ceil((trace.end - trace.start) / DAY))
+        packets = trace.packets
+        mask = packets.apps == app_id
+        ts = packets.timestamps[mask]
+        states = packets.states[mask]
+        days = ((ts - trace.start) // DAY).astype(np.int64)
+        fg_values = np.array([int(s) for s in FOREGROUND_STATES])
+        bg_values = np.array([int(s) for s in BACKGROUND_STATES])
+        fg = np.zeros(n_days, dtype=bool)
+        bg = np.zeros(n_days, dtype=bool)
+        fg_days = days[np.isin(states, fg_values)]
+        bg_days = days[np.isin(states, bg_values)]
+        fg[np.unique(fg_days)] = True
+        bg[np.unique(bg_days)] = True
+        return fg, bg
+
+    def users_with_app(self, app_id: int) -> List[int]:
+        """Users whose trace contains at least one packet of the app."""
+        return [
+            trace.user_id
+            for trace in self.dataset
+            if np.any(trace.packets.apps == app_id)
+        ]

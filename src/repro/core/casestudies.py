@@ -1,0 +1,163 @@
+"""Table 1: background-transfer case studies.
+
+For each case-study app the paper reports average per-day energy,
+per-flow energy and volume, energy per megabyte, and the update
+frequency — all over *background* traffic (the table is §4.2's study of
+transfers initiated in the background). See DESIGN.md for the units
+reading (J/day, J/flow, MB/flow, J/MB).
+
+Flows here use a generous idle timeout (1 h by default) because the
+case-study apps hold persistent connections across several updates —
+the paper notes "one flow may not correspond to one periodic update".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.accounting import StudyEnergy
+from repro.core.periodicity import UpdateFrequency, estimate_update_frequency
+from repro.errors import AnalysisError
+from repro.trace.events import BACKGROUND_STATES
+from repro.trace.flow import reconstruct_flows
+from repro.units import DAY, MB
+
+#: Table 1's app classes and members, in the paper's order.
+CASE_STUDY_CLASSES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    (
+        "Social media",
+        (
+            "com.sina.weibo",
+            "com.twitter.android",
+            "com.facebook.katana",
+            "com.google.android.apps.plus",
+        ),
+    ),
+    (
+        "Periodic update services",
+        (
+            "com.sec.spp.push",
+            "com.urbanairship.push",
+            "com.google.android.apps.maps",
+            "com.google.android.gm",
+        ),
+    ),
+    (
+        "Widgets",
+        (
+            "com.gau.go.launcherex.gowidget.weatherwidget",
+            "com.gau.go.weatherex",
+            "com.accuweather.android",
+            "com.accuweather.widget",
+        ),
+    ),
+    ("Streaming", ("com.spotify.music", "com.pandora.android")),
+    ("Podcasts", ("au.com.shiftyjelly.pocketcasts", "com.bambuna.podcastaddict")),
+)
+
+#: Default flow idle timeout for case studies (seconds).
+CASE_STUDY_FLOW_GAP = 3600.0
+
+
+@dataclass(frozen=True)
+class CaseStudyRow:
+    """One app's Table 1 row."""
+
+    app: str
+    app_class: str
+    users: int
+    joules_per_day: float
+    joules_per_flow: float
+    mb_per_flow: float
+    joules_per_mb: float
+    update_frequency: UpdateFrequency
+    total_energy: float
+    total_bytes: int
+    n_flows: int
+
+
+def _background_mask(packets, app_id: int) -> np.ndarray:
+    bg_values = np.array([int(s) for s in BACKGROUND_STATES])
+    return (packets.apps == app_id) & np.isin(packets.states, bg_values)
+
+
+def case_study_row(
+    study: StudyEnergy,
+    app: str,
+    app_class: str = "",
+    flow_gap: float = CASE_STUDY_FLOW_GAP,
+) -> CaseStudyRow:
+    """Compute one app's Table 1 metrics across all users."""
+    app_id = study.dataset.registry.id_of(app)
+    total_energy = 0.0
+    total_bytes = 0
+    n_flows = 0
+    user_days = 0.0
+    users = 0
+    time_groups: List[np.ndarray] = []
+    for trace in study.dataset:
+        mask = _background_mask(trace.packets, app_id)
+        if not np.any(mask):
+            continue
+        users += 1
+        user_days += trace.duration_days
+        result = study.user_result(trace.user_id)
+        total_energy += float(result.per_packet[mask].sum())
+        subset = trace.packets.select(mask)
+        total_bytes += subset.total_bytes
+        n_flows += len(reconstruct_flows(subset, gap_timeout=flow_gap))
+        time_groups.append(subset.timestamps)
+    if users == 0:
+        raise AnalysisError(f"no user has background traffic for {app!r}")
+    frequency = estimate_update_frequency(time_groups)
+    return CaseStudyRow(
+        app=app,
+        app_class=app_class,
+        users=users,
+        joules_per_day=total_energy / user_days if user_days else 0.0,
+        joules_per_flow=total_energy / n_flows if n_flows else 0.0,
+        mb_per_flow=(total_bytes / MB) / n_flows if n_flows else 0.0,
+        joules_per_mb=(total_energy / (total_bytes / MB)) if total_bytes else 0.0,
+        update_frequency=frequency,
+        total_energy=total_energy,
+        total_bytes=total_bytes,
+        n_flows=n_flows,
+    )
+
+
+def case_study_table(
+    study: StudyEnergy,
+    classes: Sequence[Tuple[str, Tuple[str, ...]]] = CASE_STUDY_CLASSES,
+    flow_gap: float = CASE_STUDY_FLOW_GAP,
+    skip_missing: bool = True,
+) -> List[CaseStudyRow]:
+    """Compute the full Table 1 in the paper's order.
+
+    Apps with no background traffic in the (synthetic) study are
+    skipped when ``skip_missing`` — with few users and rarely-installed
+    apps, a short study may simply not contain them, exactly as a short
+    slice of the real study would not.
+    """
+    rows: List[CaseStudyRow] = []
+    for app_class, apps in classes:
+        for app in apps:
+            try:
+                rows.append(case_study_row(study, app, app_class, flow_gap))
+            except AnalysisError:
+                if not skip_missing:
+                    raise
+    if not rows:
+        raise AnalysisError("no case-study app has background traffic")
+    return rows
+
+
+def efficiency_spread(rows: Iterable[CaseStudyRow]) -> float:
+    """Max/min ratio of J/MB across rows — the paper's headline that
+    similar apps differ by an order of magnitude or more."""
+    values = [r.joules_per_mb for r in rows if r.joules_per_mb > 0]
+    if len(values) < 2:
+        raise AnalysisError("need at least two rows with traffic")
+    return max(values) / min(values)

@@ -1,0 +1,215 @@
+"""Longitudinal trends (§3.1).
+
+The paper examines how usage and app behaviour evolve over the 22
+months: week-to-week background energy "fluctuated by up to 60%", and
+"some apps have become more energy-efficient due to adjusting the
+inter-packet intervals of background traffic" (Facebook 5 min -> 1 h,
+Pandora 1 min -> 2 h, Maps' location service slowing down near the
+end).
+
+Two tools reproduce that analysis:
+
+* :func:`weekly_background_energy` — the per-week background-energy
+  series and its fluctuation statistics;
+* :func:`era_comparison` — split the study into eras and compare an
+  app's background update interval and energy rate between them,
+  flagging apps that *improved* (interval grew, J/day fell).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.accounting import StudyEnergy
+from repro.core.periodicity import UpdateFrequency, estimate_update_frequency
+from repro.errors import AnalysisError
+from repro.trace.events import BACKGROUND_STATES
+from repro.units import DAY
+
+#: Seconds per analysis week.
+WEEK = 7 * DAY
+
+
+@dataclass(frozen=True)
+class WeeklySeries:
+    """Per-week background energy across the study."""
+
+    week_energy: Tuple[float, ...]  # joules per week, background states
+
+    @property
+    def n_weeks(self) -> int:
+        """Number of (complete or partial) weeks covered."""
+        return len(self.week_energy)
+
+    @property
+    def mean(self) -> float:
+        """Mean weekly background energy."""
+        return float(np.mean(self.week_energy)) if self.week_energy else 0.0
+
+    @property
+    def max_fluctuation(self) -> float:
+        """Largest relative week-over-week change.
+
+        The paper: "Background energy fluctuated by up to 60% from week
+        to week throughout the study."
+        """
+        if len(self.week_energy) < 2:
+            return 0.0
+        values = np.array(self.week_energy)
+        prev = values[:-1]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            changes = np.where(prev > 0, np.abs(np.diff(values)) / prev, 0.0)
+        return float(changes.max())
+
+
+def weekly_background_energy(
+    study: StudyEnergy, complete_weeks_only: bool = True
+) -> WeeklySeries:
+    """Background-state energy per study week, summed over users."""
+    bg_values = np.array([int(s) for s in BACKGROUND_STATES])
+    longest = max((t.end - t.start) for t in study.dataset)
+    n_weeks = int(np.ceil(longest / WEEK))
+    totals = np.zeros(n_weeks)
+    for trace in study.dataset:
+        result = study.user_result(trace.user_id)
+        mask = np.isin(trace.packets.states, bg_values)
+        weeks = ((trace.packets.timestamps[mask] - trace.start) // WEEK).astype(
+            np.int64
+        )
+        totals += np.bincount(
+            np.clip(weeks, 0, n_weeks - 1),
+            weights=result.per_packet[mask],
+            minlength=n_weeks,
+        )
+    if complete_weeks_only and longest % WEEK > 0 and n_weeks > 1:
+        totals = totals[:-1]
+    return WeeklySeries(tuple(float(v) for v in totals))
+
+
+@dataclass(frozen=True)
+class EraStats:
+    """One app's background behaviour within one era of the study."""
+
+    start_fraction: float
+    end_fraction: float
+    joules_per_day: float
+    bytes_per_day: float
+    update_frequency: UpdateFrequency
+
+
+@dataclass(frozen=True)
+class EraComparison:
+    """An app's background behaviour across study eras."""
+
+    app: str
+    eras: Tuple[EraStats, ...]
+
+    @property
+    def improved(self) -> bool:
+        """True when the app got more energy-efficient over the study:
+        its background update interval grew and its J/day fell."""
+        if len(self.eras) < 2:
+            return False
+        first, last = self.eras[0], self.eras[-1]
+        if first.joules_per_day <= 0:
+            return False
+        interval_grew = (
+            last.update_frequency.median_interval
+            > 1.5 * first.update_frequency.median_interval
+            > 0
+        )
+        energy_fell = last.joules_per_day < 0.8 * first.joules_per_day
+        return interval_grew and energy_fell
+
+    @property
+    def energy_change(self) -> float:
+        """Relative J/day change from first to last era (-0.5 = halved)."""
+        if len(self.eras) < 2 or self.eras[0].joules_per_day <= 0:
+            return 0.0
+        return (
+            self.eras[-1].joules_per_day / self.eras[0].joules_per_day - 1.0
+        )
+
+
+def era_comparison(
+    study: StudyEnergy,
+    app: str,
+    boundaries: Sequence[float] = (0.0, 0.5, 1.0),
+) -> EraComparison:
+    """Compare an app's background behaviour between study eras.
+
+    Args:
+        study: Precomputed study energy (state labels required).
+        app: App name.
+        boundaries: Era boundaries as fractions of the study; the
+            default splits it in half, matching the catalog's evolution
+            schedules.
+    """
+    if len(boundaries) < 2 or sorted(boundaries) != list(boundaries):
+        raise AnalysisError(f"boundaries must be ascending fractions: {boundaries}")
+    app_id = study.dataset.registry.id_of(app)
+    bg_values = np.array([int(s) for s in BACKGROUND_STATES])
+    eras: List[EraStats] = []
+    for lo_frac, hi_frac in zip(boundaries, boundaries[1:]):
+        energy = 0.0
+        volume = 0.0
+        days = 0.0
+        groups: List[np.ndarray] = []
+        for trace in study.dataset:
+            duration = trace.end - trace.start
+            lo = trace.start + lo_frac * duration
+            hi = trace.start + hi_frac * duration
+            packets = trace.packets
+            mask = (
+                (packets.apps == app_id)
+                & np.isin(packets.states, bg_values)
+                & (packets.timestamps >= lo)
+                & (packets.timestamps < hi)
+            )
+            if not np.any(mask):
+                continue
+            result = study.user_result(trace.user_id)
+            energy += float(result.per_packet[mask].sum())
+            volume += float(packets.sizes[mask].sum())
+            days += (hi - lo) / DAY
+            groups.append(packets.timestamps[mask])
+        eras.append(
+            EraStats(
+                start_fraction=lo_frac,
+                end_fraction=hi_frac,
+                joules_per_day=energy / days if days else 0.0,
+                bytes_per_day=volume / days if days else 0.0,
+                update_frequency=estimate_update_frequency(groups),
+            )
+        )
+    return EraComparison(app=app, eras=tuple(eras))
+
+
+def improved_apps(
+    study: StudyEnergy,
+    apps: Optional[Sequence[str]] = None,
+    min_energy: float = 1000.0,
+) -> Dict[str, EraComparison]:
+    """Apps whose background behaviour improved over the study.
+
+    Scans ``apps`` (default: every app with at least ``min_energy``
+    joules attributed) and returns the comparisons flagged as improved —
+    the paper's Facebook/Pandora/Go Weather pattern.
+    """
+    registry = study.dataset.registry
+    if apps is None:
+        totals = study.energy_by_app()
+        apps = [
+            registry.name_of(app_id)
+            for app_id, joules in totals.items()
+            if joules >= min_energy
+        ]
+    out: Dict[str, EraComparison] = {}
+    for app in apps:
+        comparison = era_comparison(study, app)
+        if comparison.improved:
+            out[app] = comparison
+    return out

@@ -1,0 +1,109 @@
+"""Update-interval estimation (Table 1's "Update frequency" column).
+
+From an app's background packet times alone, estimate how often it
+phones home: packets are clustered into bursts (a new burst after
+``burst_gap`` of silence), and the inter-burst interval distribution is
+summarised. A tight interquartile range marks clean periodic timers
+(Weibo's 5-10 min); a wide one marks adaptive or on-demand schedules
+(Gmail's "updates appear to become discontinuous").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+#: Silence that separates two bursts of the same app.
+DEFAULT_BURST_GAP = 30.0
+
+
+@dataclass(frozen=True)
+class UpdateFrequency:
+    """Summary of an app's background update cadence (seconds)."""
+
+    median_interval: float
+    p25: float
+    p75: float
+    n_bursts: int
+
+    @property
+    def is_periodic(self) -> bool:
+        """Heuristic: a clean timer has a tight interquartile range."""
+        if self.median_interval <= 0 or self.n_bursts < 5:
+            return False
+        return (self.p75 - self.p25) / self.median_interval < 0.5
+
+    def describe(self) -> str:
+        """Human-readable cadence, minutes/hours as appropriate."""
+        return (
+            f"~{_fmt(self.median_interval)}"
+            if self.is_periodic
+            else f"{_fmt(self.p25)}-{_fmt(self.p75)} (varying)"
+        )
+
+
+def _fmt(seconds: float) -> str:
+    if seconds < 90:
+        return f"{seconds:.0f}s"
+    if seconds < 5400:
+        return f"{seconds / 60:.0f}min"
+    return f"{seconds / 3600:.1f}h"
+
+
+def burst_starts(
+    timestamps: np.ndarray, burst_gap: float = DEFAULT_BURST_GAP
+) -> np.ndarray:
+    """First-packet times of each burst in a sorted timestamp array."""
+    if burst_gap <= 0:
+        raise AnalysisError(f"burst_gap must be positive: {burst_gap}")
+    if len(timestamps) == 0:
+        return np.empty(0)
+    gaps = np.diff(timestamps)
+    is_start = np.concatenate([[True], gaps > burst_gap])
+    return timestamps[is_start]
+
+
+def inter_burst_intervals(
+    timestamps: np.ndarray, burst_gap: float = DEFAULT_BURST_GAP
+) -> np.ndarray:
+    """Intervals between consecutive burst starts."""
+    starts = burst_starts(timestamps, burst_gap)
+    return np.diff(starts)
+
+
+def estimate_update_frequency(
+    timestamp_groups: Iterable[np.ndarray],
+    burst_gap: float = DEFAULT_BURST_GAP,
+    max_interval: Optional[float] = 24 * 3600.0,
+) -> UpdateFrequency:
+    """Pooled update-frequency estimate over several packet-time groups.
+
+    Groups (one per user, or per background episode) are burst-clustered
+    independently so that gaps *between* groups never masquerade as
+    update intervals. Intervals above ``max_interval`` — the app was
+    simply not running — are discarded.
+    """
+    intervals: List[np.ndarray] = []
+    n_bursts = 0
+    for timestamps in timestamp_groups:
+        if len(timestamps) == 0:
+            continue
+        n_bursts += len(burst_starts(timestamps, burst_gap))
+        intervals.append(inter_burst_intervals(timestamps, burst_gap))
+    if not intervals:
+        return UpdateFrequency(0.0, 0.0, 0.0, 0)
+    pooled = np.concatenate(intervals)
+    if max_interval is not None:
+        pooled = pooled[pooled <= max_interval]
+    if len(pooled) == 0:
+        return UpdateFrequency(0.0, 0.0, 0.0, n_bursts)
+    return UpdateFrequency(
+        median_interval=float(np.median(pooled)),
+        p25=float(np.percentile(pooled, 25)),
+        p75=float(np.percentile(pooled, 75)),
+        n_bursts=n_bursts,
+    )

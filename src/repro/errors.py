@@ -1,0 +1,32 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so that
+callers can catch everything from this package with a single handler
+while still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TraceError(ReproError):
+    """Malformed or inconsistent trace data (unsorted packets, unknown
+    app ids, negative sizes, ...)."""
+
+
+class ModelError(ReproError):
+    """Invalid radio power-model configuration (negative timers, powers,
+    or throughput coefficients)."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload/generator configuration (empty catalogs, negative
+    durations, malformed behaviour parameters)."""
+
+
+class AnalysisError(ReproError):
+    """An analysis was asked for something the input cannot provide
+    (e.g. unknown app name, empty dataset where data is required)."""

@@ -1,0 +1,51 @@
+"""In-lab validation harness.
+
+§4.1 validates the trace findings with controlled experiments: a custom
+web page issuing an XMLHttpRequest every second, opened in Chrome,
+Firefox and the stock Android browser, with the app foregrounded,
+minimised, and the screen turned off; and a push library observed to
+send nearly-empty requests every five minutes while producing a single
+visible notification.
+
+This package reproduces those experiments against the behavioural rules
+the paper established for each browser, producing single-app traces and
+exact (event-driven) energy numbers.
+"""
+
+from repro.lab.browsers import (
+    BrowserModel,
+    CHROME,
+    FIREFOX,
+    STOCK_BROWSER,
+)
+from repro.lab.webpage import WebPage, transit_page, xhr_test_page
+from repro.lab.monsoon import (
+    EstimatedParameters,
+    PowerTrace,
+    estimate_parameters,
+    record,
+)
+from repro.lab.harness import (
+    BrowserExperimentResult,
+    PushLibraryResult,
+    browser_background_experiment,
+    push_library_experiment,
+)
+
+__all__ = [
+    "BrowserExperimentResult",
+    "BrowserModel",
+    "EstimatedParameters",
+    "PowerTrace",
+    "estimate_parameters",
+    "record",
+    "CHROME",
+    "FIREFOX",
+    "PushLibraryResult",
+    "STOCK_BROWSER",
+    "WebPage",
+    "browser_background_experiment",
+    "push_library_experiment",
+    "transit_page",
+    "xhr_test_page",
+]

@@ -1,0 +1,61 @@
+"""Browser behavioural models.
+
+The paper's in-lab findings, encoded as rules:
+
+* **Chrome** allows pages to keep transferring "when tabs are not
+  selected and thus invisible to the user; when the screen is off; and
+  even when the app has been sent to the background".
+* **Firefox** blocks transfers when backgrounded or screen-off, *and*
+  "blocks data from being sent by inactive tabs".
+* The **stock Android browser** blocks backgrounded/screen-off
+  transfers but lets inactive (non-selected) tabs transfer while the
+  app is foregrounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BrowserModel:
+    """What page-initiated traffic a browser permits in each context."""
+
+    name: str
+    allows_background_transfer: bool
+    allows_screen_off_transfer: bool
+    allows_inactive_tab_transfer: bool
+
+    def permits(
+        self, foreground: bool, screen_on: bool, tab_active: bool
+    ) -> bool:
+        """Whether a page request goes out in the given context."""
+        if not foreground and not self.allows_background_transfer:
+            return False
+        if not screen_on and not self.allows_screen_off_transfer:
+            return False
+        if not tab_active and not self.allows_inactive_tab_transfer:
+            return False
+        return True
+
+
+CHROME = BrowserModel(
+    name="chrome",
+    allows_background_transfer=True,
+    allows_screen_off_transfer=True,
+    allows_inactive_tab_transfer=True,
+)
+
+FIREFOX = BrowserModel(
+    name="firefox",
+    allows_background_transfer=False,
+    allows_screen_off_transfer=False,
+    allows_inactive_tab_transfer=False,
+)
+
+STOCK_BROWSER = BrowserModel(
+    name="stock",
+    allows_background_transfer=False,
+    allows_screen_off_transfer=False,
+    allows_inactive_tab_transfer=True,
+)

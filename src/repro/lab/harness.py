@@ -1,0 +1,195 @@
+"""Controlled single-app experiments.
+
+Each experiment builds a small, exact trace (one app, one device, no
+concurrent traffic), runs the event-driven radio state machine over it,
+and reports the quantities the paper's in-lab section discusses. These
+are also the integration tests' ground truth: with one app and known
+timing, every joule is hand-checkable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.lab.browsers import BrowserModel
+from repro.lab.webpage import WebPage
+from repro.radio.base import RadioModel
+from repro.radio.lte import LTE_DEFAULT
+from repro.radio.machine import RadioStateMachine, SimulationResult
+from repro.trace.arrays import PacketArray
+from repro.trace.packet import Direction
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One experiment phase: the device context over a time span."""
+
+    duration: float
+    foreground: bool
+    screen_on: bool
+    tab_active: bool = True
+
+
+@dataclass
+class BrowserExperimentResult:
+    """Outcome of one browser/page experiment."""
+
+    browser: str
+    page: str
+    phases: Tuple[Phase, ...]
+    phase_packets: Tuple[int, ...]
+    phase_bytes: Tuple[int, ...]
+    phase_energy: Tuple[float, ...]
+    simulation: SimulationResult
+
+    @property
+    def total_energy(self) -> float:
+        """Radio energy over the whole experiment, joules."""
+        return self.simulation.total_energy
+
+    def energy_in_phase(self, index: int) -> float:
+        """Attributed energy of one phase, joules."""
+        return self.phase_energy[index]
+
+
+def _page_packets(
+    page: WebPage,
+    browser: BrowserModel,
+    phases: Tuple[Phase, ...],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[Tuple[float, float]]]:
+    """Poll packets the browser lets through, over all phases."""
+    times: List[float] = []
+    sizes: List[int] = []
+    directions: List[int] = []
+    spans: List[Tuple[float, float]] = []
+    cursor = 0.0
+    for phase in phases:
+        start, end = cursor, cursor + phase.duration
+        spans.append((start, end))
+        if browser.permits(phase.foreground, phase.screen_on, phase.tab_active):
+            for t in np.arange(start, end, page.request_period):
+                times.extend([t, t + 0.1])
+                sizes.extend([page.request_bytes, page.response_bytes])
+                directions.extend([int(Direction.UPLINK), int(Direction.DOWNLINK)])
+        cursor = end
+    return (
+        np.array(times),
+        np.array(sizes),
+        np.array(directions),
+        spans,
+    )
+
+
+def browser_background_experiment(
+    browser: BrowserModel,
+    page: WebPage,
+    phases: Tuple[Phase, ...] = (
+        Phase(duration=120.0, foreground=True, screen_on=True),
+        Phase(duration=600.0, foreground=False, screen_on=True),
+        Phase(duration=600.0, foreground=False, screen_on=False),
+    ),
+    model: RadioModel = LTE_DEFAULT,
+) -> BrowserExperimentResult:
+    """Open ``page`` in ``browser``, then minimise, then screen off.
+
+    Default phases mirror the paper's validation: browse, send to the
+    background, turn the screen off. Chrome keeps polling through all
+    three; Firefox and the stock browser go silent after the first.
+    """
+    if not phases:
+        raise WorkloadError("at least one phase is required")
+    times, sizes, directions, spans = _page_packets(page, browser, phases)
+    total = sum(p.duration for p in phases)
+    if len(times):
+        packets = PacketArray.from_columns(
+            times, sizes, directions, np.ones(len(times), dtype=np.uint16)
+        ).sorted_by_time()
+    else:
+        packets = PacketArray()
+    sim = RadioStateMachine(model).simulate(packets, window=(0.0, total))
+    per_packet = sim.per_packet
+    ts = packets.timestamps
+    phase_packets, phase_bytes, phase_energy = [], [], []
+    for start, end in spans:
+        mask = (ts >= start) & (ts < end)
+        phase_packets.append(int(mask.sum()))
+        phase_bytes.append(int(packets.sizes[mask].sum()) if len(ts) else 0)
+        phase_energy.append(float(per_packet[mask].sum()) if len(ts) else 0.0)
+    return BrowserExperimentResult(
+        browser=browser.name,
+        page=page.name,
+        phases=tuple(phases),
+        phase_packets=tuple(phase_packets),
+        phase_bytes=tuple(phase_bytes),
+        phase_energy=tuple(phase_energy),
+        simulation=sim,
+    )
+
+
+@dataclass
+class PushLibraryResult:
+    """Outcome of the push-library observation."""
+
+    requests: int
+    notifications: int
+    total_bytes: int
+    total_energy: float
+    duration: float
+
+    @property
+    def joules_per_notification(self) -> float:
+        """Energy paid per user-visible notification."""
+        if self.notifications == 0:
+            return float("inf")
+        return self.total_energy / self.notifications
+
+
+def push_library_experiment(
+    keepalive_period: float = 300.0,
+    keepalive_bytes: int = 400,
+    hours: float = 5.0,
+    notifications: int = 1,
+    notification_bytes: int = 2000,
+    model: RadioModel = LTE_DEFAULT,
+) -> PushLibraryResult:
+    """The paper's push-library observation: "one third-party library
+    transmitted nearly empty HTTP requests every five minutes for
+    hours, but only provided one user-visible notification".
+
+    Notifications are spread evenly through the observation window.
+    """
+    if hours <= 0:
+        raise WorkloadError(f"hours must be positive: {hours}")
+    duration = hours * 3600.0
+    keepalive_times = np.arange(keepalive_period, duration, keepalive_period)
+    notif_times = (
+        duration * (np.arange(1, notifications + 1) / (notifications + 1))
+        if notifications
+        else np.empty(0)
+    )
+    times = np.concatenate([keepalive_times, notif_times])
+    sizes = np.concatenate(
+        [
+            np.full(len(keepalive_times), keepalive_bytes),
+            np.full(len(notif_times), notification_bytes),
+        ]
+    )
+    order = np.argsort(times)
+    packets = PacketArray.from_columns(
+        times[order],
+        sizes[order],
+        np.full(len(times), int(Direction.DOWNLINK), dtype=np.uint8),
+        np.ones(len(times), dtype=np.uint16),
+    )
+    sim = RadioStateMachine(model).simulate(packets, window=(0.0, duration))
+    return PushLibraryResult(
+        requests=len(keepalive_times),
+        notifications=notifications,
+        total_bytes=int(sizes.sum()),
+        total_energy=sim.total_energy,
+        duration=duration,
+    )

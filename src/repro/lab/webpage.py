@@ -1,0 +1,48 @@
+"""Synthetic test pages.
+
+The paper's validation page "only sends XMLHttpRequest asynchronously
+to a server every second"; the in-the-wild worst case was "a popular
+local transit information webpage [that] sends background requests
+roughly every 2 seconds, indefinitely".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class WebPage:
+    """A page that polls its server at a fixed period."""
+
+    name: str
+    request_period: float
+    request_bytes: int = 600
+    response_bytes: int = 1200
+
+    def __post_init__(self) -> None:
+        if self.request_period <= 0:
+            raise WorkloadError(
+                f"request_period must be positive: {self.request_period}"
+            )
+        if self.request_bytes <= 0 or self.response_bytes <= 0:
+            raise WorkloadError("request/response bytes must be positive")
+
+    @property
+    def bytes_per_poll(self) -> int:
+        """Total bytes exchanged per poll."""
+        return self.request_bytes + self.response_bytes
+
+
+def xhr_test_page(period: float = 1.0) -> WebPage:
+    """The paper's custom validation page: one async XHR per second."""
+    return WebPage(name="xhr-test", request_period=period)
+
+
+def transit_page() -> WebPage:
+    """The egregious transit-information page: a poll every ~2 s,
+    indefinitely, "keeping the cellular radio alive and draining the
+    battery until the app is killed or the tab is closed"."""
+    return WebPage(name="transit", request_period=2.0, response_bytes=4000)

@@ -1,0 +1,56 @@
+"""Radio power models and energy engines.
+
+Implements the "standard power model for LTE" the paper uses ([16] Huang
+et al. MobiSys'12, [22] Qian et al. MobiSys'11): an RRC state machine
+with a promotion delay, a high-power tail after each transfer, and
+throughput-linear transfer power, plus comparable 3G/UMTS and WiFi PSM
+models.
+
+Two engines compute energy from packet timelines:
+
+* :mod:`repro.radio.machine` -- an exact event-driven state machine that
+  also produces a state-interval log (used for Fig 4-style timelines and
+  in-lab experiments);
+* :mod:`repro.radio.vectorized` -- a numpy implementation for
+  million-packet traces, property-tested to agree with the machine.
+
+:mod:`repro.radio.attribution` applies the paper's per-app attribution
+rule: transfer energy per packet, tail energy to the last packet before
+the tail, promotion energy to the packet that triggered it.
+"""
+
+from repro.radio.base import RadioModel, TailPhase, RadioState, RadioInterval
+from repro.radio.lte import lte_model, LTE_DEFAULT, lte_fast_dormancy_model
+from repro.radio.umts import umts_model, UMTS_DEFAULT
+from repro.radio.wifi import wifi_model, WIFI_DEFAULT
+from repro.radio.machine import RadioStateMachine, SimulationResult
+from repro.radio.registry import available_models, get_model
+from repro.radio.vectorized import PacketEnergy, compute_packet_energy
+from repro.radio.attribution import (
+    AttributionResult,
+    TailPolicy,
+    attribute_energy,
+)
+
+__all__ = [
+    "AttributionResult",
+    "LTE_DEFAULT",
+    "PacketEnergy",
+    "RadioInterval",
+    "RadioModel",
+    "RadioState",
+    "RadioStateMachine",
+    "SimulationResult",
+    "TailPhase",
+    "TailPolicy",
+    "UMTS_DEFAULT",
+    "WIFI_DEFAULT",
+    "attribute_energy",
+    "available_models",
+    "get_model",
+    "compute_packet_energy",
+    "lte_fast_dormancy_model",
+    "lte_model",
+    "umts_model",
+    "wifi_model",
+]

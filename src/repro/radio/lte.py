@@ -1,0 +1,106 @@
+"""LTE power model with the published MobiSys'12 parameters.
+
+Constants follow Huang et al., "A Close Examination of Performance and
+Power Characteristics of 4G LTE Networks" (MobiSys 2012) — the model the
+paper cites as [16] and validates with a Monsoon power monitor:
+
+* idle (RRC_IDLE with paging)        ~ 11.4 mW
+* promotion IDLE -> CONNECTED        260 ms at 1210.7 mW
+* tail (DRX in RRC_CONNECTED)        11.576 s at ~1060 mW average
+* uplink power    P = 438.39 mW/Mbps * tput + 1288.04 mW
+* downlink power  P = 51.97 mW/Mbps * tput + 1288.04 mW
+
+The tail can optionally be split into the continuous-reception phase and
+the Short/Long DRX phases (``drx_detail=True``); the single-phase average
+is what the tail-energy literature commonly uses and is the default.
+"""
+
+from __future__ import annotations
+
+from repro.radio.base import (
+    RadioModel,
+    TailPhase,
+    energy_per_byte_from_throughput_curve,
+)
+from repro.units import ms, mw
+
+#: Published LTE constants (see module docstring).
+IDLE_POWER_W = mw(11.4)
+PROMOTION_DURATION_S = ms(260.0)
+PROMOTION_POWER_W = mw(1210.7)
+TAIL_DURATION_S = 11.576
+TAIL_POWER_W = mw(1060.0)
+
+ALPHA_UP_MW_PER_MBPS = 438.39
+ALPHA_DOWN_MW_PER_MBPS = 51.97
+BETA_MW = 1288.04
+
+#: Nominal link rates used to convert the throughput-linear power curve
+#: into per-byte energy. Chosen as typical 2013-era LTE rates; they are
+#: calibration constants of the reproduction, not of the paper.
+NOMINAL_UPLINK_MBPS = 5.0
+NOMINAL_DOWNLINK_MBPS = 15.0
+
+#: Detailed DRX tail: continuous reception, then Short DRX, then Long
+#: DRX, with powers averaging to the published 1060 mW tail.
+DRX_TAIL_PHASES = (
+    TailPhase(duration=0.2, power=mw(1210.7)),   # continuous reception
+    TailPhase(duration=1.28, power=mw(1160.0)),  # Short DRX
+    TailPhase(duration=10.096, power=mw(1044.4)),  # Long DRX
+)
+
+
+def lte_model(
+    drx_detail: bool = False,
+    uplink_mbps: float = NOMINAL_UPLINK_MBPS,
+    downlink_mbps: float = NOMINAL_DOWNLINK_MBPS,
+) -> RadioModel:
+    """Build the LTE power model.
+
+    Args:
+        drx_detail: Use the three-phase DRX tail instead of the
+            single-phase average tail.
+        uplink_mbps: Nominal uplink rate for the per-byte conversion.
+        downlink_mbps: Nominal downlink rate for the per-byte conversion.
+    """
+    if drx_detail:
+        tail = DRX_TAIL_PHASES
+    else:
+        tail = (TailPhase(TAIL_DURATION_S, TAIL_POWER_W),)
+    return RadioModel(
+        name="lte",
+        idle_power=IDLE_POWER_W,
+        promotion_duration=PROMOTION_DURATION_S,
+        promotion_power=PROMOTION_POWER_W,
+        tail_phases=tail,
+        energy_per_byte_up=energy_per_byte_from_throughput_curve(
+            ALPHA_UP_MW_PER_MBPS, BETA_MW, uplink_mbps
+        ),
+        energy_per_byte_down=energy_per_byte_from_throughput_curve(
+            ALPHA_DOWN_MW_PER_MBPS, BETA_MW, downlink_mbps
+        ),
+    )
+
+
+def lte_fast_dormancy_model(tail_duration: float = 3.0) -> RadioModel:
+    """LTE with fast dormancy: the device requests demotion after
+    ``tail_duration`` seconds instead of waiting out the network timer.
+
+    Implements the paper's §6 recommendation ("radio-layer energy saving
+    features such as fast dormancy [7]") as a model variant for the
+    ablation benches.
+    """
+    base = lte_model()
+    return RadioModel(
+        name=f"lte-fd{tail_duration:g}",
+        idle_power=base.idle_power,
+        promotion_power=base.promotion_power,
+        promotion_duration=base.promotion_duration,
+        tail_phases=(TailPhase(tail_duration, TAIL_POWER_W),),
+        energy_per_byte_up=base.energy_per_byte_up,
+        energy_per_byte_down=base.energy_per_byte_down,
+    )
+
+
+#: The default model used throughout the library (single-phase tail).
+LTE_DEFAULT = lte_model()

@@ -1,0 +1,36 @@
+"""Radio model registry: models by name for CLIs and configs."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ModelError
+from repro.radio.base import RadioModel
+from repro.radio.lte import lte_fast_dormancy_model, lte_model
+from repro.radio.umts import umts_model
+from repro.radio.wifi import wifi_model
+
+_FACTORIES: Dict[str, Callable[[], RadioModel]] = {
+    "lte": lte_model,
+    "lte-drx": lambda: lte_model(drx_detail=True),
+    "lte-fd": lte_fast_dormancy_model,
+    "umts": umts_model,
+    "3g": umts_model,
+    "wifi": wifi_model,
+}
+
+
+def available_models() -> List[str]:
+    """Registered model names."""
+    return sorted(_FACTORIES)
+
+
+def get_model(name: str) -> RadioModel:
+    """Build a model by registry name (case-insensitive)."""
+    try:
+        factory = _FACTORIES[name.strip().lower()]
+    except KeyError:
+        raise ModelError(
+            f"unknown radio model {name!r}; available: {available_models()}"
+        ) from None
+    return factory()

@@ -1,0 +1,62 @@
+"""3G/UMTS power model.
+
+Parameters follow the widely used measurements of Qian et al.
+(MobiSys'11, the paper's [22]) and Balasubramanian et al. (IMC'09, the
+paper's [9]) for a UMTS network:
+
+* idle                          ~ 10 mW
+* promotion IDLE -> DCH         2.0 s at ~800 mW
+* DCH tail                      5 s at ~800 mW
+* FACH tail                     12 s at ~460 mW
+* transfer power on DCH         ~800 mW at much lower rates than LTE
+
+3G transfers are slower, so per-byte energy is substantially higher than
+LTE even though instantaneous powers are lower — the reason the paper's
+LTE-centric tail analysis generalises.
+"""
+
+from __future__ import annotations
+
+from repro.radio.base import (
+    RadioModel,
+    TailPhase,
+    energy_per_byte_from_throughput_curve,
+)
+from repro.units import mw
+
+IDLE_POWER_W = mw(10.0)
+PROMOTION_DURATION_S = 2.0
+PROMOTION_POWER_W = mw(800.0)
+DCH_TAIL = TailPhase(duration=5.0, power=mw(800.0))
+FACH_TAIL = TailPhase(duration=12.0, power=mw(460.0))
+
+#: Effective throughput-linear curve for DCH transfers.
+ALPHA_UP_MW_PER_MBPS = 868.0
+ALPHA_DOWN_MW_PER_MBPS = 122.0
+BETA_MW = 817.0
+NOMINAL_UPLINK_MBPS = 1.0
+NOMINAL_DOWNLINK_MBPS = 3.0
+
+
+def umts_model(
+    uplink_mbps: float = NOMINAL_UPLINK_MBPS,
+    downlink_mbps: float = NOMINAL_DOWNLINK_MBPS,
+) -> RadioModel:
+    """Build the 3G/UMTS power model (DCH + FACH two-phase tail)."""
+    return RadioModel(
+        name="umts",
+        idle_power=IDLE_POWER_W,
+        promotion_duration=PROMOTION_DURATION_S,
+        promotion_power=PROMOTION_POWER_W,
+        tail_phases=(DCH_TAIL, FACH_TAIL),
+        energy_per_byte_up=energy_per_byte_from_throughput_curve(
+            ALPHA_UP_MW_PER_MBPS, BETA_MW, uplink_mbps
+        ),
+        energy_per_byte_down=energy_per_byte_from_throughput_curve(
+            ALPHA_DOWN_MW_PER_MBPS, BETA_MW, downlink_mbps
+        ),
+    )
+
+
+#: The default 3G model.
+UMTS_DEFAULT = umts_model()

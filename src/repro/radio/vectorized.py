@@ -1,0 +1,120 @@
+"""Vectorised energy engine.
+
+Computes exactly the quantities of
+:class:`~repro.radio.machine.RadioStateMachine` — per-packet transfer,
+tail and promotion energy plus unattributed idle energy — using numpy
+over the whole packet array at once. This is the engine every
+study-scale analysis uses; the property tests in
+``tests/test_radio_agreement.py`` pin it to the event-driven reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError, TraceError
+from repro.radio.base import RadioModel
+from repro.trace.arrays import PacketArray
+from repro.trace.packet import Direction
+
+
+@dataclass
+class PacketEnergy:
+    """Per-packet energy components over one device timeline."""
+
+    model: RadioModel
+    window: Tuple[float, float]
+    transfer: np.ndarray
+    tail: np.ndarray
+    promotion: np.ndarray
+    idle_energy: float
+
+    @property
+    def per_packet(self) -> np.ndarray:
+        """Total energy attributed to each packet (J)."""
+        return self.transfer + self.tail + self.promotion
+
+    @property
+    def attributed_energy(self) -> float:
+        """Total energy attributed to packets (J)."""
+        return float(self.per_packet.sum())
+
+    @property
+    def total_energy(self) -> float:
+        """Attributed plus idle energy: full radio consumption (J)."""
+        return self.attributed_energy + self.idle_energy
+
+    def __len__(self) -> int:
+        return len(self.transfer)
+
+
+def compute_packet_energy(
+    model: RadioModel,
+    packets: PacketArray,
+    window: Optional[Tuple[float, float]] = None,
+) -> PacketEnergy:
+    """Vectorised per-packet energy over a time-sorted packet array.
+
+    Semantics are identical to
+    :meth:`repro.radio.machine.RadioStateMachine.simulate`; see that
+    module's docstring for the attribution rules.
+    """
+    if not packets.is_time_sorted():
+        raise TraceError("packets must be time-sorted")
+    n = len(packets)
+    ts = packets.timestamps.astype(np.float64)
+    if window is None:
+        window = (float(ts[0]), float(ts[-1])) if n else (0.0, 0.0)
+    w0, w1 = window
+    if w1 < w0:
+        raise ModelError(f"window end {w1} before start {w0}")
+    if n and (ts[0] < w0 or ts[-1] > w1):
+        raise TraceError("packets outside the simulation window")
+
+    if n == 0:
+        return PacketEnergy(
+            model,
+            window,
+            np.zeros(0),
+            np.zeros(0),
+            np.zeros(0),
+            idle_energy=(w1 - w0) * model.idle_power,
+        )
+
+    tail_d = model.tail_duration
+
+    # Transfer energy: linear in bytes, by direction.
+    sizes = packets.sizes.astype(np.float64)
+    is_up = packets.directions == int(Direction.UPLINK)
+    epb = np.where(is_up, model.energy_per_byte_up, model.energy_per_byte_down)
+    transfer = sizes * epb
+
+    # Gap following each packet (last packet runs to the window end).
+    gaps = np.empty(n)
+    gaps[:-1] = np.diff(ts)
+    gaps[-1] = w1 - ts[-1]
+
+    # Tail energy of the radio-on time after each packet.
+    on_times = np.minimum(gaps, tail_d)
+    tail = model.tail_energy_vector(on_times)
+
+    # Promotions: first packet, and any packet after a demoted gap.
+    promoted = np.empty(n, dtype=bool)
+    promoted[0] = True
+    promoted[1:] = gaps[:-1] > tail_d
+    promotion = np.where(promoted, model.promotion_energy, 0.0)
+
+    # Idle: lead-in before the first promotion, demoted parts of
+    # inter-packet gaps (minus the following promotion ramp), and the
+    # post-trace remainder.
+    idle_time = max(float(ts[0]) - model.promotion_duration - w0, 0.0)
+    inner = gaps[:-1]
+    idle_inner = np.clip(inner - tail_d - model.promotion_duration, 0.0, None)
+    idle_time += float(idle_inner.sum())
+    idle_time += max(gaps[-1] - tail_d, 0.0)
+    idle_energy = idle_time * model.idle_power
+
+    return PacketEnergy(model, window, transfer, tail, promotion, idle_energy)

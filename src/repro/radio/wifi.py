@@ -1,0 +1,59 @@
+"""WiFi (802.11 PSM) power model.
+
+The paper focuses on cellular traffic "as it consumes far more energy
+than WiFi"; this model exists to quantify that comparison in the
+ablation benches. Parameters follow common Galaxy-class measurements
+(e.g. Huang et al. MobiSys'12's WiFi baseline):
+
+* idle (PSM, associated)   ~ 30 mW
+* "promotion" (wake)       ~ 0 s (negligible; modelled as 10 ms)
+* tail (PSM timeout)       ~ 220 ms at ~720 mW
+* transfer power           ~ 720 mW at high link rates
+
+High rates and a two-orders-of-magnitude shorter tail make WiFi's
+per-burst cost a tiny fraction of LTE's.
+"""
+
+from __future__ import annotations
+
+from repro.radio.base import (
+    RadioModel,
+    TailPhase,
+    energy_per_byte_from_throughput_curve,
+)
+from repro.units import ms, mw
+
+IDLE_POWER_W = mw(30.0)
+PROMOTION_DURATION_S = ms(10.0)
+PROMOTION_POWER_W = mw(720.0)
+TAIL = TailPhase(duration=ms(220.0), power=mw(720.0))
+
+ALPHA_UP_MW_PER_MBPS = 28.3
+ALPHA_DOWN_MW_PER_MBPS = 13.7
+BETA_MW = 330.0
+NOMINAL_UPLINK_MBPS = 20.0
+NOMINAL_DOWNLINK_MBPS = 40.0
+
+
+def wifi_model(
+    uplink_mbps: float = NOMINAL_UPLINK_MBPS,
+    downlink_mbps: float = NOMINAL_DOWNLINK_MBPS,
+) -> RadioModel:
+    """Build the WiFi PSM power model."""
+    return RadioModel(
+        name="wifi",
+        idle_power=IDLE_POWER_W,
+        promotion_duration=PROMOTION_DURATION_S,
+        promotion_power=PROMOTION_POWER_W,
+        tail_phases=(TAIL,),
+        energy_per_byte_up=energy_per_byte_from_throughput_curve(
+            ALPHA_UP_MW_PER_MBPS, BETA_MW, uplink_mbps
+        ),
+        energy_per_byte_down=energy_per_byte_from_throughput_curve(
+            ALPHA_DOWN_MW_PER_MBPS, BETA_MW, downlink_mbps
+        ),
+    )
+
+
+#: The default WiFi model.
+WIFI_DEFAULT = wifi_model()

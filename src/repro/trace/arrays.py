@@ -1,0 +1,253 @@
+"""Columnar packet storage.
+
+Month-scale traces hold millions of packets, which is far too many for
+per-packet Python objects. :class:`PacketArray` stores packets in a numpy
+structured array and is the form every analysis in :mod:`repro.core` and
+the vectorised energy engine consume. Object packets
+(:class:`~repro.trace.packet.Packet`) convert to and from this form.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.packet import Direction, Packet
+from repro.trace.events import ProcessState
+
+#: Sentinel for "process state not labelled yet".
+STATE_UNLABELLED = 255
+
+#: numpy dtype of one packet record.
+PACKET_DTYPE = np.dtype(
+    [
+        ("timestamp", "f8"),
+        ("size", "u4"),
+        ("direction", "u1"),
+        ("app", "u2"),
+        ("conn", "u4"),
+        ("flow", "u4"),
+        ("state", "u1"),
+    ]
+)
+
+
+class PacketArray:
+    """An immutable-by-convention, time-sortable column store of packets.
+
+    The underlying structured array is exposed as :attr:`data`; column
+    properties return views, not copies. Mutation is reserved for the
+    library's own labelling passes (flow reconstruction, state
+    labelling), which write whole columns at once.
+    """
+
+    def __init__(self, data: Optional[np.ndarray] = None) -> None:
+        if data is None:
+            data = np.empty(0, dtype=PACKET_DTYPE)
+        if data.dtype != PACKET_DTYPE:
+            raise TraceError(
+                f"expected dtype {PACKET_DTYPE}, got {data.dtype}"
+            )
+        self.data = data
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_packets(cls, packets: Iterable[Packet]) -> "PacketArray":
+        """Build from an iterable of object packets."""
+        packets = list(packets)
+        data = np.empty(len(packets), dtype=PACKET_DTYPE)
+        for i, pkt in enumerate(packets):
+            data[i] = (
+                pkt.timestamp,
+                pkt.size,
+                int(pkt.direction),
+                pkt.app,
+                pkt.conn,
+                pkt.flow,
+                STATE_UNLABELLED,
+            )
+        return cls(data)
+
+    @classmethod
+    def from_columns(
+        cls,
+        timestamps: np.ndarray,
+        sizes: np.ndarray,
+        directions: np.ndarray,
+        apps: np.ndarray,
+        conns: Optional[np.ndarray] = None,
+    ) -> "PacketArray":
+        """Build from parallel column arrays (the generator's fast path)."""
+        n = len(timestamps)
+        for name, col in (
+            ("sizes", sizes),
+            ("directions", directions),
+            ("apps", apps),
+        ):
+            if len(col) != n:
+                raise TraceError(
+                    f"column {name} has length {len(col)}, expected {n}"
+                )
+        data = np.empty(n, dtype=PACKET_DTYPE)
+        data["timestamp"] = timestamps
+        data["size"] = sizes
+        data["direction"] = directions
+        data["app"] = apps
+        data["conn"] = conns if conns is not None else 0
+        data["flow"] = 0
+        data["state"] = STATE_UNLABELLED
+        return cls(data)
+
+    @classmethod
+    def concat(cls, arrays: Sequence["PacketArray"]) -> "PacketArray":
+        """Concatenate several arrays (does not sort)."""
+        if not arrays:
+            return cls()
+        return cls(np.concatenate([a.data for a in arrays]))
+
+    # ------------------------------------------------------------------
+    # Columns
+    # ------------------------------------------------------------------
+    @property
+    def timestamps(self) -> np.ndarray:
+        """Packet capture times, seconds since study start."""
+        return self.data["timestamp"]
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """Packet sizes in bytes."""
+        return self.data["size"]
+
+    @property
+    def directions(self) -> np.ndarray:
+        """Packet directions (values of :class:`Direction`)."""
+        return self.data["direction"]
+
+    @property
+    def apps(self) -> np.ndarray:
+        """Per-packet app ids."""
+        return self.data["app"]
+
+    @property
+    def conns(self) -> np.ndarray:
+        """Per-packet connection ids."""
+        return self.data["conn"]
+
+    @property
+    def flows(self) -> np.ndarray:
+        """Per-packet flow ids (0 before reconstruction)."""
+        return self.data["flow"]
+
+    @property
+    def states(self) -> np.ndarray:
+        """Per-packet process state (``STATE_UNLABELLED`` before labelling)."""
+        return self.data["state"]
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __iter__(self) -> Iterator[Packet]:
+        return iter(self.to_packets())
+
+    def __getitem__(self, key) -> "PacketArray":
+        result = self.data[key]
+        if isinstance(result, np.void):  # single record
+            result = result.reshape(1) if hasattr(result, "reshape") else np.array(
+                [result], dtype=PACKET_DTYPE
+            )
+        return PacketArray(np.atleast_1d(result))
+
+    def __repr__(self) -> str:
+        if len(self) == 0:
+            return "PacketArray(empty)"
+        return (
+            f"PacketArray(n={len(self)}, "
+            f"t=[{self.timestamps[0]:.3f}, {self.timestamps[-1]:.3f}], "
+            f"bytes={int(self.sizes.sum())})"
+        )
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def sorted_by_time(self) -> "PacketArray":
+        """Return a copy sorted by timestamp (stable)."""
+        order = np.argsort(self.timestamps, kind="stable")
+        return PacketArray(self.data[order])
+
+    def is_time_sorted(self) -> bool:
+        """True when timestamps are non-decreasing."""
+        ts = self.timestamps
+        return bool(np.all(ts[1:] >= ts[:-1])) if len(ts) > 1 else True
+
+    def select(self, mask: np.ndarray) -> "PacketArray":
+        """Return the packets where ``mask`` is true."""
+        return PacketArray(self.data[mask])
+
+    def for_app(self, app: int) -> "PacketArray":
+        """Packets belonging to one app."""
+        return self.select(self.apps == app)
+
+    def in_range(self, start: float, end: float) -> "PacketArray":
+        """Packets with ``start <= timestamp < end``."""
+        ts = self.timestamps
+        return self.select((ts >= start) & (ts < end))
+
+    def to_packets(self) -> List[Packet]:
+        """Convert to a list of object packets (small traces only)."""
+        return [
+            Packet(
+                timestamp=float(rec["timestamp"]),
+                size=int(rec["size"]),
+                direction=Direction(int(rec["direction"])),
+                app=int(rec["app"]),
+                conn=int(rec["conn"]),
+                flow=int(rec["flow"]),
+            )
+            for rec in self.data
+        ]
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        """Sum of all packet sizes."""
+        return int(self.sizes.sum()) if len(self) else 0
+
+    def bytes_by_app(self) -> dict:
+        """Mapping of app id -> total bytes."""
+        if len(self) == 0:
+            return {}
+        apps = self.apps
+        sizes = self.sizes.astype(np.int64)
+        unique, inverse = np.unique(apps, return_inverse=True)
+        sums = np.bincount(inverse, weights=sizes)
+        return {int(a): int(s) for a, s in zip(unique, sums)}
+
+    def duration(self) -> float:
+        """Time span between first and last packet (0 when < 2 packets)."""
+        if len(self) < 2:
+            return 0.0
+        return float(self.timestamps[-1] - self.timestamps[0])
+
+    def validate(self) -> None:
+        """Raise :class:`TraceError` on structurally invalid packets."""
+        if len(self) == 0:
+            return
+        if np.any(self.sizes == 0):
+            raise TraceError("packet with zero size")
+        if np.any(self.timestamps < 0):
+            raise TraceError("packet with negative timestamp")
+        valid_dirs = {int(Direction.UPLINK), int(Direction.DOWNLINK)}
+        if not set(np.unique(self.directions)).issubset(valid_dirs):
+            raise TraceError("packet with invalid direction")
+        valid_states = {int(s) for s in ProcessState} | {STATE_UNLABELLED}
+        if not set(np.unique(self.states)).issubset(valid_states):
+            raise TraceError("packet with invalid process state label")

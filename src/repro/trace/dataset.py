@@ -1,0 +1,273 @@
+"""Multi-user datasets and the app registry, with on-disk persistence.
+
+The paper's study is 20 users over 623 days with 342 unique apps; a
+:class:`Dataset` holds the per-user traces plus one shared
+:class:`AppRegistry` mapping numeric app ids to package-style names and
+categories (packets are labelled with app ids derived from the Android
+package name, exactly as in the paper's collection pipeline).
+
+Persistence uses one compressed ``.npz`` per dataset: packet tables and
+event streams are stored as arrays, the registry and metadata as JSON
+embedded in the archive. No external serialisation dependency is needed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Union
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.arrays import PacketArray, PACKET_DTYPE
+from repro.trace.events import (
+    EventLog,
+    ProcessState,
+    ProcessStateEvent,
+    ScreenEvent,
+    UserInputEvent,
+)
+from repro.trace.trace import UserTrace
+
+
+@dataclass(frozen=True)
+class AppInfo:
+    """Static description of one app."""
+
+    app_id: int
+    name: str
+    category: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class AppRegistry:
+    """Bidirectional app id <-> name mapping shared across users."""
+
+    def __init__(self, apps: Iterable[AppInfo] = ()) -> None:
+        self._by_id: Dict[int, AppInfo] = {}
+        self._by_name: Dict[str, AppInfo] = {}
+        for app in apps:
+            self.add(app)
+
+    def add(self, app: AppInfo) -> AppInfo:
+        """Register an app; id and name must both be unused."""
+        if app.app_id in self._by_id:
+            raise TraceError(f"duplicate app id {app.app_id}")
+        if app.name in self._by_name:
+            raise TraceError(f"duplicate app name {app.name!r}")
+        self._by_id[app.app_id] = app
+        self._by_name[app.name] = app
+        return app
+
+    def register(self, name: str, category: str = "other") -> AppInfo:
+        """Register a new app under the next free id."""
+        next_id = max(self._by_id, default=0) + 1
+        return self.add(AppInfo(next_id, name, category))
+
+    def by_id(self, app_id: int) -> AppInfo:
+        """Look an app up by numeric id."""
+        try:
+            return self._by_id[app_id]
+        except KeyError:
+            raise TraceError(f"unknown app id {app_id}") from None
+
+    def by_name(self, name: str) -> AppInfo:
+        """Look an app up by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise TraceError(f"unknown app name {name!r}") from None
+
+    def id_of(self, name: str) -> int:
+        """Numeric id of the app called ``name``."""
+        return self.by_name(name).app_id
+
+    def name_of(self, app_id: int) -> str:
+        """Name of the app with id ``app_id``."""
+        return self.by_id(app_id).name
+
+    def __contains__(self, name: object) -> bool:
+        if isinstance(name, int):
+            return name in self._by_id
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[AppInfo]:
+        return iter(sorted(self._by_id.values(), key=lambda a: a.app_id))
+
+    def in_category(self, category: str) -> List[AppInfo]:
+        """All registered apps of one category."""
+        return [a for a in self if a.category == category]
+
+    def to_json(self) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps(
+            [
+                {"app_id": a.app_id, "name": a.name, "category": a.category}
+                for a in self
+            ]
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "AppRegistry":
+        """Deserialise from :meth:`to_json` output."""
+        return cls(
+            AppInfo(item["app_id"], item["name"], item["category"])
+            for item in json.loads(payload)
+        )
+
+
+class Dataset:
+    """A complete study: many user traces plus the shared app registry."""
+
+    def __init__(
+        self,
+        registry: AppRegistry,
+        users: Iterable[UserTrace] = (),
+        metadata: Optional[dict] = None,
+    ) -> None:
+        self.registry = registry
+        self.users: List[UserTrace] = list(users)
+        self.metadata = dict(metadata or {})
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+    def __iter__(self) -> Iterator[UserTrace]:
+        return iter(self.users)
+
+    def user(self, user_id: int) -> UserTrace:
+        """Trace of one user."""
+        for trace in self.users:
+            if trace.user_id == user_id:
+                return trace
+        raise TraceError(f"unknown user id {user_id}")
+
+    @property
+    def total_packets(self) -> int:
+        """Total packet count across all users."""
+        return sum(len(u.packets) for u in self.users)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total traffic volume across all users."""
+        return sum(u.packets.total_bytes for u in self.users)
+
+    def label_states(self) -> None:
+        """Label every user's packets with process states."""
+        for trace in self.users:
+            trace.label_states()
+
+    def validate(self) -> None:
+        """Validate every trace and cross-check app ids against registry."""
+        for trace in self.users:
+            trace.validate()
+            for app_id in trace.app_ids():
+                self.registry.by_id(app_id)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the dataset to a compressed ``.npz`` archive."""
+        path = Path(path)
+        arrays: Dict[str, np.ndarray] = {}
+        header = {
+            "metadata": self.metadata,
+            "registry": json.loads(self.registry.to_json()),
+            "users": [],
+        }
+        for trace in self.users:
+            uid = trace.user_id
+            header["users"].append(
+                {"user_id": uid, "start": trace.start, "end": trace.end}
+            )
+            arrays[f"packets_{uid}"] = trace.packets.data
+            arrays[f"proc_{uid}"] = _process_events_to_array(trace.events)
+            arrays[f"screen_{uid}"] = _screen_events_to_array(trace.events)
+            arrays[f"input_{uid}"] = _input_events_to_array(trace.events)
+        arrays["header"] = np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez_compressed(path, **arrays)
+        return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Dataset":
+        """Load a dataset written by :meth:`save`."""
+        with np.load(Path(path)) as archive:
+            header = json.loads(bytes(archive["header"]).decode("utf-8"))
+            registry = AppRegistry.from_json(json.dumps(header["registry"]))
+            users = []
+            for entry in header["users"]:
+                uid = entry["user_id"]
+                packets = PacketArray(
+                    np.ascontiguousarray(archive[f"packets_{uid}"], dtype=PACKET_DTYPE)
+                )
+                events = _event_log_from_arrays(
+                    archive[f"proc_{uid}"],
+                    archive[f"screen_{uid}"],
+                    archive[f"input_{uid}"],
+                )
+                users.append(
+                    UserTrace(uid, entry["start"], entry["end"], packets, events)
+                )
+        return cls(registry, users, header["metadata"])
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset(users={len(self.users)}, apps={len(self.registry)}, "
+            f"packets={self.total_packets})"
+        )
+
+
+_PROC_DTYPE = np.dtype([("timestamp", "f8"), ("app", "u2"), ("state", "u1")])
+_SCREEN_DTYPE = np.dtype([("timestamp", "f8"), ("on", "u1")])
+_INPUT_DTYPE = np.dtype([("timestamp", "f8"), ("app", "u2")])
+
+
+def _process_events_to_array(log: EventLog) -> np.ndarray:
+    events = log.process_events
+    out = np.empty(len(events), dtype=_PROC_DTYPE)
+    for i, e in enumerate(events):
+        out[i] = (e.timestamp, e.app, int(e.state))
+    return out
+
+
+def _screen_events_to_array(log: EventLog) -> np.ndarray:
+    events = log.screen_events
+    out = np.empty(len(events), dtype=_SCREEN_DTYPE)
+    for i, e in enumerate(events):
+        out[i] = (e.timestamp, int(e.on))
+    return out
+
+
+def _input_events_to_array(log: EventLog) -> np.ndarray:
+    events = log.input_events
+    out = np.empty(len(events), dtype=_INPUT_DTYPE)
+    for i, e in enumerate(events):
+        out[i] = (e.timestamp, e.app)
+    return out
+
+
+def _event_log_from_arrays(
+    proc: np.ndarray, screen: np.ndarray, inputs: np.ndarray
+) -> EventLog:
+    return EventLog(
+        process_events=[
+            ProcessStateEvent(float(r["timestamp"]), int(r["app"]), ProcessState(int(r["state"])))
+            for r in proc
+        ],
+        screen_events=[
+            ScreenEvent(float(r["timestamp"]), bool(r["on"])) for r in screen
+        ],
+        input_events=[
+            UserInputEvent(float(r["timestamp"]), int(r["app"])) for r in inputs
+        ],
+    )

@@ -1,0 +1,197 @@
+"""Device event streams: process states, screen, user input.
+
+The paper's "background" definition is built from the five main Android
+process states ([6] in the paper):
+
+* ``FOREGROUND``  -- the process owns the main UI;
+* ``VISIBLE``     -- a secondary UI element is visible;
+* ``PERCEPTIBLE`` -- not visible but user-perceptible (e.g. playing music);
+* ``SERVICE``     -- a background service the OS avoids killing;
+* ``BACKGROUND``  -- killable when memory is low.
+
+The paper groups the first two as "foreground" and the last three as
+"background"; :data:`FOREGROUND_STATES` / :data:`BACKGROUND_STATES` encode
+that grouping. A sixth pseudo-state ``NOT_RUNNING`` marks periods where
+the process does not exist at all (relevant for the what-if kill policy).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.errors import TraceError
+
+
+class ProcessState(IntEnum):
+    """Android process importance buckets, plus ``NOT_RUNNING``."""
+
+    FOREGROUND = 0
+    VISIBLE = 1
+    PERCEPTIBLE = 2
+    SERVICE = 3
+    BACKGROUND = 4
+    NOT_RUNNING = 5
+
+
+#: The paper's "foreground" group (main or secondary UI visible).
+FOREGROUND_STATES = frozenset({ProcessState.FOREGROUND, ProcessState.VISIBLE})
+
+#: The paper's "background" group.
+BACKGROUND_STATES = frozenset(
+    {ProcessState.PERCEPTIBLE, ProcessState.SERVICE, ProcessState.BACKGROUND}
+)
+
+
+def is_foreground(state: ProcessState) -> bool:
+    """True when ``state`` is in the paper's foreground group."""
+    return state in FOREGROUND_STATES
+
+
+def is_background(state: ProcessState) -> bool:
+    """True when ``state`` is in the paper's background group."""
+    return state in BACKGROUND_STATES
+
+
+@dataclass(frozen=True)
+class ProcessStateEvent:
+    """App ``app`` transitioned to process state ``state`` at ``timestamp``."""
+
+    timestamp: float
+    app: int
+    state: ProcessState
+
+
+@dataclass(frozen=True)
+class ScreenEvent:
+    """The screen turned on (``on=True``) or off at ``timestamp``."""
+
+    timestamp: float
+    on: bool
+
+
+@dataclass(frozen=True)
+class UserInputEvent:
+    """The user interacted with app ``app`` at ``timestamp``."""
+
+    timestamp: float
+    app: int
+
+
+class EventLog:
+    """Time-ordered container for the three event streams of one device.
+
+    Events may be appended in any order; the log sorts lazily on first
+    read access and stays sorted afterwards.
+    """
+
+    def __init__(
+        self,
+        process_events: Iterable[ProcessStateEvent] = (),
+        screen_events: Iterable[ScreenEvent] = (),
+        input_events: Iterable[UserInputEvent] = (),
+    ) -> None:
+        self._process: List[ProcessStateEvent] = list(process_events)
+        self._screen: List[ScreenEvent] = list(screen_events)
+        self._input: List[UserInputEvent] = list(input_events)
+        self._sorted = False
+        self._by_app: Optional[dict] = None
+
+    def add_process_event(self, event: ProcessStateEvent) -> None:
+        """Append a process-state transition."""
+        self._process.append(event)
+        self._sorted = False
+        self._by_app = None
+
+    def add_screen_event(self, event: ScreenEvent) -> None:
+        """Append a screen on/off transition."""
+        self._screen.append(event)
+        self._sorted = False
+
+    def add_input_event(self, event: UserInputEvent) -> None:
+        """Append a user-input event."""
+        self._input.append(event)
+        self._sorted = False
+
+    def extend_process_events(self, events: Iterable[ProcessStateEvent]) -> None:
+        """Append many process-state transitions at once."""
+        self._process.extend(events)
+        self._sorted = False
+        self._by_app = None
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._process.sort(key=lambda e: e.timestamp)
+            self._screen.sort(key=lambda e: e.timestamp)
+            self._input.sort(key=lambda e: e.timestamp)
+            self._sorted = True
+
+    @property
+    def process_events(self) -> Sequence[ProcessStateEvent]:
+        """All process-state events, time-ordered."""
+        self._ensure_sorted()
+        return self._process
+
+    @property
+    def screen_events(self) -> Sequence[ScreenEvent]:
+        """All screen events, time-ordered."""
+        self._ensure_sorted()
+        return self._screen
+
+    @property
+    def input_events(self) -> Sequence[UserInputEvent]:
+        """All user-input events, time-ordered."""
+        self._ensure_sorted()
+        return self._input
+
+    def process_events_for_app(self, app: int) -> Sequence[ProcessStateEvent]:
+        """Time-ordered process-state events of a single app."""
+        self._ensure_sorted()
+        if self._by_app is None:
+            by_app: dict = {}
+            for event in self._process:
+                by_app.setdefault(event.app, []).append(event)
+            self._by_app = by_app
+        return self._by_app.get(app, [])
+
+    def apps(self) -> List[int]:
+        """Sorted ids of all apps appearing in the process-event stream."""
+        return sorted({e.app for e in self.process_events})
+
+    def screen_on_at(self, timestamp: float) -> bool:
+        """Screen state at ``timestamp`` (``False`` before any event)."""
+        events = self.screen_events
+        times = [e.timestamp for e in events]
+        idx = bisect.bisect_right(times, timestamp) - 1
+        if idx < 0:
+            return False
+        return events[idx].on
+
+    def merge(self, other: "EventLog") -> "EventLog":
+        """Return a new log with the union of both logs' events."""
+        return EventLog(
+            list(self.process_events) + list(other.process_events),
+            list(self.screen_events) + list(other.screen_events),
+            list(self.input_events) + list(other.input_events),
+        )
+
+    def validate(self) -> None:
+        """Raise :class:`TraceError` on negative timestamps."""
+        for stream in (self.process_events, self.screen_events, self.input_events):
+            for event in stream:
+                if event.timestamp < 0:
+                    raise TraceError(
+                        f"event has negative timestamp: {event!r}"
+                    )
+
+    def __len__(self) -> int:
+        return len(self._process) + len(self._screen) + len(self._input)
+
+    def __iter__(self) -> Iterator:
+        """Iterate over all events of every stream in time order."""
+        self._ensure_sorted()
+        merged = list(self._process) + list(self._screen) + list(self._input)
+        merged.sort(key=lambda e: e.timestamp)
+        return iter(merged)

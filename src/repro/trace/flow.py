@@ -1,0 +1,149 @@
+"""Flow reconstruction.
+
+The paper reports several per-flow metrics (Table 1: J/flow, MB/flow). A
+*flow* here is the trace-level analogue of a transport connection: the
+packets sharing an ``(app, conn)`` pair, split whenever the connection is
+silent for longer than ``gap_timeout`` (TCP connections in the traces are
+torn down or NATed out long before that).
+
+Reconstruction is fully vectorised: one lexsort plus boundary detection,
+so million-packet traces reconstruct in tens of milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.arrays import PacketArray
+from repro.trace.packet import Direction
+
+#: Default flow idle timeout in seconds.
+DEFAULT_GAP_TIMEOUT = 60.0
+
+
+@dataclass(frozen=True)
+class Flow:
+    """Aggregate view of one reconstructed flow."""
+
+    flow_id: int
+    app: int
+    conn: int
+    start: float
+    end: float
+    packets: int
+    bytes_up: int
+    bytes_down: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes in both directions."""
+        return self.bytes_up + self.bytes_down
+
+    @property
+    def duration(self) -> float:
+        """Seconds between first and last packet of the flow."""
+        return self.end - self.start
+
+
+class FlowTable:
+    """All flows of a trace, with per-app lookup."""
+
+    def __init__(self, flows: List[Flow]) -> None:
+        self._flows = flows
+        self._by_app: Dict[int, List[Flow]] = {}
+        for flow in flows:
+            self._by_app.setdefault(flow.app, []).append(flow)
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def __iter__(self) -> Iterator[Flow]:
+        return iter(self._flows)
+
+    def __getitem__(self, flow_id: int) -> Flow:
+        # Flow ids are dense and 1-based (0 is the "no flow" sentinel).
+        if not 1 <= flow_id <= len(self._flows):
+            raise KeyError(flow_id)
+        return self._flows[flow_id - 1]
+
+    def for_app(self, app: int) -> List[Flow]:
+        """Flows belonging to one app."""
+        return self._by_app.get(app, [])
+
+    def count_for_app(self, app: int) -> int:
+        """Number of flows belonging to one app."""
+        return len(self._by_app.get(app, []))
+
+
+def reconstruct_flows(
+    packets: PacketArray,
+    gap_timeout: float = DEFAULT_GAP_TIMEOUT,
+) -> FlowTable:
+    """Assign flow ids to ``packets`` (in place) and return the table.
+
+    Packets must be time-sorted. Flow ids are dense, 1-based, and
+    ordered by each flow's first packet in the sorted-by-(app, conn)
+    ordering.
+    """
+    if gap_timeout <= 0:
+        raise TraceError(f"gap_timeout must be positive, got {gap_timeout}")
+    if not packets.is_time_sorted():
+        raise TraceError("packets must be time-sorted before flow reconstruction")
+    n = len(packets)
+    if n == 0:
+        return FlowTable([])
+
+    ts = packets.timestamps
+    apps = packets.apps.astype(np.int64)
+    conns = packets.conns.astype(np.int64)
+    sizes = packets.sizes.astype(np.int64)
+    dirs = packets.directions
+
+    # Group by (app, conn) then time; within the stable sort the packets
+    # of each connection remain chronological.
+    order = np.lexsort((ts, conns, apps))
+    s_apps = apps[order]
+    s_conns = conns[order]
+    s_ts = ts[order]
+
+    new_group = np.empty(n, dtype=bool)
+    new_group[0] = True
+    new_group[1:] = (
+        (s_apps[1:] != s_apps[:-1])
+        | (s_conns[1:] != s_conns[:-1])
+        | ((s_ts[1:] - s_ts[:-1]) > gap_timeout)
+    )
+    flow_ids_sorted = np.cumsum(new_group)  # 1-based dense ids
+    flow_ids = np.empty(n, dtype=np.uint32)
+    flow_ids[order] = flow_ids_sorted
+    packets.data["flow"] = flow_ids
+
+    n_flows = int(flow_ids_sorted[-1])
+    starts = np.flatnonzero(new_group)
+    ends = np.append(starts[1:], n)
+
+    s_sizes = sizes[order]
+    s_dirs = dirs[order]
+    up_sizes = np.where(s_dirs == int(Direction.UPLINK), s_sizes, 0)
+    down_sizes = np.where(s_dirs == int(Direction.DOWNLINK), s_sizes, 0)
+    bytes_up = np.add.reduceat(up_sizes, starts)
+    bytes_down = np.add.reduceat(down_sizes, starts)
+
+    flows = [
+        Flow(
+            flow_id=i + 1,
+            app=int(s_apps[starts[i]]),
+            conn=int(s_conns[starts[i]]),
+            start=float(s_ts[starts[i]]),
+            end=float(s_ts[ends[i] - 1]),
+            packets=int(ends[i] - starts[i]),
+            bytes_up=int(bytes_up[i]),
+            bytes_down=int(bytes_down[i]),
+        )
+        for i in range(n_flows)
+    ]
+    return FlowTable(flows)

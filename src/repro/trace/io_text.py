@@ -1,0 +1,238 @@
+"""Text (CSV) interchange for traces.
+
+The synthetic generator is a stand-in for real collection software; a
+downstream user with actual packet/process logs (tcpdump + procfs, the
+paper's own pipeline) can feed them to every analysis through this
+module. Two simple CSV schemas:
+
+Packets — header ``timestamp,size,direction,app,conn``::
+
+    12.531,1448,down,com.android.chrome,17
+    12.540,60,up,com.android.chrome,17
+
+``direction`` accepts ``up``/``down``/``uplink``/``downlink``/``0``/``1``.
+
+Events — header ``timestamp,kind,app,value``::
+
+    10.0,process,com.android.chrome,foreground
+    95.2,process,com.android.chrome,background
+    95.2,screen,,off
+    12.0,input,com.android.chrome,
+
+Process-state values are the :class:`~repro.trace.events.ProcessState`
+names (case-insensitive); screen values are ``on``/``off``.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.arrays import PacketArray
+from repro.trace.dataset import AppRegistry, Dataset
+from repro.trace.events import (
+    EventLog,
+    ProcessState,
+    ProcessStateEvent,
+    ScreenEvent,
+    UserInputEvent,
+)
+from repro.trace.packet import Direction
+from repro.trace.trace import UserTrace
+
+PathLike = Union[str, Path]
+
+_DIRECTIONS = {
+    "up": Direction.UPLINK,
+    "uplink": Direction.UPLINK,
+    "0": Direction.UPLINK,
+    "down": Direction.DOWNLINK,
+    "downlink": Direction.DOWNLINK,
+    "1": Direction.DOWNLINK,
+}
+
+
+def _parse_direction(token: str) -> Direction:
+    try:
+        return _DIRECTIONS[token.strip().lower()]
+    except KeyError:
+        raise TraceError(f"unknown packet direction {token!r}") from None
+
+
+def _app_id(registry: AppRegistry, name: str) -> int:
+    name = name.strip()
+    if not name:
+        raise TraceError("packet/event row with empty app name")
+    if name in registry:
+        return registry.id_of(name)
+    return registry.register(name).app_id
+
+
+def read_packets_csv(path: PathLike, registry: AppRegistry) -> PacketArray:
+    """Read a packets CSV, registering unseen app names.
+
+    Returns a time-sorted :class:`PacketArray`.
+    """
+    times: List[float] = []
+    sizes: List[int] = []
+    directions: List[int] = []
+    apps: List[int] = []
+    conns: List[int] = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        required = {"timestamp", "size", "direction", "app"}
+        if reader.fieldnames is None or not required.issubset(reader.fieldnames):
+            raise TraceError(
+                f"packets CSV must have columns {sorted(required)}, got "
+                f"{reader.fieldnames}"
+            )
+        for row in reader:
+            times.append(float(row["timestamp"]))
+            sizes.append(int(row["size"]))
+            directions.append(int(_parse_direction(row["direction"])))
+            apps.append(_app_id(registry, row["app"]))
+            conns.append(int(row.get("conn") or 0))
+    packets = PacketArray.from_columns(
+        np.array(times),
+        np.array(sizes, dtype=np.uint32),
+        np.array(directions, dtype=np.uint8),
+        np.array(apps, dtype=np.uint16),
+        np.array(conns, dtype=np.uint32),
+    )
+    return packets.sorted_by_time()
+
+
+def read_events_csv(path: PathLike, registry: AppRegistry) -> EventLog:
+    """Read an events CSV (process/screen/input streams)."""
+    log = EventLog()
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        required = {"timestamp", "kind"}
+        if reader.fieldnames is None or not required.issubset(reader.fieldnames):
+            raise TraceError(
+                f"events CSV must have columns {sorted(required)}, got "
+                f"{reader.fieldnames}"
+            )
+        for row in reader:
+            timestamp = float(row["timestamp"])
+            kind = row["kind"].strip().lower()
+            if kind == "process":
+                state_name = (row.get("value") or "").strip().upper()
+                try:
+                    state = ProcessState[state_name]
+                except KeyError:
+                    raise TraceError(
+                        f"unknown process state {row.get('value')!r}"
+                    ) from None
+                log.add_process_event(
+                    ProcessStateEvent(
+                        timestamp, _app_id(registry, row.get("app") or ""), state
+                    )
+                )
+            elif kind == "screen":
+                value = (row.get("value") or "").strip().lower()
+                if value not in ("on", "off"):
+                    raise TraceError(f"screen value must be on/off, got {value!r}")
+                log.add_screen_event(ScreenEvent(timestamp, value == "on"))
+            elif kind == "input":
+                log.add_input_event(
+                    UserInputEvent(
+                        timestamp, _app_id(registry, row.get("app") or "")
+                    )
+                )
+            else:
+                raise TraceError(f"unknown event kind {row['kind']!r}")
+    return log
+
+
+def dataset_from_csv(
+    user_files: Sequence[Tuple[PathLike, Optional[PathLike]]],
+    duration: Optional[float] = None,
+    registry: Optional[AppRegistry] = None,
+) -> Dataset:
+    """Build a dataset from per-user (packets CSV, events CSV) pairs.
+
+    Args:
+        user_files: One ``(packets_csv, events_csv_or_None)`` per user;
+            user ids are assigned 1..N in order.
+        duration: Observation window length; defaults to the latest
+            packet/event time across users, rounded up to a whole day.
+        registry: Existing registry to extend; a fresh one by default.
+
+    Packets are state-labelled from the event streams before return.
+    """
+    if not user_files:
+        raise TraceError("at least one user is required")
+    registry = registry if registry is not None else AppRegistry()
+    parsed: List[Tuple[PacketArray, EventLog]] = []
+    horizon = 0.0
+    for packets_path, events_path in user_files:
+        packets = read_packets_csv(packets_path, registry)
+        events = (
+            read_events_csv(events_path, registry)
+            if events_path is not None
+            else EventLog()
+        )
+        if len(packets):
+            horizon = max(horizon, float(packets.timestamps[-1]))
+        for event in events:
+            horizon = max(horizon, event.timestamp)
+        parsed.append((packets, events))
+    if duration is None:
+        duration = float(np.ceil(horizon / 86400.0) * 86400.0) or 86400.0
+    users = [
+        UserTrace(uid, 0.0, duration, packets, events)
+        for uid, (packets, events) in enumerate(parsed, start=1)
+    ]
+    dataset = Dataset(registry, users, metadata={"source": "csv"})
+    dataset.label_states()
+    return dataset
+
+
+def write_packets_csv(
+    path: PathLike, packets: PacketArray, registry: AppRegistry
+) -> None:
+    """Write a packets CSV readable by :func:`read_packets_csv`."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["timestamp", "size", "direction", "app", "conn"])
+        for rec in packets.data:
+            writer.writerow(
+                [
+                    repr(float(rec["timestamp"])),
+                    int(rec["size"]),
+                    "up" if int(rec["direction"]) == int(Direction.UPLINK) else "down",
+                    registry.name_of(int(rec["app"])),
+                    int(rec["conn"]),
+                ]
+            )
+
+
+def write_events_csv(
+    path: PathLike, events: EventLog, registry: AppRegistry
+) -> None:
+    """Write an events CSV readable by :func:`read_events_csv`."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["timestamp", "kind", "app", "value"])
+        for event in events.process_events:
+            writer.writerow(
+                [
+                    repr(event.timestamp),
+                    "process",
+                    registry.name_of(event.app),
+                    event.state.name.lower(),
+                ]
+            )
+        for event in events.screen_events:
+            writer.writerow(
+                [repr(event.timestamp), "screen", "", "on" if event.on else "off"]
+            )
+        for event in events.input_events:
+            writer.writerow(
+                [repr(event.timestamp), "input", registry.name_of(event.app), ""]
+            )

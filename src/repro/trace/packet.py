@@ -1,0 +1,63 @@
+"""Single-packet representation.
+
+The object form defined here is the convenient API for small traces,
+tests and examples. Large traces use the columnar
+:class:`~repro.trace.arrays.PacketArray`; the two forms convert losslessly
+into each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from repro.errors import TraceError
+
+
+class Direction(IntEnum):
+    """Direction of a packet relative to the device."""
+
+    UPLINK = 0
+    DOWNLINK = 1
+
+
+#: Sentinel connection id for packets not associated with any connection.
+NO_CONNECTION = 0
+
+#: Sentinel flow id meaning "flows not reconstructed yet".
+NO_FLOW = 0
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One captured packet.
+
+    Attributes:
+        timestamp: Capture time in seconds since the start of the study.
+        size: Payload plus header size in bytes (must be positive).
+        direction: Uplink or downlink.
+        app: Numeric app id, resolved through the
+            :class:`~repro.trace.dataset.AppRegistry`.
+        conn: Connection id; packets of the same logical transport
+            connection share a ``conn``. ``NO_CONNECTION`` when unknown.
+        flow: Flow id assigned by
+            :func:`~repro.trace.flow.reconstruct_flows`; ``NO_FLOW``
+            before reconstruction.
+    """
+
+    timestamp: float
+    size: int
+    direction: Direction
+    app: int
+    conn: int = NO_CONNECTION
+    flow: int = field(default=NO_FLOW, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise TraceError(f"packet size must be positive, got {self.size}")
+        if self.timestamp < 0:
+            raise TraceError(
+                f"packet timestamp must be non-negative, got {self.timestamp}"
+            )
+        if self.app < 0:
+            raise TraceError(f"app id must be non-negative, got {self.app}")

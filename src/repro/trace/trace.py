@@ -1,0 +1,91 @@
+"""Per-user trace container."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import units
+from repro.errors import TraceError
+from repro.trace.arrays import PacketArray
+from repro.trace.events import EventLog, ProcessState
+from repro.trace.flow import FlowTable, reconstruct_flows
+from repro.trace.intervals import label_packet_states
+
+
+class UserTrace:
+    """Everything collected from one device: packets plus event streams.
+
+    Mirrors the paper's per-user collection: complete (cellular) packet
+    traces, user input events and process-state context over
+    ``[start, end)`` seconds of study time.
+    """
+
+    def __init__(
+        self,
+        user_id: int,
+        start: float,
+        end: float,
+        packets: PacketArray,
+        events: EventLog,
+    ) -> None:
+        if end < start:
+            raise TraceError(f"trace end {end} before start {start}")
+        self.user_id = user_id
+        self.start = start
+        self.end = end
+        self.packets = packets if packets.is_time_sorted() else packets.sorted_by_time()
+        self.events = events
+        self._flows: Optional[FlowTable] = None
+
+    @property
+    def duration(self) -> float:
+        """Observation window length in seconds."""
+        return self.end - self.start
+
+    @property
+    def duration_days(self) -> float:
+        """Observation window length in days."""
+        return units.days(self.duration)
+
+    def label_states(
+        self, default_state: ProcessState = ProcessState.SERVICE
+    ) -> np.ndarray:
+        """Label every packet with its app's process state (in place)."""
+        return label_packet_states(self.packets, self.events, default_state)
+
+    def flows(self, gap_timeout: float = 60.0) -> FlowTable:
+        """Reconstruct (and cache) the trace's flow table."""
+        if self._flows is None:
+            self._flows = reconstruct_flows(self.packets, gap_timeout)
+        return self._flows
+
+    def invalidate_flows(self) -> None:
+        """Drop the cached flow table (after mutating packets)."""
+        self._flows = None
+
+    def packets_for_app(self, app: int) -> PacketArray:
+        """Packets of a single app."""
+        return self.packets.for_app(app)
+
+    def app_ids(self) -> list:
+        """Sorted ids of apps with at least one packet."""
+        return sorted(int(a) for a in np.unique(self.packets.apps))
+
+    def validate(self) -> None:
+        """Structural validation of packets and events."""
+        self.packets.validate()
+        self.events.validate()
+        ts = self.packets.timestamps
+        if len(ts) and (ts[0] < self.start or ts[-1] > self.end):
+            raise TraceError(
+                f"user {self.user_id}: packets outside trace window "
+                f"[{self.start}, {self.end}]"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"UserTrace(user={self.user_id}, days={self.duration_days:.1f}, "
+            f"packets={len(self.packets)})"
+        )

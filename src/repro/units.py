@@ -1,0 +1,83 @@
+"""Unit constants and small conversion helpers.
+
+Internally the library uses SI base units throughout:
+
+* time        -- seconds (``float``)
+* energy      -- joules
+* power       -- watts
+* data volume -- bytes
+* throughput  -- bytes per second
+
+The helpers below exist so that analysis and reporting code can convert to
+the units the paper reports (J/day, J/flow, MB/flow, J/MB) without magic
+numbers scattered around.
+"""
+
+from __future__ import annotations
+
+#: Seconds in one minute / hour / day.
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+
+#: Bytes in one kilobyte / megabyte / gigabyte (SI, as used by the paper).
+KB = 1e3
+MB = 1e6
+GB = 1e9
+
+#: Milliwatts to watts, milliseconds to seconds.
+MILLI = 1e-3
+
+
+def mw(milliwatts: float) -> float:
+    """Convert milliwatts to watts."""
+    return milliwatts * MILLI
+
+
+def ms(milliseconds: float) -> float:
+    """Convert milliseconds to seconds."""
+    return milliseconds * MILLI
+
+
+def joules_per_megabyte(joules: float, volume_bytes: float) -> float:
+    """Energy efficiency in J/MB, the paper's "Avg. J/B" column.
+
+    Returns ``0.0`` when no bytes were transferred, mirroring how the
+    paper leaves such cells empty rather than undefined.
+    """
+    if volume_bytes <= 0:
+        return 0.0
+    return joules / (volume_bytes / MB)
+
+
+def bytes_to_mb(volume_bytes: float) -> float:
+    """Convert bytes to megabytes (SI)."""
+    return volume_bytes / MB
+
+
+def days(seconds: float) -> float:
+    """Convert seconds to (fractional) days."""
+    return seconds / DAY
+
+
+def per_day(total: float, duration_seconds: float) -> float:
+    """Normalise ``total`` to a per-day rate over ``duration_seconds``."""
+    if duration_seconds <= 0:
+        return 0.0
+    return total / (duration_seconds / DAY)
+
+
+#: Usable energy of the study device's battery (Samsung Galaxy S III:
+#: 2100 mAh at 3.8 V nominal), joules.
+GALAXY_S3_BATTERY_J = 2.1 * 3.8 * 3600.0
+
+
+def battery_fraction(joules: float, battery_joules: float = GALAXY_S3_BATTERY_J) -> float:
+    """Fraction of a full battery that ``joules`` represents.
+
+    Puts radio energy in the units users feel: Weibo's ~2.5 kJ/day of
+    background radio energy is ~9% of a Galaxy S III charge every day.
+    """
+    if battery_joules <= 0:
+        return 0.0
+    return joules / battery_joules

@@ -1,0 +1,74 @@
+"""Synthetic study generation.
+
+The paper's raw input — 22 months of packet traces from 20 real users —
+is not redistributable, so this package generates a synthetic study with
+the same *structure*: a catalog of 342 apps (including every named
+case-study app, parameterised from Table 1 and §4 of the paper), per-user
+app installation and usage patterns, foreground sessions, process-state
+event streams, and the traffic each app class emits (periodic updates,
+push keepalives, streaming batches, podcast downloads, browser pages that
+keep polling after the app is backgrounded, post-session sync flushes).
+
+Everything is deterministic under a seed: the same
+:class:`~repro.workload.generator.StudyConfig` always produces the same
+:class:`~repro.trace.dataset.Dataset`.
+"""
+
+from repro.workload.behavior import (
+    Behavior,
+    PacketBlock,
+    TrafficContext,
+    synthesize_bursts,
+)
+from repro.workload.behaviors import (
+    BulkDownloadBehavior,
+    ForegroundSessionBehavior,
+    LingeringForegroundBehavior,
+    PeriodicUpdateBehavior,
+    PostSessionSyncBehavior,
+    PushNotificationBehavior,
+    StreamingBehavior,
+)
+from repro.workload.appprofile import (
+    AppProfile,
+    BehaviorSchedule,
+    UsagePattern,
+)
+from repro.workload.catalog import build_catalog, CatalogConfig
+from repro.workload.usermodel import UserConfig, UserModel
+from repro.workload.generator import StudyConfig, StudyGenerator, generate_study
+from repro.workload.scenarios import (
+    available_scenarios,
+    bench_scale,
+    get_scenario,
+    paper_scale,
+    smoke_scale,
+)
+
+__all__ = [
+    "AppProfile",
+    "Behavior",
+    "BehaviorSchedule",
+    "BulkDownloadBehavior",
+    "CatalogConfig",
+    "ForegroundSessionBehavior",
+    "LingeringForegroundBehavior",
+    "PacketBlock",
+    "PeriodicUpdateBehavior",
+    "PostSessionSyncBehavior",
+    "PushNotificationBehavior",
+    "StreamingBehavior",
+    "StudyConfig",
+    "StudyGenerator",
+    "TrafficContext",
+    "UsagePattern",
+    "UserConfig",
+    "UserModel",
+    "available_scenarios",
+    "bench_scale",
+    "build_catalog",
+    "generate_study",
+    "get_scenario",
+    "paper_scale",
+    "smoke_scale",
+]

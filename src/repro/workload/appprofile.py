@@ -1,0 +1,166 @@
+"""App profiles: behaviours plus usage characteristics.
+
+An :class:`AppProfile` is the static description of one app in the
+catalog — which traffic behaviours it runs in which process states, how
+its behaviour evolved over the study (Table 1's "5 min => 1 h" entries),
+and how users tend to use it (drives the foreground-session and
+idle-days structure that §5's what-if analysis depends on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.workload.behavior import Behavior
+
+
+@dataclass(frozen=True)
+class BehaviorSchedule:
+    """A behaviour active during a fraction of the study.
+
+    Longitudinal behaviour changes (Facebook's background period going
+    from 5 minutes to 1 hour mid-study) are expressed as two schedule
+    entries over complementary study fractions, so the same profile
+    works at any study duration.
+    """
+
+    behavior: Behavior
+    start_fraction: float = 0.0
+    end_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start_fraction < self.end_fraction <= 1.0:
+            raise WorkloadError(
+                "schedule fractions must satisfy 0 <= start < end <= 1, got "
+                f"[{self.start_fraction}, {self.end_fraction}]"
+            )
+
+    def window(self, study_duration: float) -> Tuple[float, float]:
+        """Absolute (start, end) seconds of this schedule entry."""
+        return (
+            self.start_fraction * study_duration,
+            self.end_fraction * study_duration,
+        )
+
+
+def evolving(
+    before: Behavior, after: Behavior, switch_fraction: float = 0.5
+) -> List[BehaviorSchedule]:
+    """Two schedule entries modelling a mid-study behaviour change."""
+    return [
+        BehaviorSchedule(before, 0.0, switch_fraction),
+        BehaviorSchedule(after, switch_fraction, 1.0),
+    ]
+
+
+@dataclass(frozen=True)
+class UsagePattern:
+    """How users interact with an app over time.
+
+    Attributes:
+        active_day_probability: Chance any given day has foreground use
+            (1.0 = daily app; 0.05 = opened every few weeks). Low values
+            create the long background-only stretches of Table 2.
+        sessions_per_active_day: Mean foreground sessions on active days.
+        session_minutes: Mean session length, minutes.
+        playback_minutes_per_active_day: Mean minutes of perceptible
+            (audio playback) use on active days; 0 for non-media apps.
+    """
+
+    active_day_probability: float = 1.0
+    sessions_per_active_day: float = 3.0
+    session_minutes: float = 4.0
+    playback_minutes_per_active_day: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.active_day_probability <= 1.0:
+            raise WorkloadError(
+                "active_day_probability must be in (0, 1], got "
+                f"{self.active_day_probability}"
+            )
+        if self.sessions_per_active_day <= 0:
+            raise WorkloadError("sessions_per_active_day must be positive")
+        if self.session_minutes <= 0:
+            raise WorkloadError("session_minutes must be positive")
+        if self.playback_minutes_per_active_day < 0:
+            raise WorkloadError("playback_minutes_per_active_day must be >= 0")
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """Complete static description of one app.
+
+    Attributes:
+        name: Package-style app name (unique in the catalog).
+        category: App class ("social", "browser", "widget", ...).
+        install_probability: Chance a given user has the app installed.
+        popularity: Relative weight used when reporting "popular" apps;
+            higher = appears on more users' devices with more use.
+        usage: Foreground/playback usage pattern.
+        foreground: Behaviour during foreground sessions, if any.
+        background: Scheduled behaviours while running in the background
+            (periodic updates, push keepalives, podcast downloads).
+        on_background: Behaviours triggered by each foreground ->
+            background transition (post-session sync, lingering pages).
+        perceptible: Behaviour during audio-playback (perceptible)
+            sessions, if any.
+        runs_as_service: Whether the backgrounded process holds a
+            service (labels packets SERVICE vs BACKGROUND in Fig 3).
+        background_survival_days: Mean days the process survives in the
+            background before the OS or user kills it.
+        background_screen_on_only: Restrict scheduled background
+            behaviours to screen-on time (widgets refresh when the home
+            screen is visible — why the Accuweather *widget* is an order
+            of magnitude cheaper than the Accuweather *app* in Table 1).
+        autostarts: The process starts at boot and is restarted by the
+            OS, so it runs in the background from day one regardless of
+            whether the user ever opens it (push services, mail sync,
+            pre-installed widgets — and Weibo's notorious resident
+            service). Such apps are never reaped by memory pressure;
+            only §5's explicit kill policy stops their traffic.
+    """
+
+    name: str
+    category: str
+    install_probability: float = 0.5
+    popularity: float = 1.0
+    usage: UsagePattern = field(default_factory=UsagePattern)
+    foreground: Optional[Behavior] = None
+    background: Tuple[BehaviorSchedule, ...] = ()
+    on_background: Tuple[Behavior, ...] = ()
+    perceptible: Optional[Behavior] = None
+    runs_as_service: bool = False
+    background_survival_days: float = 2.0
+    background_screen_on_only: bool = False
+    autostarts: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("app name must be non-empty")
+        if not 0.0 <= self.install_probability <= 1.0:
+            raise WorkloadError(
+                f"install_probability must be in [0, 1]: {self.install_probability}"
+            )
+        if self.popularity <= 0:
+            raise WorkloadError(f"popularity must be positive: {self.popularity}")
+        if self.background_survival_days <= 0:
+            raise WorkloadError(
+                "background_survival_days must be positive: "
+                f"{self.background_survival_days}"
+            )
+
+    @property
+    def has_background_traffic(self) -> bool:
+        """True when the app emits any traffic while backgrounded."""
+        return bool(self.background or self.on_background)
+
+    def active_background(
+        self, study_duration: float
+    ) -> List[Tuple[float, float, Behavior]]:
+        """Scheduled background behaviours as absolute-time windows."""
+        return [
+            (*entry.window(study_duration), entry.behavior)
+            for entry in self.background
+        ]

@@ -1,0 +1,41 @@
+"""Concrete traffic behaviours.
+
+Each class models one traffic pattern the paper documents:
+
+* :class:`PeriodicUpdateBehavior` -- timer-driven background updates
+  (social media sync, widget refresh, location reporting, chunked
+  podcast downloads). §4.2's main subject.
+* :class:`PushNotificationBehavior` -- persistent-connection keepalives
+  plus occasional real pushes (Samsung Push, Urbanairship, GCM-style).
+* :class:`StreamingBehavior` -- batched media downloads while audibly
+  playing (Spotify/Pandora in the perceptible state).
+* :class:`BulkDownloadBehavior` -- one large download at the start of an
+  activity window (Pocketcasts' whole-episode strategy).
+* :class:`ForegroundSessionBehavior` -- interactive traffic while the
+  user drives the app.
+* :class:`PostSessionSyncBehavior` -- a flush/sync burst right after the
+  app is backgrounded; the dominant background pattern for most apps
+  (§4.1: >80% of background bytes in the first minute for 84% of apps).
+* :class:`LingeringForegroundBehavior` -- foreground-initiated traffic
+  that fails to stop after backgrounding (Chrome's auto-refreshing web
+  pages), persisting for minutes to days. §4.1's new finding.
+"""
+
+from repro.workload.behaviors.periodic import PeriodicUpdateBehavior
+from repro.workload.behaviors.push import PushNotificationBehavior
+from repro.workload.behaviors.streaming import StreamingBehavior, BulkDownloadBehavior
+from repro.workload.behaviors.foreground import ForegroundSessionBehavior
+from repro.workload.behaviors.lingering import (
+    LingeringForegroundBehavior,
+    PostSessionSyncBehavior,
+)
+
+__all__ = [
+    "BulkDownloadBehavior",
+    "ForegroundSessionBehavior",
+    "LingeringForegroundBehavior",
+    "PeriodicUpdateBehavior",
+    "PostSessionSyncBehavior",
+    "PushNotificationBehavior",
+    "StreamingBehavior",
+]

@@ -1,0 +1,89 @@
+"""Interactive foreground traffic.
+
+While the user drives the app, requests follow interaction: bursts every
+few seconds to tens of seconds, sizes spanning small API calls to page
+loads. Foreground traffic is subject to user-perceived latency, so apps
+have no freedom to batch it — the paper's reason for focusing its
+optimisation attention on background traffic instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workload.behavior import (
+    Behavior,
+    PacketBlock,
+    TrafficContext,
+    poisson_times,
+    synthesize_bursts,
+)
+
+
+@dataclass
+class ForegroundSessionBehavior(Behavior):
+    """Request bursts driven by user interaction.
+
+    Attributes:
+        burst_mean_interval: Mean seconds between interaction bursts.
+        bytes_per_burst: Mean bytes per burst (page load / API call).
+        size_sigma: Lognormal sigma of burst sizes (page loads vary a
+            lot more than periodic updates do).
+        conns_per_session: Distinct connections a session spreads over.
+    """
+
+    burst_mean_interval: float = 15.0
+    bytes_per_burst: float = 80_000.0
+    size_sigma: float = 1.0
+    conns_per_session: int = 3
+
+    def __post_init__(self) -> None:
+        if self.burst_mean_interval <= 0:
+            raise WorkloadError(
+                f"burst_mean_interval must be positive: {self.burst_mean_interval}"
+            )
+        if self.bytes_per_burst <= 0:
+            raise WorkloadError(
+                f"bytes_per_burst must be positive: {self.bytes_per_burst}"
+            )
+        if self.conns_per_session < 1:
+            raise WorkloadError(
+                f"conns_per_session must be >= 1: {self.conns_per_session}"
+            )
+
+    def generate(
+        self,
+        start: float,
+        end: float,
+        ctx: TrafficContext,
+        rng: np.random.Generator,
+    ) -> PacketBlock:
+        times = poisson_times(start, end, self.burst_mean_interval, rng)
+        # Sessions always open with at least one burst (launch fetch).
+        if len(times) == 0 and end > start:
+            times = np.array([start + min(1.0, (end - start) / 2)])
+        if len(times) == 0:
+            return PacketBlock.empty()
+        sizes = self.bytes_per_burst * rng.lognormal(
+            mean=-0.5 * self.size_sigma**2, sigma=self.size_sigma, size=len(times)
+        )
+        base = ctx.conns.take(self.conns_per_session)
+        conns = base + rng.integers(0, self.conns_per_session, size=len(times))
+        return synthesize_bursts(
+            times,
+            sizes,
+            conns.astype(np.uint32),
+            rng,
+            packets_per_burst=4,
+            up_fraction=0.08,
+            spread=2.0,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"foreground(every~{self.burst_mean_interval:g}s, "
+            f"bytes~{self.bytes_per_burst:g})"
+        )

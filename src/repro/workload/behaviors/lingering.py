@@ -1,0 +1,177 @@
+"""Traffic around the foreground -> background transition.
+
+Two distinct phenomena §4.1 separates:
+
+* :class:`PostSessionSyncBehavior` -- the legitimate flush right after
+  backgrounding (upload the draft, report analytics, finish the fetch).
+  Most apps' background traffic is only this, which is why "over 80% of
+  apps transmit more than 80% of their background data in the first
+  minute after the app is sent to a background state".
+* :class:`LingeringForegroundBehavior` -- the paper's new finding:
+  foreground-initiated transfers that simply never stop. Chrome lets
+  backgrounded pages keep issuing XHR polls ("a popular local transit
+  information webpage sends background requests roughly every 2
+  seconds, indefinitely"); persistence durations are heavy-tailed and
+  "in some cases background traffic flows persist for more than a day!"
+
+Both behaviours are invoked with the background episode's window: start
+is the transition instant, end is when the app returned to the
+foreground or was killed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workload.behavior import (
+    Behavior,
+    PacketBlock,
+    TrafficContext,
+    periodic_times,
+    synthesize_bursts,
+)
+
+
+@dataclass
+class PostSessionSyncBehavior(Behavior):
+    """A flush/sync burst shortly after the app is backgrounded.
+
+    Attributes:
+        sync_bytes: Mean bytes of the flush.
+        mean_delay: Mean seconds after the transition (exponential,
+            capped at 45 s so the burst lands inside the first minute).
+        probability: Chance a given transition triggers a flush.
+    """
+
+    sync_bytes: float = 40_000.0
+    mean_delay: float = 10.0
+    probability: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.sync_bytes <= 0:
+            raise WorkloadError(f"sync_bytes must be positive: {self.sync_bytes}")
+        if self.mean_delay <= 0:
+            raise WorkloadError(f"mean_delay must be positive: {self.mean_delay}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise WorkloadError(f"probability must be in [0, 1]: {self.probability}")
+
+    def generate(
+        self,
+        start: float,
+        end: float,
+        ctx: TrafficContext,
+        rng: np.random.Generator,
+    ) -> PacketBlock:
+        if end <= start or rng.random() > self.probability:
+            return PacketBlock.empty()
+        delay = min(float(rng.exponential(self.mean_delay)), 45.0)
+        t = start + delay
+        if t >= end:
+            return PacketBlock.empty()
+        size = self.sync_bytes * rng.lognormal(-0.1, 0.45)
+        conn = ctx.conns.take(1)
+        return synthesize_bursts(
+            np.array([t]),
+            size,
+            np.uint32(conn),
+            rng,
+            packets_per_burst=4,
+            up_fraction=0.4,  # flushes upload as much as they download
+        )
+
+    def describe(self) -> str:
+        return f"post-session-sync(bytes~{self.sync_bytes:g})"
+
+
+@dataclass
+class LingeringForegroundBehavior(Behavior):
+    """Foreground traffic that persists after backgrounding.
+
+    Persistence duration is lognormal (median ``median_duration``,
+    shape ``sigma``), producing the heavy tail of Fig 5 — most episodes
+    last minutes, a few last more than a day. While lingering, requests
+    fire every ``request_period`` seconds (auto-refresh, ad rotations,
+    analytics beacons).
+
+    Attributes:
+        probability: Chance a transition leaves lingering traffic (not
+            every Chrome session ends on an auto-refreshing page).
+        median_duration: Median persistence, seconds.
+        sigma: Lognormal shape; ~2.2 gives the paper's minutes-to-days
+            spread.
+        request_period: Seconds between lingering requests.
+        bytes_per_request: Mean bytes per lingering request.
+    """
+
+    probability: float = 0.35
+    median_duration: float = 180.0
+    sigma: float = 2.2
+    request_period: float = 30.0
+    bytes_per_request: float = 4_000.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise WorkloadError(f"probability must be in [0, 1]: {self.probability}")
+        if self.median_duration <= 0:
+            raise WorkloadError(
+                f"median_duration must be positive: {self.median_duration}"
+            )
+        if self.request_period <= 0:
+            raise WorkloadError(
+                f"request_period must be positive: {self.request_period}"
+            )
+        if self.bytes_per_request <= 0:
+            raise WorkloadError(
+                f"bytes_per_request must be positive: {self.bytes_per_request}"
+            )
+
+    def draw_duration(self, rng: np.random.Generator) -> float:
+        """Sample one persistence duration (seconds)."""
+        return float(
+            np.exp(np.log(self.median_duration) + self.sigma * rng.standard_normal())
+        )
+
+    def generate(
+        self,
+        start: float,
+        end: float,
+        ctx: TrafficContext,
+        rng: np.random.Generator,
+    ) -> PacketBlock:
+        if end <= start or rng.random() > self.probability:
+            return PacketBlock.empty()
+        stop = min(start + self.draw_duration(rng), end)
+        times = periodic_times(
+            start,
+            stop,
+            self.request_period,
+            rng,
+            jitter=0.1 * self.request_period,
+            phase=min(2.0, self.request_period),
+        )
+        if len(times) == 0:
+            return PacketBlock.empty()
+        sizes = self.bytes_per_request * rng.lognormal(-0.2, 0.6, size=len(times))
+        # Lingering flows reuse the page's connections for a long time:
+        # one connection per hour of lingering.
+        conn_slot = ((times - start) // 3600.0).astype(np.int64)
+        base = ctx.conns.take(int(conn_slot.max()) + 1)
+        return synthesize_bursts(
+            times,
+            sizes,
+            (base + conn_slot).astype(np.uint32),
+            rng,
+            packets_per_burst=3,
+            up_fraction=0.2,
+            spread=0.8,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"lingering(p={self.probability:g}, "
+            f"median={self.median_duration:g}s, "
+            f"every={self.request_period:g}s)"
+        )

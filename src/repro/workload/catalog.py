@@ -1,0 +1,1087 @@
+"""The 342-app catalog.
+
+Named apps are parameterised from the paper itself: every Table 1
+case-study app (update period, bytes per update, connection persistence,
+behaviour evolution over the study), the Table 2 rarely-used apps, the
+three browsers of §4.1, and the system apps Figure 2 calls out (media
+server, default email, Google Play). The remaining ~320 apps are
+procedurally generated "generic" apps whose parameter distributions
+encode §4.1's aggregate findings: most apps' background traffic is a
+post-session sync in the first minute; a minority run 5/10-minute
+periodic timers (Fig 6's spikes); a few misbehave with lingering
+foreground traffic.
+
+The catalog is deterministic: the same :class:`CatalogConfig` always
+yields the same list of profiles, independent of everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.units import DAY, HOUR, KB, MB, MINUTE
+from repro.workload.appprofile import (
+    AppProfile,
+    BehaviorSchedule,
+    UsagePattern,
+    evolving,
+)
+from repro.workload.behaviors import (
+    BulkDownloadBehavior,
+    ForegroundSessionBehavior,
+    LingeringForegroundBehavior,
+    PeriodicUpdateBehavior,
+    PostSessionSyncBehavior,
+    PushNotificationBehavior,
+    StreamingBehavior,
+)
+from repro.workload.rng import substream
+
+#: Total apps in the study (paper §1: "342 unique apps").
+TOTAL_APPS = 342
+
+#: Categories of the procedurally generated apps, with weights.
+GENERIC_CATEGORIES = (
+    ("game", 0.28),
+    ("tools", 0.15),
+    ("news", 0.10),
+    ("social", 0.09),
+    ("shopping", 0.09),
+    ("education", 0.08),
+    ("media", 0.07),
+    ("travel", 0.05),
+    ("finance", 0.05),
+    ("health", 0.04),
+)
+
+
+@dataclass(frozen=True)
+class CatalogConfig:
+    """Catalog knobs.
+
+    Attributes:
+        total_apps: Catalog size including named apps.
+        seed: Seed for the generic apps' parameter sampling.
+    """
+
+    total_apps: int = TOTAL_APPS
+    seed: int = 2015
+
+    def __post_init__(self) -> None:
+        if self.total_apps < len(named_profiles()):
+            raise WorkloadError(
+                f"total_apps must be >= {len(named_profiles())} named apps"
+            )
+
+
+def _fg(bytes_per_burst: float = 80 * KB, interval: float = 45.0):
+    return ForegroundSessionBehavior(
+        burst_mean_interval=interval, bytes_per_burst=bytes_per_burst
+    )
+
+
+def named_profiles() -> List[AppProfile]:
+    """Profiles of every app the paper names, in a stable order."""
+    profiles: List[AppProfile] = []
+
+    # ------------------------------------------------------------------
+    # Social media (Table 1)
+    # ------------------------------------------------------------------
+    profiles.append(
+        AppProfile(
+            name="com.sina.weibo",
+            category="social",
+            install_probability=0.22,
+            popularity=2.0,
+            usage=UsagePattern(
+                active_day_probability=0.17,
+                sessions_per_active_day=2.0,
+                session_minutes=5.0,
+            ),
+            foreground=_fg(120 * KB),
+            background=(
+                BehaviorSchedule(
+                    # "Frequent, nearly-empty requests" every 5-10 min;
+                    # persistent connections carry ~6 updates per flow.
+                    PeriodicUpdateBehavior(
+                        period=7 * MINUTE,
+                        bytes_per_update=65 * KB,
+                        jitter_fraction=0.25,
+                        conn_lifetime=42 * MINUTE,
+                    )
+                ),
+            ),
+            on_background=(PostSessionSyncBehavior(sync_bytes=60 * KB),),
+            runs_as_service=True,
+            background_survival_days=14.0,
+            autostarts=True,
+        )
+    )
+    profiles.append(
+        AppProfile(
+            name="com.twitter.android",
+            category="social",
+            install_probability=0.55,
+            popularity=5.0,
+            usage=UsagePattern(
+                active_day_probability=0.85,
+                sessions_per_active_day=3.0,
+                session_minutes=3.0,
+            ),
+            foreground=_fg(150 * KB, interval=35.0),
+            background=(
+                BehaviorSchedule(
+                    # Hourly batched prefetch: few joules per megabyte.
+                    PeriodicUpdateBehavior(
+                        period=1 * HOUR,
+                        bytes_per_update=2.5 * MB,
+                        conn_lifetime=5 * HOUR,
+                        packets_per_burst=6,
+                    )
+                ),
+            ),
+            on_background=(PostSessionSyncBehavior(sync_bytes=80 * KB),),
+            runs_as_service=False,
+            background_survival_days=0.9,
+        )
+    )
+    profiles.append(
+        AppProfile(
+            name="com.facebook.katana",
+            category="social",
+            install_probability=0.85,
+            popularity=9.0,
+            usage=UsagePattern(
+                active_day_probability=0.9,
+                sessions_per_active_day=4.0,
+                session_minutes=4.0,
+            ),
+            foreground=_fg(200 * KB, interval=35.0),
+            background=tuple(
+                evolving(
+                    # "Previously every 20-60s [21] in 2012", 5 min at the
+                    # study's start, 1 h by its end.
+                    PeriodicUpdateBehavior(
+                        period=5 * MINUTE,
+                        bytes_per_update=200 * KB,
+                        jitter_fraction=0.015,
+                        conn_lifetime=30 * MINUTE,
+                    ),
+                    PeriodicUpdateBehavior(
+                        period=1 * HOUR,
+                        bytes_per_update=1.5 * MB,
+                        conn_lifetime=4 * HOUR,
+                    ),
+                )
+            ),
+            on_background=(PostSessionSyncBehavior(sync_bytes=120 * KB),),
+            runs_as_service=False,
+            background_survival_days=1.5,
+        )
+    )
+    profiles.append(
+        AppProfile(
+            name="com.google.android.apps.plus",
+            category="social",
+            install_probability=0.95,  # "installed by default"
+            popularity=1.5,
+            usage=UsagePattern(
+                active_day_probability=0.06,  # "rarely actively used"
+                sessions_per_active_day=1.0,
+                session_minutes=2.0,
+            ),
+            foreground=_fg(100 * KB),
+            background=(
+                BehaviorSchedule(
+                    PeriodicUpdateBehavior(
+                        period=1 * HOUR,
+                        bytes_per_update=350 * KB,
+                        conn_lifetime=6 * HOUR,
+                    )
+                ),
+            ),
+            runs_as_service=True,
+            background_survival_days=6.0,
+            autostarts=True,
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # Periodic update services (Table 1)
+    # ------------------------------------------------------------------
+    profiles.append(
+        AppProfile(
+            name="com.sec.spp.push",  # Samsung Push Service
+            category="service",
+            install_probability=1.0,  # pre-installed on the Galaxy S III
+            popularity=1.0,
+            usage=UsagePattern(
+                active_day_probability=0.58,  # Table 2 row A: 42% bg-only
+                sessions_per_active_day=1.0,
+                session_minutes=0.5,
+            ),
+            foreground=_fg(10 * KB, interval=40.0),
+            background=(
+                BehaviorSchedule(
+                    PushNotificationBehavior(
+                        keepalive_period=15 * MINUTE,
+                        keepalive_bytes=15 * KB,
+                        push_mean_interval=4 * HOUR,
+                        push_bytes=1 * MB,
+                        conn_lifetime=3 * HOUR,
+                    )
+                ),
+            ),
+            runs_as_service=True,
+            background_survival_days=45.0,
+            autostarts=True,
+        )
+    )
+    profiles.append(
+        AppProfile(
+            name="com.urbanairship.push",
+            category="service",
+            install_probability=0.5,  # "Library; period varies by app"
+            popularity=1.0,
+            usage=UsagePattern(
+                # The library's "foreground" is its host app's use, and
+                # hosts are opened near-daily, so it rarely idles long.
+                active_day_probability=0.8,
+                sessions_per_active_day=1.0,
+                session_minutes=0.5,
+            ),
+            background=(
+                BehaviorSchedule(
+                    PushNotificationBehavior(
+                        keepalive_period=10 * MINUTE,
+                        keepalive_bytes=10 * KB,
+                        push_mean_interval=2 * HOUR,
+                        push_bytes=300 * KB,
+                        conn_lifetime=2 * HOUR,
+                    )
+                ),
+            ),
+            runs_as_service=True,
+            background_survival_days=45.0,
+            autostarts=True,
+        )
+    )
+    profiles.append(
+        AppProfile(
+            name="com.google.android.apps.maps",
+            category="travel",
+            install_probability=0.95,
+            popularity=4.0,
+            usage=UsagePattern(
+                active_day_probability=0.35,
+                sessions_per_active_day=1.5,
+                session_minutes=6.0,
+            ),
+            foreground=_fg(600 * KB, interval=40.0),
+            background=tuple(
+                evolving(
+                    # Background location service, 20-30 min early on...
+                    PeriodicUpdateBehavior(
+                        period=28 * MINUTE,
+                        bytes_per_update=250 * KB,
+                        conn_lifetime=2 * HOUR,
+                    ),
+                    # ..."decreased to a few hours near the end".
+                    PeriodicUpdateBehavior(
+                        period=3 * HOUR,
+                        bytes_per_update=500 * KB,
+                        conn_lifetime=9 * HOUR,
+                    ),
+                    switch_fraction=0.75,
+                )
+            ),
+            runs_as_service=True,
+            background_survival_days=2.0,
+        )
+    )
+    profiles.append(
+        AppProfile(
+            name="com.google.android.gm",  # Gmail
+            category="communication",
+            install_probability=0.95,
+            popularity=6.0,
+            usage=UsagePattern(
+                active_day_probability=0.8,
+                sessions_per_active_day=3.0,
+                session_minutes=2.0,
+            ),
+            foreground=_fg(60 * KB, interval=35.0),
+            background=tuple(
+                evolving(
+                    # 30-minute periodic sync in 2012...
+                    PeriodicUpdateBehavior(
+                        period=30 * MINUTE,
+                        bytes_per_update=200 * KB,
+                        conn_lifetime=3 * HOUR,
+                    ),
+                    # ...later on-demand pushes only.
+                    PushNotificationBehavior(
+                        keepalive_period=28 * MINUTE,
+                        keepalive_bytes=1 * KB,
+                        push_mean_interval=2.5 * HOUR,
+                        push_bytes=150 * KB,
+                        conn_lifetime=4 * HOUR,
+                    ),
+                )
+            ),
+            runs_as_service=True,
+            background_survival_days=20.0,
+            autostarts=True,
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # Widgets (Table 1)
+    # ------------------------------------------------------------------
+    profiles.append(
+        AppProfile(
+            name="com.gau.go.launcherex.gowidget.weatherwidget",
+            category="widget",
+            install_probability=0.14,
+            popularity=1.0,
+            usage=UsagePattern(
+                active_day_probability=0.2,
+                sessions_per_active_day=1.0,
+                session_minutes=1.0,
+            ),
+            foreground=_fg(50 * KB),
+            background=(
+                BehaviorSchedule(
+                    PeriodicUpdateBehavior(
+                        period=5 * MINUTE,
+                        bytes_per_update=30 * KB,
+                        jitter_fraction=0.015,
+                        conn_lifetime=25 * MINUTE,
+                    )
+                ),
+            ),
+            runs_as_service=True,
+            background_survival_days=60.0,
+            background_screen_on_only=True,  # widgets refresh when visible
+            autostarts=True,
+        )
+    )
+    profiles.append(
+        AppProfile(
+            name="com.gau.go.weatherex",  # Go Weather app
+            category="weather",
+            install_probability=0.12,
+            popularity=1.0,
+            usage=UsagePattern(
+                active_day_probability=0.4,
+                sessions_per_active_day=1.5,
+                session_minutes=1.5,
+            ),
+            foreground=_fg(300 * KB),
+            background=tuple(
+                evolving(
+                    PeriodicUpdateBehavior(
+                        period=5 * MINUTE,
+                        bytes_per_update=250 * KB,
+                        conn_lifetime=30 * MINUTE,
+                    ),
+                    # "Switched push notification approaches": 40 min.
+                    PeriodicUpdateBehavior(
+                        period=40 * MINUTE,
+                        bytes_per_update=400 * KB,
+                        conn_lifetime=3 * HOUR,
+                    ),
+                )
+            ),
+            runs_as_service=True,
+            background_survival_days=30.0,
+            background_screen_on_only=True,
+        )
+    )
+    profiles.append(
+        AppProfile(
+            name="com.accuweather.android",
+            category="weather",
+            install_probability=0.22,
+            popularity=1.5,
+            usage=UsagePattern(
+                active_day_probability=0.5,
+                sessions_per_active_day=1.5,
+                session_minutes=2.0,
+            ),
+            foreground=_fg(400 * KB),
+            background=(
+                BehaviorSchedule(
+                    # "7 min but high variation" — and unlike its widget,
+                    # the app refreshes regardless of screen state.
+                    PeriodicUpdateBehavior(
+                        period=7 * MINUTE,
+                        bytes_per_update=80 * KB,
+                        jitter_fraction=0.5,
+                        conn_lifetime=40 * MINUTE,
+                    )
+                ),
+            ),
+            runs_as_service=False,
+            background_survival_days=4.0,
+        )
+    )
+    profiles.append(
+        AppProfile(
+            name="com.accuweather.widget",
+            category="widget",
+            install_probability=0.12,
+            popularity=1.0,
+            usage=UsagePattern(
+                active_day_probability=0.1,
+                sessions_per_active_day=1.0,
+                session_minutes=1.0,
+            ),
+            foreground=_fg(40 * KB, interval=40.0),
+            background=(
+                BehaviorSchedule(
+                    # "~3h": far more efficient than the app.
+                    PeriodicUpdateBehavior(
+                        period=3 * HOUR,
+                        bytes_per_update=1.6 * MB,
+                        conn_lifetime=9 * HOUR,
+                        packets_per_burst=6,
+                    )
+                ),
+            ),
+            runs_as_service=True,
+            background_survival_days=60.0,
+            background_screen_on_only=True,
+            autostarts=True,
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # Streaming (Table 1)
+    # ------------------------------------------------------------------
+    profiles.append(
+        AppProfile(
+            name="com.spotify.music",
+            category="music",
+            install_probability=0.3,
+            popularity=2.5,
+            usage=UsagePattern(
+                active_day_probability=0.3,
+                sessions_per_active_day=1.0,
+                session_minutes=2.0,
+                playback_minutes_per_active_day=35.0,
+            ),
+            foreground=_fg(250 * KB),
+            perceptible=StreamingBehavior(
+                chunk_interval=40 * MINUTE, chunk_bytes=22 * MB
+            ),
+            background=tuple(
+                evolving(
+                    PeriodicUpdateBehavior(
+                        period=5 * MINUTE,
+                        bytes_per_update=150 * KB,
+                        conn_lifetime=30 * MINUTE,
+                    ),
+                    PeriodicUpdateBehavior(
+                        period=40 * MINUTE,
+                        bytes_per_update=600 * KB,
+                        conn_lifetime=3 * HOUR,
+                    ),
+                )
+            ),
+            runs_as_service=True,
+            background_survival_days=2.0,
+        )
+    )
+    profiles.append(
+        AppProfile(
+            name="com.pandora.android",
+            category="music",
+            install_probability=0.35,
+            popularity=2.5,
+            usage=UsagePattern(
+                active_day_probability=0.25,
+                sessions_per_active_day=1.0,
+                session_minutes=1.5,
+                playback_minutes_per_active_day=30.0,
+            ),
+            foreground=_fg(150 * KB),
+            perceptible=StreamingBehavior(
+                chunk_interval=460.0, chunk_bytes=3.5 * MB
+            ),
+            background=tuple(
+                evolving(
+                    # "Previously every 1 min [21] in 2012" -> ~2 h.
+                    PeriodicUpdateBehavior(
+                        period=1 * MINUTE,
+                        bytes_per_update=30 * KB,
+                        conn_lifetime=20 * MINUTE,
+                    ),
+                    PeriodicUpdateBehavior(
+                        period=2 * HOUR,
+                        bytes_per_update=1 * MB,
+                        conn_lifetime=6 * HOUR,
+                    ),
+                    switch_fraction=0.15,
+                )
+            ),
+            runs_as_service=True,
+            background_survival_days=1.0,
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # Podcasts (Table 1)
+    # ------------------------------------------------------------------
+    profiles.append(
+        AppProfile(
+            name="au.com.shiftyjelly.pocketcasts",
+            category="podcast",
+            install_probability=0.16,
+            popularity=1.2,
+            usage=UsagePattern(
+                active_day_probability=0.35,
+                sessions_per_active_day=1.0,
+                session_minutes=1.5,
+                playback_minutes_per_active_day=30.0,
+            ),
+            foreground=_fg(100 * KB),
+            # "Downloads an entire podcast in one chunk".
+            perceptible=BulkDownloadBehavior(
+                download_bytes=45 * MB, probability=0.45, duration=90.0
+            ),
+            background=(
+                BehaviorSchedule(
+                    PeriodicUpdateBehavior(
+                        period=6 * HOUR,
+                        bytes_per_update=8 * KB,  # feed check
+                        conn_lifetime=7 * HOUR,
+                    )
+                ),
+            ),
+            runs_as_service=True,
+            background_survival_days=3.0,
+        )
+    )
+    profiles.append(
+        AppProfile(
+            name="com.bambuna.podcastaddict",
+            category="podcast",
+            install_probability=0.16,
+            popularity=1.2,
+            usage=UsagePattern(
+                active_day_probability=0.4,
+                sessions_per_active_day=1.0,
+                session_minutes=1.5,
+                playback_minutes_per_active_day=35.0,
+            ),
+            foreground=_fg(100 * KB),
+            # "Downloads smaller chunks as needed" — every ~12 minutes of
+            # playback, paying a radio tail per chunk.
+            perceptible=StreamingBehavior(
+                chunk_interval=12 * MINUTE, chunk_bytes=2.5 * MB
+            ),
+            background=(
+                BehaviorSchedule(
+                    PeriodicUpdateBehavior(
+                        period=4 * HOUR,
+                        bytes_per_update=10 * KB,
+                        conn_lifetime=5 * HOUR,
+                    )
+                ),
+            ),
+            runs_as_service=True,
+            background_survival_days=3.0,
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # Browsers (§4.1)
+    # ------------------------------------------------------------------
+    profiles.append(
+        AppProfile(
+            name="com.android.chrome",
+            category="browser",
+            install_probability=0.9,
+            popularity=8.0,
+            usage=UsagePattern(
+                active_day_probability=0.9,
+                sessions_per_active_day=4.0,
+                session_minutes=5.0,
+            ),
+            foreground=_fg(220 * KB, interval=40.0),
+            on_background=(
+                PostSessionSyncBehavior(sync_bytes=25 * KB, probability=0.6),
+                # The new finding: pages keep polling after backgrounding.
+                LingeringForegroundBehavior(
+                    probability=0.11,
+                    median_duration=2 * MINUTE,
+                    sigma=2.2,
+                    request_period=45.0,
+                    bytes_per_request=5 * KB,
+                ),
+                # "One particularly egregious case": a transit page that
+                # polls every ~2 s indefinitely until the tab dies.
+                LingeringForegroundBehavior(
+                    probability=0.007,
+                    median_duration=1 * HOUR,
+                    sigma=2.6,
+                    request_period=2.0,
+                    bytes_per_request=1.5 * KB,
+                ),
+                # Auto-refreshing pages left open in a tab: slow polls
+                # that can outlive the user's interest by *days* —
+                # Fig 5's "persist for more than a day" stragglers.
+                LingeringForegroundBehavior(
+                    probability=0.02,
+                    median_duration=3 * HOUR,
+                    sigma=2.5,
+                    request_period=5 * MINUTE,
+                    bytes_per_request=8 * KB,
+                ),
+            ),
+            background_survival_days=3.0,
+        )
+    )
+    profiles.append(
+        AppProfile(
+            name="org.mozilla.firefox",
+            category="browser",
+            install_probability=0.25,
+            popularity=2.0,
+            usage=UsagePattern(
+                active_day_probability=0.7,
+                sessions_per_active_day=4.0,
+                session_minutes=6.0,
+            ),
+            foreground=_fg(300 * KB, interval=40.0),
+            # Firefox blocks background/inactive-tab transfers entirely.
+            on_background=(
+                PostSessionSyncBehavior(sync_bytes=15 * KB, probability=0.4),
+            ),
+            background_survival_days=1.0,
+        )
+    )
+    profiles.append(
+        AppProfile(
+            name="com.android.browser",  # stock browser
+            category="browser",
+            install_probability=1.0,
+            popularity=3.0,
+            usage=UsagePattern(
+                active_day_probability=0.5,
+                sessions_per_active_day=3.0,
+                session_minutes=5.0,
+            ),
+            foreground=_fg(280 * KB, interval=40.0),
+            on_background=(
+                PostSessionSyncBehavior(sync_bytes=15 * KB, probability=0.4),
+            ),
+            background_survival_days=1.0,
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # System services and Figure 2 apps
+    # ------------------------------------------------------------------
+    profiles.append(
+        AppProfile(
+            name="android.process.media",  # Media Server
+            category="system",
+            install_probability=1.0,
+            popularity=10.0,
+            usage=UsagePattern(
+                active_day_probability=0.75,
+                sessions_per_active_day=1.0,
+                session_minutes=1.0,
+                playback_minutes_per_active_day=45.0,
+            ),
+            foreground=_fg(30 * KB, interval=40.0),
+            # Delegated media fetches: long continuous transfers, so the
+            # energy-per-byte is the lowest in Fig 2.
+            perceptible=StreamingBehavior(
+                chunk_interval=190.0, chunk_bytes=5 * MB, packets_per_burst=8
+            ),
+            runs_as_service=True,
+            background_survival_days=60.0,
+        )
+    )
+    profiles.append(
+        AppProfile(
+            name="com.android.email",  # default email app
+            category="communication",
+            install_probability=0.65,
+            popularity=4.0,
+            usage=UsagePattern(
+                active_day_probability=0.7,
+                sessions_per_active_day=2.0,
+                session_minutes=2.0,
+            ),
+            foreground=_fg(50 * KB, interval=40.0),
+            background=(
+                BehaviorSchedule(
+                    # 15-minute IMAP-style polling with tiny payloads:
+                    # "consumes network energy disproportionate to its
+                    # data usage" (Fig 2).
+                    PeriodicUpdateBehavior(
+                        period=10 * MINUTE,
+                        bytes_per_update=25 * KB,
+                        conn_lifetime=2 * HOUR,
+                    )
+                ),
+            ),
+            runs_as_service=True,
+            background_survival_days=30.0,
+            autostarts=True,
+        )
+    )
+    profiles.append(
+        AppProfile(
+            name="com.android.vending",  # Google Play
+            category="system",
+            install_probability=1.0,
+            popularity=7.0,
+            usage=UsagePattern(
+                active_day_probability=0.3,
+                sessions_per_active_day=1.0,
+                session_minutes=3.0,
+            ),
+            foreground=_fg(800 * KB, interval=35.0),
+            background=(
+                BehaviorSchedule(
+                    # App auto-updates: rare but very large.
+                    PeriodicUpdateBehavior(
+                        period=2 * DAY,
+                        bytes_per_update=35 * MB,
+                        conn_lifetime=2.5 * DAY,
+                        packets_per_burst=12,
+                    )
+                ),
+                BehaviorSchedule(
+                    PeriodicUpdateBehavior(
+                        period=6 * HOUR,
+                        bytes_per_update=300 * KB,
+                        conn_lifetime=12 * HOUR,
+                    )
+                ),
+            ),
+            runs_as_service=True,
+            background_survival_days=60.0,
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # Table 2's remaining rarely-used apps (headers are abbreviated in
+    # the paper; see DESIGN.md) and other popular apps.
+    # ------------------------------------------------------------------
+    profiles.append(
+        AppProfile(
+            name="com.facebook.orca",  # Messenger ("Meso." in Table 2)
+            category="social",
+            install_probability=0.5,
+            popularity=3.0,
+            usage=UsagePattern(
+                active_day_probability=0.30,
+                sessions_per_active_day=2.0,
+                session_minutes=2.0,
+            ),
+            foreground=_fg(60 * KB, interval=35.0),
+            background=(
+                BehaviorSchedule(
+                    PushNotificationBehavior(
+                        keepalive_period=20 * MINUTE,
+                        keepalive_bytes=1.2 * KB,
+                        push_mean_interval=2 * HOUR,
+                        push_bytes=8 * KB,
+                        conn_lifetime=3 * HOUR,
+                    )
+                ),
+            ),
+            runs_as_service=True,
+            background_survival_days=40.0,
+            autostarts=True,
+        )
+    )
+    profiles.append(
+        AppProfile(
+            name="com.espn.score_center",  # ESPN
+            category="sports",
+            install_probability=0.3,
+            popularity=2.0,
+            usage=UsagePattern(
+                active_day_probability=0.87,
+                sessions_per_active_day=3.0,
+                session_minutes=4.0,
+            ),
+            foreground=_fg(250 * KB),
+            background=(
+                BehaviorSchedule(
+                    PeriodicUpdateBehavior(
+                        period=30 * MINUTE,
+                        bytes_per_update=120 * KB,
+                        conn_lifetime=2 * HOUR,
+                    )
+                ),
+            ),
+            runs_as_service=False,
+            background_survival_days=20.0,
+        )
+    )
+    profiles.append(
+        AppProfile(
+            name="com.foursquare.android",  # "4com" in Table 2
+            category="social",
+            install_probability=0.25,
+            popularity=1.5,
+            usage=UsagePattern(
+                active_day_probability=0.57,
+                sessions_per_active_day=1.5,
+                session_minutes=2.0,
+            ),
+            foreground=_fg(120 * KB),
+            background=(
+                BehaviorSchedule(
+                    PeriodicUpdateBehavior(
+                        period=20 * MINUTE,
+                        bytes_per_update=60 * KB,
+                        conn_lifetime=90 * MINUTE,
+                    )
+                ),
+            ),
+            runs_as_service=False,
+            background_survival_days=25.0,
+        )
+    )
+    profiles.append(
+        AppProfile(
+            name="com.sec.android.widgetapp.ap.hero.accuweather",  # stock weather
+            category="widget",
+            install_probability=1.0,
+            popularity=1.5,
+            usage=UsagePattern(
+                active_day_probability=0.38,
+                sessions_per_active_day=1.0,
+                session_minutes=1.0,
+            ),
+            foreground=_fg(80 * KB),
+            background=(
+                BehaviorSchedule(
+                    PeriodicUpdateBehavior(
+                        period=1 * HOUR,
+                        bytes_per_update=100 * KB,
+                        conn_lifetime=4 * HOUR,
+                    )
+                ),
+            ),
+            runs_as_service=True,
+            background_survival_days=50.0,
+            autostarts=True,
+        )
+    )
+    profiles.append(
+        AppProfile(
+            name="com.google.android.youtube",
+            category="media",
+            install_probability=0.95,
+            popularity=7.0,
+            usage=UsagePattern(
+                active_day_probability=0.5,
+                sessions_per_active_day=2.0,
+                session_minutes=8.0,
+                playback_minutes_per_active_day=18.0,
+            ),
+            foreground=_fg(1 * MB, interval=35.0),
+            perceptible=StreamingBehavior(
+                chunk_interval=137.0, chunk_bytes=4 * MB, packets_per_burst=8
+            ),
+            background_survival_days=1.0,
+        )
+    )
+    profiles.append(
+        AppProfile(
+            name="com.dropbox.android",
+            category="tools",
+            install_probability=0.4,
+            popularity=2.0,
+            usage=UsagePattern(
+                active_day_probability=0.25,
+                sessions_per_active_day=1.5,
+                session_minutes=3.0,
+            ),
+            foreground=_fg(500 * KB),
+            # "Apps like Dropbox may have valid reasons to upload content
+            # immediately after the app is closed."
+            on_background=(
+                PostSessionSyncBehavior(
+                    sync_bytes=4 * MB, mean_delay=20.0, probability=0.8
+                ),
+            ),
+            runs_as_service=True,
+            background_survival_days=5.0,
+        )
+    )
+    profiles.append(
+        AppProfile(
+            name="com.whatsapp",
+            category="social",
+            install_probability=0.6,
+            popularity=5.0,
+            usage=UsagePattern(
+                active_day_probability=0.8,
+                sessions_per_active_day=4.0,
+                session_minutes=1.5,
+            ),
+            foreground=_fg(50 * KB, interval=35.0),
+            background=(
+                BehaviorSchedule(
+                    PushNotificationBehavior(
+                        keepalive_period=24 * MINUTE,
+                        keepalive_bytes=1 * KB,
+                        push_mean_interval=1 * HOUR,
+                        push_bytes=15 * KB,
+                        conn_lifetime=4 * HOUR,
+                    )
+                ),
+            ),
+            runs_as_service=True,
+            background_survival_days=45.0,
+            autostarts=True,
+        )
+    )
+    profiles.append(
+        AppProfile(
+            name="com.instagram.android",
+            category="social",
+            install_probability=0.5,
+            popularity=4.0,
+            usage=UsagePattern(
+                active_day_probability=0.7,
+                sessions_per_active_day=3.0,
+                session_minutes=3.0,
+            ),
+            foreground=_fg(400 * KB, interval=32.0),
+            background=(
+                BehaviorSchedule(
+                    PeriodicUpdateBehavior(
+                        period=2 * HOUR,
+                        bytes_per_update=800 * KB,
+                        conn_lifetime=6 * HOUR,
+                    )
+                ),
+            ),
+            on_background=(PostSessionSyncBehavior(sync_bytes=200 * KB),),
+            runs_as_service=False,
+            background_survival_days=2.0,
+        )
+    )
+    return profiles
+
+
+def _generic_profile(index: int, rng) -> AppProfile:
+    """One procedurally generated generic app."""
+    categories, weights = zip(*GENERIC_CATEGORIES)
+    total = sum(weights)
+    category = rng.choice(categories, p=[w / total for w in weights])
+
+    # Popularity follows a Zipf-like tail: a few generic apps are common,
+    # most are on one or two devices.
+    popularity = float(1.0 / (1.0 + 0.05 * index) ** 0.8)
+    install_probability = float(min(0.55, 0.035 + rng.pareto(1.3) * 0.055))
+    usage = UsagePattern(
+        active_day_probability=float(np.clip(rng.beta(1.0, 4.0), 0.02, 1.0)),
+        sessions_per_active_day=float(rng.uniform(1.0, 3.0)),
+        session_minutes=float(rng.uniform(1.0, 5.0)),
+    )
+    foreground = ForegroundSessionBehavior(
+        burst_mean_interval=float(rng.uniform(30.0, 80.0)),
+        bytes_per_burst=float(rng.lognormal(np.log(60 * KB), 0.8)),
+    )
+
+    on_background = [
+        PostSessionSyncBehavior(
+            sync_bytes=float(rng.lognormal(np.log(30 * KB), 0.7)),
+            mean_delay=float(rng.uniform(4.0, 20.0)),
+            probability=float(rng.uniform(0.6, 0.95)),
+        )
+    ]
+    # A small minority of generic apps misbehave with lingering
+    # foreground traffic (Fig 5's non-browser contributions).
+    if rng.random() < 0.05:
+        on_background.append(
+            LingeringForegroundBehavior(
+                probability=float(rng.uniform(0.1, 0.4)),
+                median_duration=float(rng.uniform(60.0, 600.0)),
+                sigma=float(rng.uniform(1.5, 2.3)),
+                request_period=float(rng.uniform(10.0, 120.0)),
+                bytes_per_request=float(rng.lognormal(np.log(3 * KB), 0.5)),
+            )
+        )
+
+    background = ()
+    runs_as_service = False
+    survival = float(rng.uniform(0.5, 3.0))
+    autostarts = False
+    # ~18% of generic apps run intentional periodic background updates;
+    # 5- and 10-minute timers are the most common choices (Fig 6's
+    # spikes at those intervals).
+    if rng.random() < 0.07:
+        # Periodic updaters are mostly daily-habit apps; a quarter are
+        # the rarely-opened kind SS5's kill policy targets.
+        if rng.random() < 0.85:
+            usage = UsagePattern(
+                active_day_probability=float(np.clip(rng.beta(4.0, 2.0), 0.3, 1.0)),
+                sessions_per_active_day=usage.sessions_per_active_day,
+                session_minutes=usage.session_minutes,
+            )
+        rarely_used = usage.active_day_probability < 0.3
+        if rarely_used:
+            # Rarely-opened updaters poll slowly; they drain for days
+            # (SS5's target) but are individually modest consumers.
+            period = float(rng.choice([1800.0, 3600.0, 7200.0], p=[0.4, 0.4, 0.2]))
+        else:
+            period = float(
+                rng.choice(
+                    [300.0, 600.0, 900.0, 1800.0, 3600.0, 7200.0],
+                    p=[0.25, 0.25, 0.15, 0.15, 0.12, 0.08],
+                )
+            )
+        background = (
+            BehaviorSchedule(
+                PeriodicUpdateBehavior(
+                    period=period,
+                    bytes_per_update=float(rng.lognormal(np.log(40 * KB), 0.9)),
+                    conn_lifetime=float(period * rng.uniform(2.0, 8.0)),
+                    jitter_fraction=0.02,
+                )
+            ),
+        )
+        runs_as_service = rng.random() < 0.35
+        survival = float(rng.uniform(2.0, 25.0))
+        autostarts = rng.random() < 0.75
+
+    return AppProfile(
+        name=f"com.generic.{category}.app{index:03d}",
+        category=str(category),
+        install_probability=install_probability,
+        popularity=popularity,
+        usage=usage,
+        foreground=foreground,
+        background=background,
+        on_background=tuple(on_background),
+        runs_as_service=runs_as_service,
+        background_survival_days=survival,
+        autostarts=autostarts,
+    )
+
+
+def build_catalog(config: CatalogConfig = CatalogConfig()) -> List[AppProfile]:
+    """Build the full app catalog: named apps first, then generics."""
+    profiles = named_profiles()
+    rng = substream(config.seed, "catalog")
+    for index in range(config.total_apps - len(profiles)):
+        profiles.append(_generic_profile(index, rng))
+    return profiles

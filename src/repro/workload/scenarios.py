@@ -1,0 +1,72 @@
+"""Named study scenarios.
+
+Convenience factories for the configurations used throughout the
+project, so scripts, benches and the CLI agree on what "paper scale"
+means:
+
+* ``paper``  -- 20 users x 623 days x 342 apps: the full study
+  (§3: December 2012 - November 2014). Minutes of generation time,
+  tens of millions of packets.
+* ``bench``  -- 20 users x 28 days: the benchmark configuration; every
+  reported metric is a rate or a distribution, so this reproduces the
+  paper's shapes in seconds (EXPERIMENTS.md).
+* ``month``  -- 10 users x 30 days: a middle ground for interactive
+  exploration.
+* ``smoke``  -- 2 users x 3 days: CI-speed sanity checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import WorkloadError
+from repro.workload.generator import StudyConfig
+
+#: The paper's study length in days (§3: 623 days).
+PAPER_DAYS = 623.0
+#: The paper's population size.
+PAPER_USERS = 20
+
+
+def paper_scale(seed: int = 42) -> StudyConfig:
+    """The full 20-user, 623-day configuration."""
+    return StudyConfig(n_users=PAPER_USERS, duration_days=PAPER_DAYS, seed=seed)
+
+
+def bench_scale(seed: int = 42) -> StudyConfig:
+    """The benchmark configuration (20 users, 28 days)."""
+    return StudyConfig(n_users=PAPER_USERS, duration_days=28.0, seed=seed)
+
+
+def month_scale(seed: int = 42) -> StudyConfig:
+    """10 users, 30 days: quick interactive exploration."""
+    return StudyConfig(n_users=10, duration_days=30.0, seed=seed)
+
+
+def smoke_scale(seed: int = 42) -> StudyConfig:
+    """2 users, 3 days: fast sanity checks."""
+    return StudyConfig(n_users=2, duration_days=3.0, seed=seed)
+
+
+_SCENARIOS = {
+    "paper": paper_scale,
+    "bench": bench_scale,
+    "month": month_scale,
+    "smoke": smoke_scale,
+}
+
+
+def available_scenarios() -> List[str]:
+    """Registered scenario names."""
+    return sorted(_SCENARIOS)
+
+
+def get_scenario(name: str, seed: int = 42) -> StudyConfig:
+    """Build a scenario config by name."""
+    try:
+        factory = _SCENARIOS[name.strip().lower()]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown scenario {name!r}; available: {available_scenarios()}"
+        ) from None
+    return factory(seed=seed)

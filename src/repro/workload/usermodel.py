@@ -1,0 +1,357 @@
+"""Per-user behaviour: app installs, sessions, process-state timelines.
+
+The study's users differ widely in which apps they use and how often
+(Fig 1's diversity finding), and §5's what-if analysis depends on apps
+being installed-but-unused for days at a stretch. This module models
+one user:
+
+* which catalog apps the user installed (Bernoulli per app, with a
+  per-user usage-rate multiplier so the same app can be a daily habit
+  for one user and a monthly curiosity for another);
+* foreground sessions on "active days", placed within the user's awake
+  hours and de-overlapped (one app owns the screen at a time);
+* audio playback (perceptible) sessions for media apps;
+* each app's process-state timeline: NOT_RUNNING -> FOREGROUND ->
+  SERVICE/BACKGROUND -> (exponential survival) -> NOT_RUNNING, emitting
+  the :class:`~repro.trace.events.ProcessStateEvent` stream analyses
+  consume;
+* device screen-on intervals (sessions plus brief screen checks), which
+  gate screen-on-only background behaviours (widgets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.trace.events import ProcessState, ProcessStateEvent, ScreenEvent, UserInputEvent
+from repro.units import DAY, HOUR, MINUTE
+from repro.workload.appprofile import AppProfile
+from repro.workload.rng import substream
+
+Window = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class UserConfig:
+    """Knobs of the user behaviour model."""
+
+    awake_start_hour_mean: float = 7.5
+    awake_end_hour_mean: float = 23.5
+    awake_hour_sigma: float = 0.8
+    usage_rate_sigma: float = 0.55
+    screen_checks_per_day: float = 15.0
+    check_duration_range: Tuple[float, float] = (15.0, 60.0)
+    session_gap: float = 20.0
+    min_session_seconds: float = 20.0
+    max_session_seconds: float = 3 * HOUR
+    visible_episode_probability: float = 0.12
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.awake_start_hour_mean < self.awake_end_hour_mean <= 24:
+            raise WorkloadError("awake hours must satisfy 0 <= start < end <= 24")
+        if self.screen_checks_per_day < 0:
+            raise WorkloadError("screen_checks_per_day must be >= 0")
+
+
+@dataclass
+class Session:
+    """One contiguous user interaction with an app."""
+
+    app_id: int
+    start: float
+    duration: float
+    playback_duration: float = 0.0  # perceptible time appended after the
+    # interactive part (media apps)
+
+    @property
+    def end(self) -> float:
+        """End of the interactive (foreground) part."""
+        return self.start + self.duration
+
+    @property
+    def full_end(self) -> float:
+        """End including any playback continuation."""
+        return self.end + self.playback_duration
+
+
+@dataclass
+class UserTimeline:
+    """Everything the traffic generator needs about one user."""
+
+    user_id: int
+    duration: float
+    installed: Dict[int, AppProfile]
+    sessions: List[Session]
+    process_events: List[ProcessStateEvent]
+    screen_events: List[ScreenEvent]
+    input_events: List[UserInputEvent]
+    screen_intervals: np.ndarray  # (n, 2) merged screen-on windows
+    fg_windows: Dict[int, List[Window]] = field(default_factory=dict)
+    playback_windows: Dict[int, List[Window]] = field(default_factory=dict)
+    bg_windows: Dict[int, List[Window]] = field(default_factory=dict)
+
+
+def merge_intervals(intervals: Sequence[Window]) -> np.ndarray:
+    """Merge overlapping/adjacent intervals into a sorted (n, 2) array."""
+    if not intervals:
+        return np.empty((0, 2))
+    arr = np.array(sorted(intervals), dtype=np.float64)
+    merged = [list(arr[0])]
+    for start, end in arr[1:]:
+        if start <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], end)
+        else:
+            merged.append([start, end])
+    return np.array(merged)
+
+
+def intersect_with(intervals: np.ndarray, window: Window) -> List[Window]:
+    """Clip a merged interval array to one window."""
+    lo, hi = window
+    out: List[Window] = []
+    for start, end in intervals:
+        s, e = max(start, lo), min(end, hi)
+        if e > s:
+            out.append((float(s), float(e)))
+    return out
+
+
+class UserModel:
+    """Deterministic behaviour model for one user."""
+
+    def __init__(
+        self,
+        user_id: int,
+        catalog: Dict[int, AppProfile],
+        seed: int,
+        config: UserConfig = UserConfig(),
+    ) -> None:
+        self.user_id = user_id
+        self.catalog = catalog
+        self.seed = seed
+        self.config = config
+
+    def _rng(self, *keys) -> np.random.Generator:
+        return substream(self.seed, "user", self.user_id, *keys)
+
+    # ------------------------------------------------------------------
+    # Installation and per-user usage rates
+    # ------------------------------------------------------------------
+    def installed_apps(self) -> Dict[int, AppProfile]:
+        """Which catalog apps this user has installed."""
+        rng = self._rng("install")
+        installed = {}
+        for app_id in sorted(self.catalog):
+            profile = self.catalog[app_id]
+            if rng.random() < profile.install_probability:
+                installed[app_id] = profile
+        return installed
+
+    def usage_rate(self, app_id: int, profile: AppProfile) -> Tuple[float, float]:
+        """(active-day probability, sessions per active day) for this user.
+
+        A lognormal per-user multiplier makes the same app a daily habit
+        for one user and a rarity for another — the heterogeneity behind
+        Table 2's long idle stretches.
+        """
+        rng = self._rng("rate", app_id)
+        factor = float(rng.lognormal(0.0, self.config.usage_rate_sigma))
+        p = float(np.clip(profile.usage.active_day_probability * factor, 0.005, 1.0))
+        sessions = max(profile.usage.sessions_per_active_day * factor, 0.3)
+        return p, sessions
+
+    # ------------------------------------------------------------------
+    # Timeline construction
+    # ------------------------------------------------------------------
+    def build_timeline(self, duration: float) -> UserTimeline:
+        """Generate the user's full timeline over ``[0, duration)``."""
+        if duration <= 0:
+            raise WorkloadError(f"duration must be positive: {duration}")
+        installed = self.installed_apps()
+        sessions = self._generate_sessions(installed, duration)
+        screen_intervals = self._screen_intervals(sessions, duration)
+        timeline = UserTimeline(
+            user_id=self.user_id,
+            duration=duration,
+            installed=installed,
+            sessions=sessions,
+            process_events=[],
+            screen_events=self._screen_events(screen_intervals),
+            input_events=self._input_events(sessions),
+            screen_intervals=screen_intervals,
+        )
+        self._build_state_timelines(timeline)
+        return timeline
+
+    def _awake_window(self, rng: np.random.Generator) -> Tuple[float, float]:
+        cfg = self.config
+        start = rng.normal(cfg.awake_start_hour_mean, cfg.awake_hour_sigma)
+        end = rng.normal(cfg.awake_end_hour_mean, cfg.awake_hour_sigma)
+        start = float(np.clip(start, 5.0, 11.0))
+        end = float(np.clip(end, start + 8.0, 24.0))
+        return start * HOUR, end * HOUR
+
+    def _generate_sessions(
+        self, installed: Dict[int, AppProfile], duration: float
+    ) -> List[Session]:
+        cfg = self.config
+        awake = self._awake_window(self._rng("awake"))
+        n_days = int(np.ceil(duration / DAY))
+        candidates: List[Session] = []
+        for app_id in sorted(installed):
+            profile = installed[app_id]
+            p_active, mean_sessions = self.usage_rate(app_id, profile)
+            rng = self._rng("sessions", app_id)
+            active = rng.random(n_days) < p_active
+            for day in np.flatnonzero(active):
+                day_start = float(day) * DAY
+                n = max(1, int(rng.poisson(mean_sessions)))
+                starts = day_start + rng.uniform(awake[0], awake[1], size=n)
+                durations = np.clip(
+                    rng.exponential(profile.usage.session_minutes * MINUTE, size=n),
+                    cfg.min_session_seconds,
+                    cfg.max_session_seconds,
+                )
+                playback_total = profile.usage.playback_minutes_per_active_day
+                playbacks = np.zeros(n)
+                if playback_total > 0:
+                    # Attach the day's playback to one session.
+                    playbacks[int(rng.integers(0, n))] = max(
+                        rng.exponential(playback_total * MINUTE), 2 * MINUTE
+                    )
+                for s, d, pb in zip(starts, durations, playbacks):
+                    if s < duration:
+                        candidates.append(Session(app_id, float(s), float(d), float(pb)))
+        return self._deoverlap(candidates, duration)
+
+    def _deoverlap(self, candidates: List[Session], duration: float) -> List[Session]:
+        """One app owns the screen at a time: push overlapping sessions back."""
+        candidates.sort(key=lambda s: s.start)
+        out: List[Session] = []
+        cursor = 0.0
+        for session in candidates:
+            start = max(session.start, cursor)
+            if start + self.config.min_session_seconds >= duration:
+                continue
+            end_cap = duration - 1.0
+            dur = min(session.duration, end_cap - start)
+            playback = min(session.playback_duration, end_cap - start - dur)
+            out.append(Session(session.app_id, start, dur, max(playback, 0.0)))
+            cursor = out[-1].full_end + self.config.session_gap
+        return out
+
+    def _screen_intervals(
+        self, sessions: List[Session], duration: float
+    ) -> np.ndarray:
+        cfg = self.config
+        rng = self._rng("screen")
+        intervals: List[Window] = [(s.start, s.end) for s in sessions]
+        n_checks = rng.poisson(cfg.screen_checks_per_day * duration / DAY)
+        check_starts = rng.uniform(0.0, duration, size=n_checks)
+        check_durs = rng.uniform(*cfg.check_duration_range, size=n_checks)
+        for s, d in zip(check_starts, check_durs):
+            intervals.append((float(s), float(min(s + d, duration))))
+        return merge_intervals(intervals)
+
+    def _screen_events(self, intervals: np.ndarray) -> List[ScreenEvent]:
+        events: List[ScreenEvent] = []
+        for start, end in intervals:
+            events.append(ScreenEvent(float(start), True))
+            events.append(ScreenEvent(float(end), False))
+        return events
+
+    def _input_events(self, sessions: List[Session]) -> List[UserInputEvent]:
+        rng = self._rng("input")
+        events: List[UserInputEvent] = []
+        for session in sessions:
+            n = max(1, int(session.duration / 20.0))
+            times = session.start + np.sort(rng.uniform(0, session.duration, size=n))
+            events.extend(UserInputEvent(float(t), session.app_id) for t in times)
+        return events
+
+    def _build_state_timelines(self, timeline: UserTimeline) -> None:
+        """Per-app process-state machines; fills windows and events."""
+        cfg = self.config
+        duration = timeline.duration
+        by_app: Dict[int, List[Session]] = {}
+        for session in timeline.sessions:
+            by_app.setdefault(session.app_id, []).append(session)
+
+        for app_id in sorted(timeline.installed):
+            profile = timeline.installed[app_id]
+            rng = self._rng("lifecycle", app_id)
+            sessions = by_app.get(app_id, [])
+            bg_state = (
+                ProcessState.SERVICE
+                if profile.runs_as_service
+                else ProcessState.BACKGROUND
+            )
+            events = timeline.process_events
+            fg: List[Window] = []
+            playback: List[Window] = []
+            bg: List[Window] = []
+            kill_at: float = -1.0  # open background episode's kill time
+            bg_open: float = -1.0
+
+            if profile.autostarts:
+                # Boot-started service: in the background from t=0 and
+                # always restarted, so it is never reaped.
+                events.append(ProcessStateEvent(0.0, app_id, bg_state))
+                bg_open = 0.0
+                kill_at = float("inf")
+
+            def close_background(until: float) -> None:
+                nonlocal bg_open, kill_at
+                if bg_open < 0:
+                    return
+                end = min(until, kill_at, duration)
+                if end > bg_open:
+                    bg.append((bg_open, end))
+                if kill_at < until and kill_at < duration:
+                    events.append(
+                        ProcessStateEvent(kill_at, app_id, ProcessState.NOT_RUNNING)
+                    )
+                bg_open = -1.0
+
+            for session in sessions:
+                close_background(session.start)
+                events.append(
+                    ProcessStateEvent(session.start, app_id, ProcessState.FOREGROUND)
+                )
+                cursor = session.end
+                visible_for = 0.0
+                if session.playback_duration > 0 and profile.perceptible is not None:
+                    events.append(
+                        ProcessStateEvent(cursor, app_id, ProcessState.PERCEPTIBLE)
+                    )
+                    playback.append((cursor, session.full_end))
+                    cursor = session.full_end
+                elif rng.random() < cfg.visible_episode_probability:
+                    # Brief secondary-UI (VISIBLE) episode before leaving;
+                    # kept shorter than the inter-session gap so state
+                    # events never interleave with the next session. The
+                    # interactive traffic window covers it, so VISIBLE
+                    # carries (a little) energy in Fig 3.
+                    visible_for = min(cfg.session_gap * 0.75, session.duration * 0.2)
+                    events.append(
+                        ProcessStateEvent(cursor, app_id, ProcessState.VISIBLE)
+                    )
+                    cursor += visible_for
+                fg.append((session.start, session.end + visible_for))
+                events.append(ProcessStateEvent(cursor, app_id, bg_state))
+                bg_open = cursor
+                if profile.autostarts:
+                    kill_at = float("inf")
+                else:
+                    kill_at = cursor + rng.exponential(
+                        profile.background_survival_days * DAY
+                    )
+            close_background(duration)
+
+            timeline.fg_windows[app_id] = fg
+            timeline.playback_windows[app_id] = playback
+            timeline.bg_windows[app_id] = bg

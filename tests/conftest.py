@@ -1,0 +1,81 @@
+"""Shared fixtures.
+
+The study fixtures are session-scoped: generation is deterministic, so
+every test sees the same data, and the expensive pieces (generation +
+energy attribution) run once per pytest session.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import StudyConfig, StudyEnergy, generate_study
+from repro.trace.arrays import PacketArray
+from repro.trace.events import EventLog, ProcessState, ProcessStateEvent
+from repro.trace.packet import Direction
+
+
+def make_packets(specs):
+    """Build a time-sorted PacketArray from (t, size, dir, app[, conn]) tuples."""
+    specs = sorted(specs, key=lambda s: s[0])
+    times = np.array([s[0] for s in specs], dtype=np.float64)
+    sizes = np.array([s[1] for s in specs], dtype=np.uint32)
+    dirs = np.array([int(s[2]) for s in specs], dtype=np.uint8)
+    apps = np.array([s[3] for s in specs], dtype=np.uint16)
+    conns = np.array(
+        [s[4] if len(s) > 4 else 1 for s in specs], dtype=np.uint32
+    )
+    return PacketArray.from_columns(times, sizes, dirs, apps, conns)
+
+
+@pytest.fixture
+def packets_two_apps():
+    """Three bursts: app 1 (two close packets), later app 2."""
+    return make_packets(
+        [
+            (10.0, 1000, Direction.DOWNLINK, 1, 5),
+            (12.0, 500, Direction.UPLINK, 1, 5),
+            (100.0, 2000, Direction.DOWNLINK, 2, 7),
+        ]
+    )
+
+
+@pytest.fixture
+def simple_events():
+    """App 1: foreground at 0, background at 50, not-running at 500."""
+    return EventLog(
+        process_events=[
+            ProcessStateEvent(0.0, 1, ProcessState.FOREGROUND),
+            ProcessStateEvent(50.0, 1, ProcessState.BACKGROUND),
+            ProcessStateEvent(500.0, 1, ProcessState.NOT_RUNNING),
+        ]
+    )
+
+
+@pytest.fixture(scope="session")
+def small_config():
+    return StudyConfig(n_users=4, duration_days=10.0, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_config):
+    """A small but complete synthetic study (4 users x 10 days)."""
+    return generate_study(small_config)
+
+
+@pytest.fixture(scope="session")
+def small_study(small_dataset):
+    """Energy attribution over the small study."""
+    return StudyEnergy(small_dataset)
+
+
+@pytest.fixture(scope="session")
+def medium_dataset():
+    """A study big enough for Table 2 style day-run statistics."""
+    return generate_study(StudyConfig(n_users=8, duration_days=21.0, seed=77))
+
+
+@pytest.fixture(scope="session")
+def medium_study(medium_dataset):
+    return StudyEnergy(medium_dataset)

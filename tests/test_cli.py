@@ -1,0 +1,124 @@
+"""CLI commands (small in-process runs)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+SMALL = ["--users", "2", "--days", "5", "--seed", "3"]
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_lab_command(capsys):
+    code, out = run(capsys, "lab")
+    assert code == 0
+    assert "chrome" in out
+    assert "push library" in out
+
+
+def test_generate_and_reload(tmp_path, capsys):
+    out_file = str(tmp_path / "study.npz")
+    code, out = run(capsys, "generate", *SMALL, "--out", out_file)
+    assert code == 0
+    assert "wrote" in out
+    code, out = run(capsys, "figure", "1", "--dataset", out_file)
+    assert code == 0
+    assert "Figure 1" in out
+
+
+def test_figure_commands(capsys):
+    for number, marker in [("1", "Figure 1"), ("3", "Figure 3"), ("6", "Figure 6")]:
+        code, out = run(capsys, "figure", number, *SMALL)
+        assert code == 0
+        assert marker in out
+
+
+def test_figure_5_for_app(capsys):
+    code, out = run(capsys, "figure", "5", "--app", "com.android.chrome", *SMALL)
+    assert code == 0
+    assert "Figure 5" in out
+
+
+def test_table_1(capsys):
+    code, out = run(capsys, "table", "1", *SMALL)
+    assert code == 0
+    assert "Table 1" in out
+
+
+def test_whatif_command(capsys):
+    code, out = run(capsys, "whatif", "--app", "com.sec.spp.push", *SMALL)
+    assert code == 0
+    assert "Table 2" in out
+    assert "affected-days" in out
+
+
+def test_recommend_command(capsys):
+    code, out = run(capsys, "recommend", "--top", "5", *SMALL)
+    assert code == 0
+    assert "recommendation" in out
+
+
+def test_longitudinal_command(capsys):
+    code, out = run(capsys, "longitudinal", *SMALL)
+    assert code == 0
+    assert "Weekly background energy" in out
+    assert "fluctuation" in out
+
+
+def test_coalesce_command(capsys):
+    code, out = run(capsys, "coalesce", "--period", "900", *SMALL)
+    assert code == 0
+    assert "energy saved" in out
+
+
+def test_summary_command(capsys):
+    code, out = run(capsys, "summary", *SMALL)
+    assert code == 0
+    assert "Per-user trace summary" in out
+    assert "Traffic by app category" in out
+
+
+def test_scenario_flag(capsys):
+    code, out = run(capsys, "figure", "1", "--scenario", "smoke")
+    assert code == 0
+    assert "Figure 1" in out
+
+
+def test_model_flag(capsys):
+    code, out = run(capsys, "table", "1", "--model", "umts", *SMALL)
+    assert code == 0
+    assert "Table 1" in out
+
+
+def test_import_command(tmp_path, capsys):
+    packets = tmp_path / "p.csv"
+    events = tmp_path / "e.csv"
+    packets.write_text(
+        "timestamp,size,direction,app,conn\n1.0,100,down,com.a,1\n"
+    )
+    events.write_text(
+        "timestamp,kind,app,value\n0.5,process,com.a,foreground\n"
+    )
+    out_file = str(tmp_path / "imported.npz")
+    code, out = run(capsys, "import", f"{packets}:{events}", "--out", out_file)
+    assert code == 0
+    assert "wrote" in out
+    code, out = run(capsys, "figure", "1", "--dataset", out_file)
+    assert code == 0
+
+
+def test_app_command(capsys):
+    code, out = run(capsys, "app", "--app", "com.sec.spp.push", *SMALL)
+    assert code == 0
+    assert "com.sec.spp.push" in out
+    assert "recommendation:" in out

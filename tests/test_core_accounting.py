@@ -1,0 +1,96 @@
+"""Study-wide energy accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.radio.umts import UMTS_DEFAULT
+from repro.core.accounting import StudyEnergy
+from repro.units import DAY
+
+
+def test_conservation_per_user(small_study):
+    """The paper's invariant: device total = sum over apps + idle."""
+    for user_id in small_study.user_ids:
+        result = small_study.user_result(user_id)
+        by_app = result.energy_by_app()
+        assert sum(by_app.values()) == pytest.approx(result.attributed_energy)
+
+
+def test_totals_aggregate_users(small_study):
+    assert small_study.total_energy == pytest.approx(
+        sum(
+            small_study.user_result(u).total_energy
+            for u in small_study.user_ids
+        )
+    )
+    assert small_study.total_energy == pytest.approx(
+        small_study.attributed_energy + small_study.idle_energy
+    )
+
+
+def test_energy_by_app_matches_user_sums(small_study):
+    by_app = small_study.energy_by_app()
+    assert sum(by_app.values()) == pytest.approx(small_study.attributed_energy)
+
+
+def test_energy_by_state_sums(small_study):
+    assert sum(small_study.energy_by_state().values()) == pytest.approx(
+        small_study.attributed_energy
+    )
+
+
+def test_bytes_by_app(small_study, small_dataset):
+    by_app = small_study.bytes_by_app()
+    assert sum(by_app.values()) == small_dataset.total_bytes
+
+
+def test_unknown_user_rejected(small_study):
+    with pytest.raises(AnalysisError):
+        small_study.user_result(999)
+
+
+def test_daily_energy_partitions_user_total(small_study, small_config):
+    user_id = small_study.user_ids[0]
+    daily = small_study.daily_energy(user_id)
+    assert len(daily) == int(small_config.duration_days)
+    assert daily.sum() == pytest.approx(
+        small_study.user_result(user_id).attributed_energy
+    )
+
+
+def test_daily_energy_per_app(small_study):
+    user_id = small_study.user_ids[0]
+    trace_apps = small_study.dataset.user(user_id).app_ids()
+    total = sum(
+        small_study.daily_energy(user_id, app_id).sum() for app_id in trace_apps
+    )
+    assert total == pytest.approx(
+        small_study.user_result(user_id).attributed_energy
+    )
+
+
+def test_app_days_with_traffic(small_study):
+    user_id = small_study.user_ids[0]
+    app_id = small_study.dataset.user(user_id).app_ids()[0]
+    fg, bg = small_study.app_days_with_traffic(user_id, app_id)
+    assert fg.dtype == bool and bg.dtype == bool
+    assert len(fg) == len(bg)
+    assert (fg | bg).any()
+
+
+def test_users_with_app(small_study):
+    app_id = small_study.app_id("com.sec.spp.push")  # pre-installed
+    assert small_study.users_with_app(app_id) == small_study.user_ids
+
+
+def test_alternate_radio_model(small_dataset):
+    umts = StudyEnergy(small_dataset, model=UMTS_DEFAULT)
+    lte = StudyEnergy(small_dataset)
+    # LTE's high-power tail makes it costlier than 3G for the chatty
+    # traffic mix (Huang et al. MobiSys'12's LTE-vs-3G finding), and
+    # conservation holds under any model.
+    assert lte.attributed_energy > umts.attributed_energy
+    assert sum(umts.energy_by_app().values()) == pytest.approx(
+        umts.attributed_energy
+    )

@@ -1,0 +1,49 @@
+"""Single-app deep-dive report."""
+
+import pytest
+
+from repro.core.appreport import app_report, hourly_energy_profile, render_app_report
+from repro.errors import AnalysisError, ReproError
+
+
+def test_weibo_report(medium_study):
+    report = app_report(medium_study, "com.sina.weibo")
+    assert report.users > 0
+    assert report.total_energy > 0
+    assert report.joules_per_day > 500
+    assert 0.0 < report.battery_per_user_day < 0.3
+    # A resident 7-minute updater: almost all background, drains around
+    # the clock.
+    assert report.background_fraction > 0.8
+    assert report.overnight_fraction == pytest.approx(6 / 24, rel=0.4)
+    assert report.update_frequency.median_interval == pytest.approx(420, rel=0.2)
+
+
+def test_browser_report_contrasts(medium_study):
+    chrome = app_report(medium_study, "com.android.chrome")
+    weibo = app_report(medium_study, "com.sina.weibo")
+    assert chrome.background_fraction < weibo.background_fraction
+    # Browsing follows waking hours; the resident service does not.
+    assert chrome.overnight_fraction < weibo.overnight_fraction
+
+
+def test_hourly_profile_partitions_energy(medium_study):
+    app_id = medium_study.app_id("com.sina.weibo")
+    profile = hourly_energy_profile(medium_study, "com.sina.weibo")
+    assert len(profile) == 24
+    assert sum(profile) == pytest.approx(
+        medium_study.energy_by_app()[app_id], rel=1e-9
+    )
+
+
+def test_render_app_report(medium_study):
+    text = render_app_report(app_report(medium_study, "com.sina.weibo"))
+    assert "com.sina.weibo" in text
+    assert "battery per user-day" in text
+    assert "energy by hour of day" in text
+    assert "recommendation:" in text
+
+
+def test_unknown_app(medium_study):
+    with pytest.raises(ReproError):
+        app_report(medium_study, "no.such.app")

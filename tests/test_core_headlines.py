@@ -1,0 +1,45 @@
+"""Headline collection and seed-sweep robustness."""
+
+import pytest
+
+from repro import StudyConfig, StudyEnergy, generate_study
+from repro.core.headlines import Headline, headline_stats, seed_sweep
+from repro.errors import AnalysisError
+
+
+def test_headline_stats_structure(medium_study):
+    headlines = headline_stats(medium_study)
+    keys = [h.key for h in headlines]
+    assert "background_fraction" in keys
+    assert "chrome_background_fraction" in keys
+    assert "first_minute_apps" in keys
+    for headline in headlines:
+        assert headline.measured >= 0
+        assert headline.description
+
+
+def test_headline_values_in_plausible_ranges(medium_study):
+    by_key = {h.key: h for h in headline_stats(medium_study)}
+    assert 0.6 < by_key["background_fraction"].measured < 0.95
+    assert 0.1 < by_key["chrome_background_fraction"].measured < 0.6
+    assert 0.6 < by_key["first_minute_apps"].measured < 0.95
+
+
+def test_seed_sweep_stability():
+    def build(seed):
+        return StudyEnergy(
+            generate_study(StudyConfig(n_users=4, duration_days=7.0, seed=seed))
+        )
+
+    results = seed_sweep(build, seeds=[1, 2, 3])
+    bg = results["background_fraction"]
+    assert len(bg.values) == 3
+    # The headline is a population property, not a seed artefact.
+    assert bg.spread < 0.15
+    assert 0.6 < bg.mean < 0.95
+    assert bg.std < 0.08
+
+
+def test_seed_sweep_requires_seeds():
+    with pytest.raises(AnalysisError):
+        seed_sweep(lambda s: None, seeds=[])

@@ -1,0 +1,117 @@
+"""§3.1 longitudinal trends."""
+
+import numpy as np
+import pytest
+
+from repro.core.longitudinal import (
+    EraComparison,
+    EraStats,
+    WeeklySeries,
+    era_comparison,
+    improved_apps,
+    weekly_background_energy,
+)
+from repro.core.periodicity import UpdateFrequency
+from repro.errors import AnalysisError
+
+
+def _freq(median):
+    return UpdateFrequency(median, median * 0.95, median * 1.05, 100)
+
+
+def _era(lo, hi, jpd, freq_median):
+    return EraStats(lo, hi, jpd, jpd * 1000, _freq(freq_median))
+
+
+class TestWeeklySeries:
+    def test_fluctuation(self):
+        series = WeeklySeries((100.0, 160.0, 100.0))
+        assert series.max_fluctuation == pytest.approx(0.6)
+        assert series.n_weeks == 3
+        assert series.mean == pytest.approx(120.0)
+
+    def test_single_week_no_fluctuation(self):
+        assert WeeklySeries((100.0,)).max_fluctuation == 0.0
+
+    def test_zero_week_handled(self):
+        series = WeeklySeries((0.0, 50.0))
+        assert series.max_fluctuation == 0.0  # undefined growth ignored
+
+
+class TestEraComparison:
+    def test_improved_detection(self):
+        comparison = EraComparison(
+            "a", ( _era(0.0, 0.5, 1000.0, 300.0), _era(0.5, 1.0, 400.0, 3600.0) )
+        )
+        assert comparison.improved
+        assert comparison.energy_change == pytest.approx(-0.6)
+
+    def test_not_improved_when_interval_static(self):
+        comparison = EraComparison(
+            "a", (_era(0.0, 0.5, 1000.0, 300.0), _era(0.5, 1.0, 400.0, 310.0))
+        )
+        assert not comparison.improved
+
+    def test_not_improved_when_energy_static(self):
+        comparison = EraComparison(
+            "a", (_era(0.0, 0.5, 1000.0, 300.0), _era(0.5, 1.0, 990.0, 3600.0))
+        )
+        assert not comparison.improved
+
+    def test_single_era(self):
+        comparison = EraComparison("a", (_era(0.0, 1.0, 100.0, 300.0),))
+        assert not comparison.improved
+        assert comparison.energy_change == 0.0
+
+
+def test_weekly_series_covers_study(medium_study):
+    series = weekly_background_energy(medium_study)
+    assert series.n_weeks == 3  # 21 days
+    assert all(e > 0 for e in series.week_energy)
+    # Steady-state synthetic users: fluctuation is modest (< the paper's
+    # 60%, which reflects real behaviour change we do not inject weekly).
+    assert series.max_fluctuation < 0.6
+
+
+def test_weekly_series_partial_week_kept(small_study):
+    full = weekly_background_energy(small_study, complete_weeks_only=False)
+    trimmed = weekly_background_energy(small_study)
+    assert full.n_weeks == 2  # 10 days -> 1 full + 1 partial
+    assert trimmed.n_weeks == 1
+
+
+def test_era_comparison_facebook(medium_study):
+    """Facebook's catalog schedule: 5-min era then 1-h era."""
+    comparison = era_comparison(medium_study, "com.facebook.katana")
+    first, last = comparison.eras
+    assert first.update_frequency.median_interval == pytest.approx(300.0, rel=0.2)
+    assert last.update_frequency.median_interval == pytest.approx(3600.0, rel=0.3)
+    assert last.joules_per_day < first.joules_per_day
+    assert comparison.improved
+
+
+def test_era_comparison_stable_app(medium_study):
+    """Weibo never improves: same period throughout."""
+    comparison = era_comparison(medium_study, "com.sina.weibo")
+    assert not comparison.improved
+    first, last = comparison.eras
+    assert last.update_frequency.median_interval == pytest.approx(
+        first.update_frequency.median_interval, rel=0.3
+    )
+
+
+def test_era_boundaries_validation(medium_study):
+    with pytest.raises(AnalysisError):
+        era_comparison(medium_study, "com.sina.weibo", boundaries=(0.5, 0.2))
+    with pytest.raises(AnalysisError):
+        era_comparison(medium_study, "com.sina.weibo", boundaries=(0.5,))
+
+
+def test_improved_apps_finds_evolvers(medium_study):
+    improved = improved_apps(
+        medium_study,
+        apps=["com.facebook.katana", "com.sina.weibo", "com.android.email"],
+    )
+    assert "com.facebook.katana" in improved
+    assert "com.sina.weibo" not in improved
+    assert "com.android.email" not in improved

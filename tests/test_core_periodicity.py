@@ -1,0 +1,92 @@
+"""Update-frequency estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.periodicity import (
+    UpdateFrequency,
+    burst_starts,
+    estimate_update_frequency,
+    inter_burst_intervals,
+)
+from repro.errors import AnalysisError
+
+
+def test_burst_clustering():
+    ts = np.array([0.0, 1.0, 2.0, 100.0, 101.0, 300.0])
+    starts = burst_starts(ts, burst_gap=30.0)
+    assert starts.tolist() == [0.0, 100.0, 300.0]
+
+
+def test_burst_starts_empty():
+    assert len(burst_starts(np.empty(0))) == 0
+
+
+def test_burst_gap_validation():
+    with pytest.raises(AnalysisError):
+        burst_starts(np.array([1.0]), burst_gap=0.0)
+
+
+def test_inter_burst_intervals():
+    ts = np.array([0.0, 1.0, 300.0, 301.0, 600.0])
+    intervals = inter_burst_intervals(ts, burst_gap=30.0)
+    assert intervals.tolist() == [300.0, 300.0]
+
+
+def test_clean_periodic_detection():
+    ts = np.arange(0.0, 86400.0, 300.0)
+    freq = estimate_update_frequency([ts])
+    assert freq.median_interval == pytest.approx(300.0)
+    assert freq.is_periodic
+    assert "5min" in freq.describe()
+
+
+def test_jittered_period_still_periodic():
+    rng = np.random.default_rng(1)
+    ts = np.cumsum(rng.uniform(280.0, 320.0, size=200))
+    freq = estimate_update_frequency([ts])
+    assert freq.median_interval == pytest.approx(300.0, rel=0.05)
+    assert freq.is_periodic
+
+
+def test_irregular_not_periodic():
+    rng = np.random.default_rng(2)
+    ts = np.cumsum(rng.exponential(600.0, size=200))
+    freq = estimate_update_frequency([ts])
+    assert not freq.is_periodic
+    assert "varying" in freq.describe()
+
+
+def test_groups_do_not_leak_gaps():
+    """The gap BETWEEN two users' traces must not appear as an interval."""
+    a = np.arange(0.0, 3600.0, 300.0)
+    b = np.arange(1e6, 1e6 + 3600.0, 300.0)
+    freq = estimate_update_frequency([a, b])
+    assert freq.median_interval == pytest.approx(300.0)
+    assert freq.p75 < 301.0
+
+
+def test_max_interval_filter():
+    ts = np.array([0.0, 300.0, 600.0, 300000.0])
+    freq = estimate_update_frequency([ts], max_interval=86400.0)
+    assert freq.median_interval == pytest.approx(300.0)
+
+
+def test_no_data():
+    freq = estimate_update_frequency([])
+    assert freq.median_interval == 0.0
+    assert freq.n_bursts == 0
+    assert not freq.is_periodic
+
+
+def test_describe_formats():
+    assert "s" in UpdateFrequency(45.0, 44.0, 46.0, 100).describe()
+    assert "h" in UpdateFrequency(7200.0, 7100.0, 7300.0, 100).describe()
+
+
+def test_case_app_frequencies(small_study):
+    """Estimated cadences of the case-study apps match their profiles."""
+    from repro.core.casestudies import case_study_row
+
+    row = case_study_row(small_study, "com.android.email")
+    assert row.update_frequency.median_interval == pytest.approx(600.0, rel=0.2)

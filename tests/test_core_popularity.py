@@ -1,0 +1,65 @@
+"""Fig 1 and Fig 2 analyses."""
+
+import pytest
+
+from repro.core.popularity import ConsumerRow, top10_appearance_counts, top_consumers
+
+
+def test_top10_counts_structure(small_dataset):
+    counts = top10_appearance_counts(small_dataset)
+    assert counts
+    values = list(counts.values())
+    assert values == sorted(values, reverse=True)
+    assert all(v >= 2 for v in values)
+    assert max(values) <= len(small_dataset)
+
+
+def test_top10_min_users_filter(small_dataset):
+    all_counts = top10_appearance_counts(small_dataset, min_users=1)
+    filtered = top10_appearance_counts(small_dataset, min_users=2)
+    assert len(filtered) <= len(all_counts)
+    assert set(filtered) <= set(all_counts)
+
+
+def test_top10_diversity(small_dataset):
+    """A few apps are near-universal, the tail is diverse (Fig 1)."""
+    counts = top10_appearance_counts(small_dataset, min_users=1)
+    n_users = len(small_dataset)
+    assert any(v >= n_users * 0.75 for v in counts.values())
+    assert len(counts) > 15  # many distinct apps across top-10 lists
+
+
+def test_top_consumers_ordering(small_study):
+    by_energy = top_consumers(small_study, n=10, by="energy")
+    energies = [r.total_energy for r in by_energy]
+    assert energies == sorted(energies, reverse=True)
+    by_data = top_consumers(small_study, n=10, by="data")
+    volumes = [r.total_bytes for r in by_data]
+    assert volumes == sorted(volumes, reverse=True)
+
+
+def test_top_consumers_differ_by_metric(small_study):
+    """Fig 2's point: the top-energy and top-data lists differ."""
+    by_energy = [r.app for r in top_consumers(small_study, n=8, by="energy")]
+    by_data = [r.app for r in top_consumers(small_study, n=8, by="data")]
+    assert by_energy != by_data
+
+
+def test_email_energy_disproportionate(small_study):
+    """Default email: high J/MB; media server: low J/MB (Fig 2)."""
+    rows = {r.app: r for r in top_consumers(small_study, n=400, by="energy")}
+    email = rows["com.android.email"]
+    media = rows["android.process.media"]
+    assert email.joules_per_mb > 10 * media.joules_per_mb
+
+
+def test_invalid_by_rejected_before_any_work():
+    with pytest.raises(ValueError):
+        top_consumers(None, by="nope")
+
+
+def test_consumer_row_j_per_mb():
+    row = ConsumerRow("a", "x", total_bytes=2_000_000, total_energy=10.0)
+    assert row.joules_per_mb == pytest.approx(5.0)
+    zero = ConsumerRow("b", "x", total_bytes=0, total_energy=1.0)
+    assert zero.joules_per_mb == 0.0

@@ -1,0 +1,62 @@
+"""§6 recommendation engine."""
+
+import pytest
+
+from repro.core.recommend import (
+    Diagnosis,
+    recommend,
+    recommendation_report,
+)
+from repro.errors import AnalysisError
+
+
+def test_chatty_updater_gets_batching_advice(medium_study):
+    rec = recommend(medium_study, "com.sina.weibo")
+    assert Diagnosis.CHATTY_BACKGROUND in rec.diagnoses
+    assert rec.batching_saving_pct > 40.0
+    assert rec.update_interval == pytest.approx(420.0, rel=0.3)
+
+
+def test_idle_drainer_gets_kill_advice(medium_study):
+    rec = recommend(medium_study, "com.sina.weibo")
+    assert Diagnosis.IDLE_DRAIN in rec.diagnoses
+    assert rec.kill_saving_pct > 20.0
+
+
+def test_chrome_gets_lingering_advice(medium_study):
+    rec = recommend(medium_study, "com.android.chrome")
+    assert Diagnosis.LINGERING_FOREGROUND in rec.diagnoses
+    assert rec.lingering_energy_fraction > 0.10
+
+
+def test_clean_browser_not_flagged_for_lingering(medium_study):
+    rec = recommend(medium_study, "org.mozilla.firefox")
+    assert Diagnosis.LINGERING_FOREGROUND not in rec.diagnoses
+
+
+def test_describe_mentions_primary(medium_study):
+    rec = recommend(medium_study, "com.sina.weibo")
+    text = rec.describe()
+    assert "com.sina.weibo" in text
+    assert rec.primary.value in text
+
+
+def test_unknown_app(medium_study):
+    from repro.errors import ReproError
+
+    with pytest.raises(ReproError):
+        recommend(medium_study, "no.such.app")
+
+
+def test_report_ranks_by_energy(medium_study):
+    recs = recommendation_report(medium_study, top_n=8)
+    assert len(recs) == 8
+    energies = [r.total_energy for r in recs]
+    assert energies == sorted(energies, reverse=True)
+
+
+def test_report_explicit_apps(medium_study):
+    recs = recommendation_report(
+        medium_study, apps=["com.android.chrome", "com.sina.weibo"]
+    )
+    assert [r.app for r in recs] == ["com.android.chrome", "com.sina.weibo"]

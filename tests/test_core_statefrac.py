@@ -1,0 +1,82 @@
+"""Fig 3 and the background-fraction headline."""
+
+import pytest
+
+from repro.core.statefrac import (
+    STATE_ORDER,
+    background_energy_fraction,
+    background_fraction_per_app,
+    state_energy_fractions,
+    state_energy_share,
+)
+from repro.errors import AnalysisError
+from repro.trace.events import ProcessState
+
+
+def test_fractions_sum_to_one(small_study):
+    fractions = state_energy_fractions(small_study)
+    assert len(fractions) == 12  # the paper's twelve hungry apps
+    for app, by_state in fractions.items():
+        assert sum(by_state.values()) == pytest.approx(1.0)
+        assert set(by_state) == set(STATE_ORDER)
+
+
+def test_explicit_app_selection(small_study):
+    fractions = state_energy_fractions(
+        small_study, apps=["com.android.email", "com.android.chrome"]
+    )
+    assert set(fractions) == {"com.android.email", "com.android.chrome"}
+
+
+def test_unknown_app_raises(small_study):
+    with pytest.raises(Exception):
+        state_energy_fractions(small_study, apps=["does.not.exist"])
+
+
+def test_state_share_sums_to_one(small_study):
+    share = state_energy_share(small_study)
+    assert sum(share.values()) == pytest.approx(1.0)
+
+
+def test_background_fraction_matches_share(small_study):
+    share = state_energy_share(small_study)
+    bg = (
+        share[ProcessState.PERCEPTIBLE]
+        + share[ProcessState.SERVICE]
+        + share[ProcessState.BACKGROUND]
+    )
+    assert background_energy_fraction(small_study) == pytest.approx(bg)
+
+
+def test_background_dominates(small_study):
+    """The paper's 84% headline: background states dominate."""
+    assert background_energy_fraction(small_study) > 0.6
+
+
+def test_service_is_largest_background_state(small_study):
+    """The paper: 32% service vs 8% perceptible."""
+    share = state_energy_share(small_study)
+    assert share[ProcessState.SERVICE] > share[ProcessState.PERCEPTIBLE]
+
+
+def test_chrome_background_fraction(small_study):
+    """§4.1: ~30% of Chrome's energy is background."""
+    frac = background_energy_fraction(small_study, "com.android.chrome")
+    assert 0.1 < frac < 0.6
+
+
+def test_browsers_differ(small_study):
+    chrome = background_energy_fraction(small_study, "com.android.chrome")
+    firefox = background_energy_fraction(small_study, "org.mozilla.firefox")
+    assert chrome > 2 * firefox
+
+
+def test_per_app_fractions_bounded(small_study):
+    fractions = background_fraction_per_app(small_study)
+    assert fractions
+    assert all(0.0 <= v <= 1.0 + 1e-9 for v in fractions.values())
+
+
+def test_pure_service_apps_fully_background(small_study):
+    fractions = background_fraction_per_app(small_study)
+    assert fractions["com.urbanairship.push"] > 0.95

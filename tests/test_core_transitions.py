@@ -1,0 +1,166 @@
+"""§4.1 transition analyses (Figs 4-6, first-minute criterion)."""
+
+import numpy as np
+import pytest
+
+from repro.core.transitions import (
+    PersistenceSample,
+    TransitionStats,
+    bytes_since_foreground,
+    first_minute_fractions,
+    fraction_of_apps_above,
+    persistence_cdf,
+    persistence_durations,
+    trace_timeline,
+)
+from repro.errors import AnalysisError
+from repro.trace.dataset import AppInfo, AppRegistry, Dataset
+from repro.trace.events import EventLog, ProcessState, ProcessStateEvent
+from repro.trace.packet import Direction
+from repro.trace.trace import UserTrace
+
+from conftest import make_packets
+
+
+def _micro_dataset():
+    """One app: fg [0,100), bg [100,1000); traffic at known offsets."""
+    registry = AppRegistry([AppInfo(1, "app.a", "x"), AppInfo(2, "app.b", "x")])
+    events = EventLog(
+        process_events=[
+            ProcessStateEvent(0.0, 1, ProcessState.FOREGROUND),
+            ProcessStateEvent(100.0, 1, ProcessState.BACKGROUND),
+            ProcessStateEvent(0.0, 2, ProcessState.FOREGROUND),
+            ProcessStateEvent(100.0, 2, ProcessState.SERVICE),
+        ]
+    )
+    packets = make_packets(
+        [
+            (50.0, 500, Direction.DOWNLINK, 1),    # foreground
+            (110.0, 1000, Direction.DOWNLINK, 1),  # +10 s after bg
+            (130.0, 1000, Direction.DOWNLINK, 1),  # +30 s
+            (900.0, 1000, Direction.DOWNLINK, 1),  # +800 s (after silence)
+            (105.0, 4000, Direction.DOWNLINK, 2),  # app 2: all in 1st min
+        ]
+    )
+    trace = UserTrace(1, 0.0, 1000.0, packets, events)
+    trace.label_states()
+    return Dataset(registry, [trace])
+
+
+def test_persistence_stops_at_silence_gap():
+    ds = _micro_dataset()
+    samples = persistence_durations(ds, app="app.a", silence_gap=600.0)
+    assert len(samples) == 1
+    # Continuous run ends at +30 s; the +800 s packet is past the gap.
+    assert samples[0].duration == pytest.approx(30.0)
+    assert samples[0].bytes == 2000
+
+
+def test_persistence_counts_late_run_with_huge_gap_setting():
+    ds = _micro_dataset()
+    samples = persistence_durations(ds, app="app.a", silence_gap=10_000.0)
+    assert samples[0].duration == pytest.approx(800.0)
+
+
+def test_persistence_silent_transitions_included():
+    ds = _micro_dataset()
+    all_apps = persistence_durations(ds)
+    assert len(all_apps) == 2  # one transition per app
+    silent_excluded = persistence_durations(ds, include_silent=False)
+    assert len(silent_excluded) == 2  # both apps have traffic here
+
+
+def test_persistence_cdf():
+    samples = [
+        PersistenceSample(1, "a", 0.0, d, 0) for d in (10.0, 20.0, 30.0, 40.0)
+    ]
+    durations, fractions = persistence_cdf(samples)
+    assert durations.tolist() == [10.0, 20.0, 30.0, 40.0]
+    assert fractions[-1] == pytest.approx(1.0)
+    with pytest.raises(AnalysisError):
+        persistence_cdf([])
+
+
+def test_transition_stats_from_samples():
+    samples = [PersistenceSample(1, "a", 0.0, d, 0) for d in (0.0, 10.0, 100.0)]
+    stats = TransitionStats.from_samples("a", samples)
+    assert stats.transitions == 3
+    assert stats.median_persistence == pytest.approx(10.0)
+    assert stats.max_persistence == pytest.approx(100.0)
+
+
+def test_bytes_since_foreground_bins():
+    ds = _micro_dataset()
+    edges, totals = bytes_since_foreground(ds, bin_seconds=10.0, horizon=100.0)
+    assert len(edges) == len(totals) == 10
+    # App 1: +10 s and +30 s; app 2: +5 s.
+    assert totals[1] == pytest.approx(1000.0)
+    assert totals[3] == pytest.approx(1000.0)
+    assert totals[0] == pytest.approx(4000.0)
+    assert totals.sum() == pytest.approx(6000.0)
+
+
+def test_bytes_since_foreground_app_filter():
+    ds = _micro_dataset()
+    _, totals = bytes_since_foreground(
+        ds, bin_seconds=10.0, horizon=100.0, apps=["app.b"]
+    )
+    assert totals.sum() == pytest.approx(4000.0)
+
+
+def test_first_minute_fractions():
+    ds = _micro_dataset()
+    fractions = first_minute_fractions(ds)
+    # App 1: 2000 of 3000 bytes in first minute; app 2: all of it.
+    assert fractions["app.a"] == pytest.approx(2000 / 3000)
+    assert fractions["app.b"] == pytest.approx(1.0)
+    assert fraction_of_apps_above(fractions, 0.8) == pytest.approx(0.5)
+    with pytest.raises(AnalysisError):
+        fraction_of_apps_above({})
+
+
+def test_trace_timeline_picks_heaviest_transition():
+    ds = _micro_dataset()
+    view = trace_timeline(ds, "app.a", min_background_packets=2)
+    assert view.transition == pytest.approx(100.0)
+    assert view.background_bytes == 3000  # everything after the transition
+    assert view.foreground_bytes == 500
+    assert np.all(view.times >= -300.0)
+
+
+def test_trace_timeline_missing_app():
+    ds = _micro_dataset()
+    with pytest.raises(AnalysisError):
+        trace_timeline(ds, "app.b", min_background_packets=5)
+
+
+def test_study_first_minute_headline(small_dataset):
+    """Most apps send most background bytes right after backgrounding."""
+    fractions = first_minute_fractions(small_dataset)
+    assert fraction_of_apps_above(fractions, 0.8) > 0.55
+
+
+def test_study_persistence_heavy_tail(medium_dataset):
+    samples = persistence_durations(medium_dataset, app="com.android.chrome")
+    durations = np.array([s.duration for s in samples])
+    assert len(durations) > 50
+    # Most transitions die quickly; a heavy tail lingers for > 10 min.
+    assert np.median(durations) < 120.0
+    assert durations.max() > 600.0
+
+
+def test_study_fig6_first_minute_heavy(small_dataset):
+    edges, totals = bytes_since_foreground(small_dataset, bin_seconds=60.0)
+    assert totals[0] > totals[1:5].max()
+
+
+def test_transition_stats_for_table():
+    from repro.core.transitions import transition_stats_for
+    from repro.core.report import render_persistence_table
+
+    ds = _micro_dataset()
+    stats = transition_stats_for(ds, ["app.a", "app.b"])
+    assert [s.app for s in stats] == ["app.a", "app.b"]
+    assert stats[0].transitions == 1
+    text = render_persistence_table(stats)
+    assert "app.a" in text and "persistence" in text.lower()

@@ -1,0 +1,36 @@
+"""Every example script must at least compile and expose a main()."""
+
+import ast
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path, tmp_path):
+    py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_main_guard(path):
+    tree = ast.parse(path.read_text())
+    assert any(
+        isinstance(node, ast.If)
+        and isinstance(node.test, ast.Compare)
+        and getattr(node.test.left, "id", "") == "__name__"
+        for node in tree.body
+    ), f"{path.name} lacks an `if __name__ == '__main__'` guard"
+
+
+def test_expected_examples_present():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "app_energy_audit.py",
+        "browser_linger.py",
+        "whatif_doze.py",
+        "import_real_trace.py",
+    } <= names

@@ -1,0 +1,100 @@
+"""In-lab harness: browser rules and push-library observation."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.lab import (
+    CHROME,
+    FIREFOX,
+    STOCK_BROWSER,
+    browser_background_experiment,
+    push_library_experiment,
+    transit_page,
+    xhr_test_page,
+)
+from repro.lab.harness import Phase
+from repro.radio.lte import lte_fast_dormancy_model
+
+
+def test_browser_rules_match_paper():
+    # Chrome: everything allowed.
+    assert CHROME.permits(foreground=False, screen_on=False, tab_active=False)
+    # Firefox: background, screen-off and inactive tabs all blocked.
+    assert not FIREFOX.permits(False, True, True)
+    assert not FIREFOX.permits(True, False, True)
+    assert not FIREFOX.permits(True, True, False)
+    assert FIREFOX.permits(True, True, True)
+    # Stock browser: blocks background/screen-off but not inactive tabs.
+    assert not STOCK_BROWSER.permits(False, True, True)
+    assert STOCK_BROWSER.permits(True, True, False)
+
+
+def test_chrome_transfers_in_background():
+    result = browser_background_experiment(CHROME, xhr_test_page())
+    assert result.phase_packets[1] > 0       # minimised
+    assert result.phase_packets[2] > 0       # screen off
+    assert result.phase_energy[1] > 100.0    # radio held active
+
+
+def test_firefox_and_stock_go_silent():
+    for browser in (FIREFOX, STOCK_BROWSER):
+        result = browser_background_experiment(browser, xhr_test_page())
+        assert result.phase_packets[0] > 0
+        assert result.phase_packets[1] == 0
+        assert result.phase_packets[2] == 0
+        assert result.phase_energy[1] == 0.0
+
+
+def test_background_energy_ordering():
+    chrome = browser_background_experiment(CHROME, xhr_test_page())
+    firefox = browser_background_experiment(FIREFOX, xhr_test_page())
+    assert chrome.total_energy > 5 * firefox.total_energy
+
+
+def test_transit_page_keeps_radio_alive():
+    """Polls every 2 s < tail: the radio never demotes while lingering."""
+    result = browser_background_experiment(CHROME, transit_page())
+    bg_seconds = result.phases[1].duration + result.phases[2].duration
+    bg_energy = result.phase_energy[1] + result.phase_energy[2]
+    # Sustained power close to the LTE tail power (~1 W).
+    assert bg_energy / bg_seconds > 0.5
+
+
+def test_custom_phases():
+    phases = (Phase(60.0, True, True), Phase(60.0, True, True, tab_active=False))
+    result = browser_background_experiment(FIREFOX, xhr_test_page(), phases=phases)
+    assert result.phase_packets[0] > 0
+    assert result.phase_packets[1] == 0  # Firefox blocks inactive tabs
+    stock = browser_background_experiment(STOCK_BROWSER, xhr_test_page(), phases=phases)
+    assert stock.phase_packets[1] > 0  # stock browser does not
+
+
+def test_phases_required():
+    with pytest.raises(WorkloadError):
+        browser_background_experiment(CHROME, xhr_test_page(), phases=())
+
+
+def test_push_library_matches_paper_anecdote():
+    result = push_library_experiment(
+        keepalive_period=300.0, hours=5.0, notifications=1
+    )
+    assert result.requests == 59  # every 5 min for 5 h
+    assert result.notifications == 1
+    # Hundreds of joules for one visible notification.
+    assert result.joules_per_notification > 300.0
+
+
+def test_push_library_no_notifications():
+    result = push_library_experiment(notifications=0, hours=1.0)
+    assert result.joules_per_notification == float("inf")
+
+
+def test_push_library_fast_dormancy_saves_energy():
+    normal = push_library_experiment(hours=2.0)
+    fd = push_library_experiment(hours=2.0, model=lte_fast_dormancy_model())
+    assert fd.total_energy < 0.5 * normal.total_energy
+
+
+def test_push_library_validation():
+    with pytest.raises(WorkloadError):
+        push_library_experiment(hours=0.0)

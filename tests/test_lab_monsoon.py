@@ -1,0 +1,81 @@
+"""Simulated Monsoon calibration loop."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError, ModelError
+from repro.lab.monsoon import PowerTrace, estimate_parameters, record
+from repro.radio.lte import LTE_DEFAULT
+from repro.radio.machine import RadioStateMachine
+from repro.trace.packet import Direction
+
+from conftest import make_packets
+
+
+@pytest.fixture(scope="module")
+def burst_recording():
+    """One isolated burst: promotion + tail + long idle, at 100 Hz."""
+    packets = make_packets([(20.0, 50_000, Direction.DOWNLINK, 1)])
+    sim = RadioStateMachine(LTE_DEFAULT).simulate(packets, window=(0.0, 120.0))
+    return sim, record(sim, rate_hz=100.0, noise_watts=0.003)
+
+
+def test_recording_structure(burst_recording):
+    sim, trace = burst_recording
+    assert trace.sample_rate == pytest.approx(100.0, rel=0.01)
+    assert trace.duration == pytest.approx(120.0, rel=0.02)
+    assert trace.watts.min() >= 0.0
+
+
+def test_recording_energy_matches_simulation(burst_recording):
+    sim, trace = burst_recording
+    # The integral of the sampled power reproduces the simulated energy
+    # (within sampling/noise error).
+    assert trace.energy() == pytest.approx(sim.total_energy, rel=0.05)
+
+
+def test_calibration_recovers_lte_parameters(burst_recording):
+    """The paper's Monsoon validation, in simulation: the published
+    parameters are recoverable from the power trace alone."""
+    _, trace = burst_recording
+    estimated = estimate_parameters(trace)
+    assert estimated.idle_power == pytest.approx(LTE_DEFAULT.idle_power, abs=0.01)
+    assert estimated.tail_power == pytest.approx(
+        LTE_DEFAULT.tail_phases[0].power, rel=0.1
+    )
+    # Active run = promotion + tail.
+    expected = LTE_DEFAULT.tail_duration + LTE_DEFAULT.promotion_duration
+    assert estimated.tail_duration == pytest.approx(expected, rel=0.05)
+
+
+def test_calibration_on_multi_burst_recording():
+    packets = make_packets(
+        [(50.0 + 60.0 * k, 10_000, Direction.DOWNLINK, 1) for k in range(5)]
+    )
+    sim = RadioStateMachine(LTE_DEFAULT).simulate(packets, window=(0.0, 400.0))
+    trace = record(sim, rate_hz=50.0, noise_watts=0.002)
+    estimated = estimate_parameters(trace)
+    assert estimated.tail_duration == pytest.approx(
+        LTE_DEFAULT.tail_duration + LTE_DEFAULT.promotion_duration, rel=0.1
+    )
+
+
+def test_record_validation():
+    packets = make_packets([(1.0, 100, Direction.UPLINK, 1)])
+    sim = RadioStateMachine(LTE_DEFAULT).simulate(
+        packets, window=(0.0, 10.0), record_intervals=False
+    )
+    with pytest.raises(AnalysisError):
+        record(sim)
+    sim2 = RadioStateMachine(LTE_DEFAULT).simulate(packets, window=(0.0, 10.0))
+    with pytest.raises(ModelError):
+        record(sim2, rate_hz=0.0)
+
+
+def test_estimate_validation():
+    with pytest.raises(AnalysisError):
+        estimate_parameters(PowerTrace(np.arange(3.0), np.ones(3)))
+    # All-idle recording: nothing active to calibrate from.
+    flat = PowerTrace(np.arange(0, 10, 0.01), np.full(1000, 0.0114))
+    with pytest.raises(AnalysisError):
+        estimate_parameters(flat, active_threshold=1.0)

@@ -1,0 +1,59 @@
+"""Battery units, ASCII bars, category energy."""
+
+import pytest
+
+from repro.core.popularity import category_energy
+from repro.core.report import render_bars
+from repro.units import GALAXY_S3_BATTERY_J, battery_fraction
+
+
+def test_battery_constant():
+    # 2100 mAh * 3.8 V * 3600 s/h
+    assert GALAXY_S3_BATTERY_J == pytest.approx(28728.0)
+
+
+def test_battery_fraction():
+    assert battery_fraction(GALAXY_S3_BATTERY_J) == pytest.approx(1.0)
+    assert battery_fraction(2872.8) == pytest.approx(0.1)
+    assert battery_fraction(100.0, battery_joules=0.0) == 0.0
+
+
+def test_weibo_daily_battery_impact(medium_study):
+    """Weibo's background drain alone is several percent of a charge
+    per day — the user-visible framing of Table 1."""
+    from repro.core.casestudies import case_study_row
+
+    row = case_study_row(medium_study, "com.sina.weibo")
+    daily = battery_fraction(row.joules_per_day)
+    assert 0.03 < daily < 0.25
+
+
+def test_render_bars_scaling():
+    text = render_bars([1.0, 2.0, 4.0], ["a", "b", "c"], width=8, title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert lines[1].count("#") == 2
+    assert lines[2].count("#") == 4
+    assert lines[3].count("#") == 8
+
+
+def test_render_bars_empty_and_zero():
+    assert render_bars([], [], title=None) == ""
+    text = render_bars([0.0, 0.0], ["a", "b"])
+    assert "#" not in text
+
+
+def test_render_bars_validation():
+    with pytest.raises(ValueError):
+        render_bars([1.0], ["a", "b"])
+
+
+def test_category_energy(medium_study):
+    totals = category_energy(medium_study)
+    assert totals
+    values = list(totals.values())
+    assert values == sorted(values, reverse=True)
+    assert sum(values) == pytest.approx(medium_study.attributed_energy)
+    # Services and social apps dominate the energy roll-up.
+    top3 = list(totals)[:3]
+    assert set(top3) & {"service", "social", "communication"}

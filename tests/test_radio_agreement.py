@@ -1,0 +1,110 @@
+"""Property-based agreement between the two energy engines.
+
+The event-driven machine is the reference; the vectorised engine must
+agree on every component for any packet timeline, under every model.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.radio.lte import LTE_DEFAULT, lte_fast_dormancy_model, lte_model
+from repro.radio.machine import RadioStateMachine
+from repro.radio.umts import UMTS_DEFAULT
+from repro.radio.vectorized import compute_packet_energy
+from repro.radio.wifi import WIFI_DEFAULT
+from repro.trace.arrays import PacketArray
+
+MODELS = [
+    LTE_DEFAULT,
+    lte_model(drx_detail=True),
+    lte_fast_dormancy_model(),
+    UMTS_DEFAULT,
+    WIFI_DEFAULT,
+]
+
+
+@st.composite
+def packet_timelines(draw):
+    """Random sorted packet timelines with adversarial gap structure."""
+    n = draw(st.integers(min_value=0, max_value=60))
+    # Gaps chosen to straddle tail boundaries (tiny, tail-ish, huge).
+    gaps = draw(
+        st.lists(
+            st.one_of(
+                st.floats(0.0, 0.5),
+                st.floats(5.0, 20.0),
+                st.floats(50.0, 5000.0),
+            ),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    start = draw(st.floats(0.0, 100.0))
+    times = np.cumsum(np.array([start] + gaps))[: n or 0]
+    if n == 0:
+        times = np.empty(0)
+    sizes = np.array(
+        draw(st.lists(st.integers(40, 2_000_000), min_size=n, max_size=n)),
+        dtype=np.uint32,
+    )
+    dirs = np.array(
+        draw(st.lists(st.integers(0, 1), min_size=n, max_size=n)), dtype=np.uint8
+    )
+    apps = np.array(
+        draw(st.lists(st.integers(1, 5), min_size=n, max_size=n)), dtype=np.uint16
+    )
+    packets = PacketArray.from_columns(times, sizes, dirs, apps)
+    end = float(times[-1]) + draw(st.floats(0.0, 1000.0)) if n else 100.0
+    return packets, (0.0, end)
+
+
+@given(data=packet_timelines(), model_idx=st.integers(0, len(MODELS) - 1))
+@settings(max_examples=120, deadline=None)
+def test_engines_agree(data, model_idx):
+    packets, window = data
+    model = MODELS[model_idx]
+    machine = RadioStateMachine(model).simulate(
+        packets, window=window, record_intervals=False
+    )
+    vector = compute_packet_energy(model, packets, window=window)
+    np.testing.assert_allclose(machine.transfer, vector.transfer, rtol=1e-9)
+    np.testing.assert_allclose(machine.tail, vector.tail, rtol=1e-9)
+    np.testing.assert_allclose(machine.promotion, vector.promotion, rtol=1e-9)
+    assert machine.idle_energy == vector.idle_energy or abs(
+        machine.idle_energy - vector.idle_energy
+    ) < 1e-9 * max(1.0, machine.idle_energy)
+
+
+@given(data=packet_timelines())
+@settings(max_examples=60, deadline=None)
+def test_energy_nonnegative_and_conserved(data):
+    packets, window = data
+    vector = compute_packet_energy(LTE_DEFAULT, packets, window=window)
+    assert np.all(vector.per_packet >= 0)
+    assert vector.idle_energy >= 0
+    assert vector.total_energy >= vector.attributed_energy
+
+
+@given(data=packet_timelines())
+@settings(max_examples=60, deadline=None)
+def test_removing_packets_never_raises_total_energy(data):
+    """Dropping traffic can only reduce the radio's total energy — the
+    monotonicity the §5 kill-policy simulation relies on."""
+    packets, window = data
+    if len(packets) < 2:
+        return
+    full = compute_packet_energy(LTE_DEFAULT, packets, window=window)
+    keep = np.ones(len(packets), dtype=bool)
+    keep[len(packets) // 2] = False
+    reduced = compute_packet_energy(
+        LTE_DEFAULT, packets.select(keep), window=window
+    )
+    assert reduced.total_energy <= full.total_energy + 1e-9
+
+
+@given(data=packet_timelines())
+@settings(max_examples=60, deadline=None)
+def test_tail_bounded_by_full_tail(data):
+    packets, window = data
+    vector = compute_packet_energy(LTE_DEFAULT, packets, window=window)
+    assert np.all(vector.tail <= LTE_DEFAULT.full_tail_energy + 1e-12)

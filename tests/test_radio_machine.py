@@ -1,0 +1,154 @@
+"""Event-driven state machine: hand-computed energy cases."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, TraceError
+from repro.radio.base import RadioModel, RadioState, TailPhase
+from repro.radio.machine import RadioStateMachine
+from repro.trace.packet import Direction
+
+from conftest import make_packets
+
+#: A model with round numbers so every joule is hand-checkable.
+TOY = RadioModel(
+    name="toy",
+    idle_power=0.01,
+    promotion_duration=1.0,
+    promotion_power=2.0,
+    tail_phases=(TailPhase(10.0, 1.0),),
+    energy_per_byte_up=2e-6,
+    energy_per_byte_down=1e-6,
+)
+
+
+def test_empty_trace_is_pure_idle():
+    sim = RadioStateMachine(TOY).simulate(make_packets([]), window=(0.0, 100.0))
+    assert sim.total_energy == pytest.approx(1.0)  # 100 s * 0.01 W
+    assert sim.attributed_energy == 0.0
+    assert sim.time_in_state(RadioState.IDLE) == pytest.approx(100.0)
+
+
+def test_single_packet_energy():
+    packets = make_packets([(50.0, 1000, Direction.DOWNLINK, 1)])
+    sim = RadioStateMachine(TOY).simulate(packets, window=(0.0, 100.0))
+    # promotion 1 s * 2 W = 2 J; transfer 1000 B * 1e-6 = 0.001 J;
+    # full tail 10 s * 1 W = 10 J; idle (100 - 1 - 10) s... lead-in idle
+    # is 49 s (promotion carved out), post-tail idle is 40 s.
+    assert sim.promotion[0] == pytest.approx(2.0)
+    assert sim.transfer[0] == pytest.approx(0.001)
+    assert sim.tail[0] == pytest.approx(10.0)
+    assert sim.idle_energy == pytest.approx((49.0 + 40.0) * 0.01)
+    assert sim.total_energy == pytest.approx(2.0 + 0.001 + 10.0 + 0.89)
+
+
+def test_two_packets_within_tail_share_one_promotion():
+    packets = make_packets(
+        [
+            (10.0, 1000, Direction.DOWNLINK, 1),
+            (15.0, 1000, Direction.DOWNLINK, 1),
+        ]
+    )
+    sim = RadioStateMachine(TOY).simulate(packets, window=(0.0, 40.0))
+    assert sim.promotion[0] == pytest.approx(2.0)
+    assert sim.promotion[1] == 0.0  # radio still connected
+    # First packet owns the 5 s of radio-on before the second (paper's
+    # last-packet tail attribution); second owns the full 10 s tail.
+    assert sim.tail[0] == pytest.approx(5.0)
+    assert sim.tail[1] == pytest.approx(10.0)
+
+
+def test_gap_longer_than_tail_promotes_again():
+    packets = make_packets(
+        [
+            (10.0, 1000, Direction.DOWNLINK, 1),
+            (40.0, 1000, Direction.DOWNLINK, 1),
+        ]
+    )
+    sim = RadioStateMachine(TOY).simulate(packets, window=(0.0, 60.0))
+    assert sim.promotion[1] == pytest.approx(2.0)
+    assert sim.tail[0] == pytest.approx(10.0)  # full tail, then demote
+    # Gap 30 s: 10 s tail + 1 s next promotion -> 19 s idle.
+    assert sim.idle_energy == pytest.approx((9.0 + 19.0 + 10.0) * 0.01)
+
+
+def test_uplink_vs_downlink_transfer():
+    packets = make_packets(
+        [
+            (0.0, 1000, Direction.UPLINK, 1),
+            (1.0, 1000, Direction.DOWNLINK, 1),
+        ]
+    )
+    sim = RadioStateMachine(TOY).simulate(packets)
+    assert sim.transfer[0] == pytest.approx(0.002)
+    assert sim.transfer[1] == pytest.approx(0.001)
+
+
+def test_interval_log_states():
+    packets = make_packets([(20.0, 1000, Direction.DOWNLINK, 1)])
+    sim = RadioStateMachine(TOY).simulate(packets, window=(0.0, 60.0))
+    states = [i.state for i in sim.intervals]
+    assert states == [
+        RadioState.IDLE,
+        RadioState.PROMOTION,
+        RadioState.TAIL,
+        RadioState.IDLE,
+    ]
+    promo = sim.intervals[1]
+    assert (promo.start, promo.end) == (19.0, 20.0)
+    assert sim.intervals[2].duration == pytest.approx(10.0)
+
+
+def test_interval_energies_cover_totals():
+    packets = make_packets(
+        [(20.0, 1000, Direction.DOWNLINK, 1), (50.0, 500, Direction.UPLINK, 1)]
+    )
+    sim = RadioStateMachine(TOY).simulate(packets, window=(0.0, 100.0))
+    interval_energy = sum(i.energy for i in sim.intervals)
+    # Interval log covers everything except per-byte transfer energy.
+    assert interval_energy == pytest.approx(
+        sim.total_energy - sim.transfer.sum(), rel=1e-9
+    )
+
+
+def test_record_intervals_off():
+    packets = make_packets([(5.0, 100, Direction.UPLINK, 1)])
+    sim = RadioStateMachine(TOY).simulate(
+        packets, window=(0.0, 10.0), record_intervals=False
+    )
+    assert sim.intervals == []
+    assert sim.total_energy > 0
+
+
+def test_window_validation():
+    packets = make_packets([(5.0, 100, Direction.UPLINK, 1)])
+    with pytest.raises(TraceError):
+        RadioStateMachine(TOY).simulate(packets, window=(6.0, 10.0))
+    with pytest.raises(ModelError):
+        RadioStateMachine(TOY).simulate(packets, window=(10.0, 0.0))
+
+
+def test_unsorted_rejected():
+    packets = make_packets(
+        [(0.0, 10, Direction.UPLINK, 1), (1.0, 10, Direction.UPLINK, 1)]
+    )
+    packets.data["timestamp"][0] = 5.0
+    with pytest.raises(TraceError):
+        RadioStateMachine(TOY).simulate(packets)
+
+
+def test_multiphase_tail_intervals():
+    model = RadioModel(
+        name="two-phase",
+        idle_power=0.01,
+        promotion_duration=0.5,
+        promotion_power=1.0,
+        tail_phases=(TailPhase(2.0, 1.0), TailPhase(3.0, 0.5)),
+        energy_per_byte_up=1e-6,
+        energy_per_byte_down=1e-6,
+    )
+    packets = make_packets([(10.0, 100, Direction.UPLINK, 1)])
+    sim = RadioStateMachine(model).simulate(packets, window=(0.0, 30.0))
+    tails = [i for i in sim.intervals if i.state == RadioState.TAIL]
+    assert [t.phase for t in tails] == [0, 1]
+    assert sim.tail[0] == pytest.approx(2.0 * 1.0 + 3.0 * 0.5)

@@ -1,0 +1,134 @@
+"""Radio model parameterisation (LTE, UMTS, WiFi)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.radio.base import (
+    RadioModel,
+    TailPhase,
+    energy_per_byte_from_throughput_curve,
+)
+from repro.radio.lte import (
+    LTE_DEFAULT,
+    lte_fast_dormancy_model,
+    lte_model,
+)
+from repro.radio.umts import UMTS_DEFAULT, umts_model
+from repro.radio.wifi import WIFI_DEFAULT
+from repro.trace.packet import Direction
+
+
+def test_lte_published_constants():
+    m = LTE_DEFAULT
+    assert m.idle_power == pytest.approx(0.0114)
+    assert m.promotion_duration == pytest.approx(0.26)
+    assert m.promotion_power == pytest.approx(1.2107)
+    assert m.tail_duration == pytest.approx(11.576)
+    assert m.full_tail_energy == pytest.approx(11.576 * 1.060)
+    assert m.promotion_energy == pytest.approx(0.26 * 1.2107)
+
+
+def test_lte_per_byte_energy_derivation():
+    # alpha_up=438.39 mW/Mbps, beta=1288.04 mW at 5 Mbps:
+    # P = 3.48 W; t/byte = 1.6e-6 s -> ~5.57 uJ/B.
+    assert LTE_DEFAULT.energy_per_byte_up == pytest.approx(5.568e-6, rel=1e-3)
+    assert LTE_DEFAULT.energy_per_byte_down == pytest.approx(1.103e-6, rel=1e-3)
+    # Uplink costs more per byte than downlink on every model.
+    for model in (LTE_DEFAULT, UMTS_DEFAULT, WIFI_DEFAULT):
+        assert model.energy_per_byte_up > model.energy_per_byte_down
+
+
+def test_drx_detail_tail_matches_average():
+    detailed = lte_model(drx_detail=True)
+    assert detailed.tail_duration == pytest.approx(11.576)
+    assert detailed.full_tail_energy == pytest.approx(
+        LTE_DEFAULT.full_tail_energy, rel=0.02
+    )
+
+
+def test_fast_dormancy_cuts_tail():
+    fd = lte_fast_dormancy_model(tail_duration=3.0)
+    assert fd.tail_duration == pytest.approx(3.0)
+    assert fd.full_tail_energy < LTE_DEFAULT.full_tail_energy / 3
+
+
+def test_umts_two_phase_tail():
+    m = UMTS_DEFAULT
+    assert len(m.tail_phases) == 2
+    assert m.tail_duration == pytest.approx(17.0)  # 5 s DCH + 12 s FACH
+    # The DCH phase drains faster than FACH.
+    assert m.tail_phases[0].power > m.tail_phases[1].power
+
+
+def test_wifi_burst_far_cheaper_than_lte():
+    size = 100_000
+    wifi = WIFI_DEFAULT.burst_energy(size, Direction.DOWNLINK)
+    lte = LTE_DEFAULT.burst_energy(size, Direction.DOWNLINK)
+    assert lte / wifi > 20  # orders of magnitude, per the paper
+
+
+def test_tail_energy_partial():
+    m = LTE_DEFAULT
+    assert m.tail_energy(0.0) == 0.0
+    assert m.tail_energy(-5.0) == 0.0
+    assert m.tail_energy(1.0) == pytest.approx(1.060)
+    assert m.tail_energy(100.0) == pytest.approx(m.full_tail_energy)
+
+
+def test_tail_energy_piecewise_umts():
+    m = UMTS_DEFAULT
+    assert m.tail_energy(5.0) == pytest.approx(5.0 * 0.8)
+    assert m.tail_energy(6.0) == pytest.approx(5.0 * 0.8 + 1.0 * 0.46)
+
+
+def test_tail_energy_vector_matches_scalar():
+    import numpy as np
+
+    m = UMTS_DEFAULT
+    times = np.array([0.0, 2.5, 5.0, 9.0, 17.0, 30.0])
+    vec = m.tail_energy_vector(times)
+    for t, e in zip(times, vec):
+        assert e == pytest.approx(m.tail_energy(float(t)))
+
+
+def test_transfer_energy_linear():
+    m = LTE_DEFAULT
+    one = m.transfer_energy(1000, Direction.DOWNLINK)
+    ten = m.transfer_energy(10000, Direction.DOWNLINK)
+    assert ten == pytest.approx(10 * one)
+    with pytest.raises(ModelError):
+        m.transfer_energy(-1, Direction.DOWNLINK)
+
+
+def test_burst_energy_dominated_by_tail_for_small_updates():
+    """The paper's core premise: small periodic transfers pay mostly tail."""
+    m = LTE_DEFAULT
+    burst = m.burst_energy(50_000, Direction.DOWNLINK)
+    assert m.full_tail_energy / burst > 0.9
+
+
+def test_invalid_model_configs():
+    with pytest.raises(ModelError):
+        TailPhase(duration=0.0, power=1.0)
+    with pytest.raises(ModelError):
+        TailPhase(duration=1.0, power=-1.0)
+    with pytest.raises(ModelError):
+        RadioModel(
+            name="bad",
+            idle_power=0.01,
+            promotion_duration=0.1,
+            promotion_power=1.0,
+            tail_phases=(),
+            energy_per_byte_up=1e-6,
+            energy_per_byte_down=1e-6,
+        )
+    with pytest.raises(ModelError):
+        energy_per_byte_from_throughput_curve(100.0, 100.0, 0.0)
+    with pytest.raises(ModelError):
+        lte_model(uplink_mbps=-1.0)
+
+
+def test_umts_per_byte_higher_than_lte():
+    """3G transfers are slower, so per-byte energy exceeds LTE's."""
+    assert UMTS_DEFAULT.energy_per_byte_down > LTE_DEFAULT.energy_per_byte_down
+    assert UMTS_DEFAULT.energy_per_byte_up > LTE_DEFAULT.energy_per_byte_up

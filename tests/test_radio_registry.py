@@ -1,0 +1,25 @@
+"""Radio model registry."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.radio.registry import available_models, get_model
+
+
+def test_available_models():
+    names = available_models()
+    for expected in ("lte", "lte-fd", "umts", "wifi", "3g", "lte-drx"):
+        assert expected in names
+
+
+def test_get_model_names_match():
+    assert get_model("lte").name == "lte"
+    assert get_model("LTE").name == "lte"
+    assert get_model("3g").name == "umts"
+    assert get_model("wifi").name == "wifi"
+    assert get_model("lte-fd").tail_duration < get_model("lte").tail_duration
+
+
+def test_unknown_model():
+    with pytest.raises(ModelError):
+        get_model("5g-advanced")

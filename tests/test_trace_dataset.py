@@ -1,0 +1,144 @@
+"""UserTrace, AppRegistry and Dataset persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.dataset import AppInfo, AppRegistry, Dataset
+from repro.trace.events import EventLog, ProcessState, ProcessStateEvent, ScreenEvent, UserInputEvent
+from repro.trace.packet import Direction
+from repro.trace.trace import UserTrace
+
+from conftest import make_packets
+
+
+def _registry():
+    return AppRegistry([AppInfo(1, "app.one", "social"), AppInfo(2, "app.two", "game")])
+
+
+def _trace(user_id=1):
+    packets = make_packets(
+        [
+            (10.0, 100, Direction.UPLINK, 1),
+            (20.0, 200, Direction.DOWNLINK, 2),
+        ]
+    )
+    events = EventLog(
+        process_events=[ProcessStateEvent(5.0, 1, ProcessState.FOREGROUND)],
+        screen_events=[ScreenEvent(5.0, True)],
+        input_events=[UserInputEvent(6.0, 1)],
+    )
+    return UserTrace(user_id, 0.0, 100.0, packets, events)
+
+
+def test_registry_lookup():
+    reg = _registry()
+    assert reg.id_of("app.one") == 1
+    assert reg.name_of(2) == "app.two"
+    assert "app.one" in reg
+    assert 1 in reg
+    assert "missing" not in reg
+    assert len(reg) == 2
+    assert [a.name for a in reg] == ["app.one", "app.two"]
+
+
+def test_registry_rejects_duplicates():
+    reg = _registry()
+    with pytest.raises(TraceError):
+        reg.add(AppInfo(1, "other", "x"))
+    with pytest.raises(TraceError):
+        reg.add(AppInfo(3, "app.one", "x"))
+
+
+def test_registry_register_assigns_next_id():
+    reg = _registry()
+    info = reg.register("app.three", "tools")
+    assert info.app_id == 3
+
+
+def test_registry_unknown_lookups():
+    reg = _registry()
+    with pytest.raises(TraceError):
+        reg.by_id(99)
+    with pytest.raises(TraceError):
+        reg.by_name("nope")
+
+
+def test_registry_categories_and_json():
+    reg = _registry()
+    assert [a.name for a in reg.in_category("game")] == ["app.two"]
+    restored = AppRegistry.from_json(reg.to_json())
+    assert restored.name_of(1) == "app.one"
+    assert restored.by_id(2).category == "game"
+
+
+def test_trace_basics():
+    trace = _trace()
+    assert trace.duration == 100.0
+    assert trace.app_ids() == [1, 2]
+    assert len(trace.packets_for_app(1)) == 1
+    trace.validate()
+
+
+def test_trace_rejects_reversed_window():
+    with pytest.raises(TraceError):
+        UserTrace(1, 10.0, 5.0, make_packets([]), EventLog())
+
+
+def test_trace_validate_packets_outside_window():
+    packets = make_packets([(500.0, 10, Direction.UPLINK, 1)])
+    trace = UserTrace(1, 0.0, 100.0, packets, EventLog())
+    with pytest.raises(TraceError):
+        trace.validate()
+
+
+def test_trace_label_states():
+    trace = _trace()
+    trace.label_states()
+    labelled = trace.packets.for_app(1)
+    assert ProcessState(int(labelled.states[0])) is ProcessState.FOREGROUND
+
+
+def test_trace_flow_cache():
+    trace = _trace()
+    table1 = trace.flows()
+    assert trace.flows() is table1
+    trace.invalidate_flows()
+    assert trace.flows() is not table1
+
+
+def test_dataset_roundtrip(tmp_path):
+    dataset = Dataset(_registry(), [_trace(1), _trace(2)], {"seed": 7})
+    path = tmp_path / "study.npz"
+    dataset.save(path)
+    restored = Dataset.load(path)
+    assert len(restored) == 2
+    assert restored.metadata == {"seed": 7}
+    assert restored.registry.name_of(1) == "app.one"
+    original = dataset.user(1)
+    loaded = restored.user(1)
+    assert np.array_equal(original.packets.data, loaded.packets.data)
+    assert len(loaded.events.process_events) == 1
+    assert loaded.events.screen_events[0].on is True
+    assert loaded.events.input_events[0].app == 1
+    restored.validate()
+
+
+def test_dataset_unknown_user():
+    dataset = Dataset(_registry(), [_trace(1)])
+    with pytest.raises(TraceError):
+        dataset.user(9)
+
+
+def test_dataset_totals():
+    dataset = Dataset(_registry(), [_trace(1), _trace(2)])
+    assert dataset.total_packets == 4
+    assert dataset.total_bytes == 600
+
+
+def test_dataset_validate_checks_registry():
+    packets = make_packets([(1.0, 10, Direction.UPLINK, 42)])
+    trace = UserTrace(1, 0.0, 10.0, packets, EventLog())
+    dataset = Dataset(_registry(), [trace])
+    with pytest.raises(TraceError):
+        dataset.validate()

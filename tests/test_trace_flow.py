@@ -1,0 +1,126 @@
+"""Flow reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.flow import reconstruct_flows
+from repro.trace.packet import Direction
+
+from conftest import make_packets
+
+
+def test_split_by_conn():
+    packets = make_packets(
+        [
+            (0.0, 100, Direction.UPLINK, 1, 1),
+            (1.0, 200, Direction.DOWNLINK, 1, 2),
+            (2.0, 300, Direction.DOWNLINK, 1, 1),
+        ]
+    )
+    table = reconstruct_flows(packets)
+    assert len(table) == 2
+    flows = table.for_app(1)
+    assert {f.total_bytes for f in flows} == {400, 200}
+
+
+def test_split_by_gap_timeout():
+    packets = make_packets(
+        [
+            (0.0, 100, Direction.UPLINK, 1, 1),
+            (10.0, 100, Direction.UPLINK, 1, 1),
+            (200.0, 100, Direction.UPLINK, 1, 1),  # > 60 s silence
+        ]
+    )
+    table = reconstruct_flows(packets, gap_timeout=60.0)
+    assert len(table) == 2
+
+
+def test_large_timeout_keeps_one_flow():
+    packets = make_packets(
+        [
+            (0.0, 100, Direction.UPLINK, 1, 1),
+            (200.0, 100, Direction.UPLINK, 1, 1),
+        ]
+    )
+    assert len(reconstruct_flows(packets, gap_timeout=3600.0)) == 1
+
+
+def test_split_by_app():
+    packets = make_packets(
+        [
+            (0.0, 100, Direction.UPLINK, 1, 1),
+            (1.0, 100, Direction.UPLINK, 2, 1),
+        ]
+    )
+    assert len(reconstruct_flows(packets)) == 2
+
+
+def test_flow_ids_written_to_packets():
+    packets = make_packets(
+        [
+            (0.0, 100, Direction.UPLINK, 1, 1),
+            (1.0, 100, Direction.UPLINK, 1, 1),
+            (2.0, 100, Direction.UPLINK, 2, 2),
+        ]
+    )
+    table = reconstruct_flows(packets)
+    assert set(np.unique(packets.flows)) == {1, 2}
+    for flow in table:
+        mask = packets.flows == flow.flow_id
+        assert int(packets.sizes[mask].sum()) == flow.total_bytes
+
+
+def test_flow_direction_split():
+    packets = make_packets(
+        [
+            (0.0, 100, Direction.UPLINK, 1, 1),
+            (1.0, 250, Direction.DOWNLINK, 1, 1),
+        ]
+    )
+    flow = next(iter(reconstruct_flows(packets)))
+    assert flow.bytes_up == 100
+    assert flow.bytes_down == 250
+    assert flow.duration == pytest.approx(1.0)
+    assert flow.packets == 2
+
+
+def test_flow_table_lookup():
+    packets = make_packets([(0.0, 100, Direction.UPLINK, 1, 1)])
+    table = reconstruct_flows(packets)
+    assert table[1].app == 1
+    with pytest.raises(KeyError):
+        table[2]
+    assert table.count_for_app(1) == 1
+    assert table.count_for_app(9) == 0
+
+
+def test_empty_packets():
+    table = reconstruct_flows(make_packets([]))
+    assert len(table) == 0
+
+
+def test_rejects_bad_timeout():
+    with pytest.raises(TraceError):
+        reconstruct_flows(make_packets([]), gap_timeout=0.0)
+
+
+def test_rejects_unsorted():
+    packets = make_packets([(0.0, 10, Direction.UPLINK, 1), (1.0, 10, Direction.UPLINK, 1)])
+    packets.data["timestamp"][0] = 5.0
+    with pytest.raises(TraceError):
+        reconstruct_flows(packets)
+
+
+def test_interleaved_connections_stay_separate():
+    packets = make_packets(
+        [
+            (0.0, 10, Direction.UPLINK, 1, 1),
+            (0.5, 10, Direction.UPLINK, 1, 2),
+            (1.0, 10, Direction.UPLINK, 1, 1),
+            (1.5, 10, Direction.UPLINK, 1, 2),
+        ]
+    )
+    table = reconstruct_flows(packets)
+    assert len(table) == 2
+    assert all(f.packets == 2 for f in table)

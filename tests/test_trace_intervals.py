@@ -1,0 +1,128 @@
+"""State intervals, packet labelling, background transitions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.events import EventLog, ProcessState, ProcessStateEvent
+from repro.trace.intervals import (
+    app_state_intervals,
+    background_transitions,
+    label_packet_states,
+    state_durations,
+    unlabelled_count,
+)
+from repro.trace.packet import Direction
+
+from conftest import make_packets
+
+
+def test_intervals_basic(simple_events):
+    intervals = app_state_intervals(simple_events, 1, 0.0, 600.0)
+    assert [(i.start, i.end, i.state) for i in intervals] == [
+        (0.0, 50.0, ProcessState.FOREGROUND),
+        (50.0, 500.0, ProcessState.BACKGROUND),
+        (500.0, 600.0, ProcessState.NOT_RUNNING),
+    ]
+
+
+def test_intervals_initial_state_before_events(simple_events):
+    intervals = app_state_intervals(simple_events, 2, 0.0, 100.0)
+    assert len(intervals) == 1
+    assert intervals[0].state is ProcessState.NOT_RUNNING
+
+
+def test_intervals_window_clipping(simple_events):
+    intervals = app_state_intervals(simple_events, 1, 20.0, 60.0)
+    assert intervals[0].start == 20.0
+    assert intervals[0].state is ProcessState.FOREGROUND
+    assert intervals[-1].end == 60.0
+
+
+def test_intervals_rejects_reversed_window(simple_events):
+    with pytest.raises(TraceError):
+        app_state_intervals(simple_events, 1, 10.0, 5.0)
+
+
+def test_state_durations(simple_events):
+    intervals = app_state_intervals(simple_events, 1, 0.0, 600.0)
+    totals = state_durations(intervals)
+    assert totals[ProcessState.FOREGROUND] == pytest.approx(50.0)
+    assert totals[ProcessState.BACKGROUND] == pytest.approx(450.0)
+
+
+def test_label_packet_states(simple_events):
+    packets = make_packets(
+        [
+            (10.0, 100, Direction.UPLINK, 1),   # foreground
+            (60.0, 100, Direction.UPLINK, 1),   # background
+            (550.0, 100, Direction.UPLINK, 1),  # not running
+            (10.0, 100, Direction.UPLINK, 2),   # no events -> default
+        ]
+    )
+    labels = label_packet_states(packets, simple_events)
+    by_time = sorted(zip(packets.timestamps, packets.apps, labels))
+    states = {
+        (t, a): ProcessState(int(s)) for t, a, s in by_time
+    }
+    assert states[(10.0, 1)] is ProcessState.FOREGROUND
+    assert states[(60.0, 1)] is ProcessState.BACKGROUND
+    assert states[(550.0, 1)] is ProcessState.NOT_RUNNING
+    assert states[(10.0, 2)] is ProcessState.SERVICE  # default
+    assert unlabelled_count(packets) == 0
+
+
+def test_label_empty_array(simple_events):
+    packets = make_packets([])
+    labels = label_packet_states(packets, simple_events)
+    assert len(labels) == 0
+
+
+def test_background_transitions_basic(simple_events):
+    transitions = background_transitions(simple_events, 1, 600.0)
+    assert len(transitions) == 1
+    assert transitions[0].start == 50.0
+    assert transitions[0].end == 500.0  # ends when the app stops running
+
+
+def test_background_transition_open_at_end():
+    log = EventLog(
+        process_events=[
+            ProcessStateEvent(0.0, 1, ProcessState.FOREGROUND),
+            ProcessStateEvent(10.0, 1, ProcessState.SERVICE),
+        ]
+    )
+    transitions = background_transitions(log, 1, 100.0)
+    assert transitions == [type(transitions[0])(1, 10.0, 100.0)]
+
+
+def test_background_requires_prior_foreground():
+    log = EventLog(
+        process_events=[ProcessStateEvent(5.0, 1, ProcessState.SERVICE)]
+    )
+    assert background_transitions(log, 1, 100.0) == []
+
+
+def test_foreground_to_foreground_is_not_transition():
+    log = EventLog(
+        process_events=[
+            ProcessStateEvent(0.0, 1, ProcessState.FOREGROUND),
+            ProcessStateEvent(5.0, 1, ProcessState.VISIBLE),
+            ProcessStateEvent(10.0, 1, ProcessState.FOREGROUND),
+        ]
+    )
+    assert background_transitions(log, 1, 100.0) == []
+
+
+def test_multiple_episodes():
+    log = EventLog(
+        process_events=[
+            ProcessStateEvent(0.0, 1, ProcessState.FOREGROUND),
+            ProcessStateEvent(10.0, 1, ProcessState.BACKGROUND),
+            ProcessStateEvent(20.0, 1, ProcessState.FOREGROUND),
+            ProcessStateEvent(30.0, 1, ProcessState.SERVICE),
+            ProcessStateEvent(40.0, 1, ProcessState.NOT_RUNNING),
+        ]
+    )
+    transitions = background_transitions(log, 1, 100.0)
+    assert [(t.start, t.end) for t in transitions] == [(10.0, 20.0), (30.0, 40.0)]

@@ -1,0 +1,42 @@
+"""Packet and Direction basics."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.packet import Direction, Packet
+
+
+def test_direction_values():
+    assert int(Direction.UPLINK) == 0
+    assert int(Direction.DOWNLINK) == 1
+
+
+def test_packet_fields():
+    pkt = Packet(timestamp=1.5, size=100, direction=Direction.UPLINK, app=3, conn=9)
+    assert pkt.timestamp == 1.5
+    assert pkt.size == 100
+    assert pkt.direction is Direction.UPLINK
+    assert pkt.app == 3
+    assert pkt.conn == 9
+    assert pkt.flow == 0
+
+
+def test_packet_rejects_zero_size():
+    with pytest.raises(TraceError):
+        Packet(timestamp=0.0, size=0, direction=Direction.UPLINK, app=1)
+
+
+def test_packet_rejects_negative_timestamp():
+    with pytest.raises(TraceError):
+        Packet(timestamp=-1.0, size=10, direction=Direction.UPLINK, app=1)
+
+
+def test_packet_rejects_negative_app():
+    with pytest.raises(TraceError):
+        Packet(timestamp=0.0, size=10, direction=Direction.UPLINK, app=-1)
+
+
+def test_packet_equality_ignores_flow():
+    a = Packet(1.0, 10, Direction.UPLINK, 1, flow=0)
+    b = Packet(1.0, 10, Direction.UPLINK, 1, flow=7)
+    assert a == b

@@ -1,0 +1,42 @@
+"""Dataset summary statistics."""
+
+import pytest
+
+from repro.trace.summary import summarize
+from repro.units import MB
+
+
+def test_summary_structure(small_dataset):
+    summary = summarize(small_dataset)
+    assert len(summary.users) == len(small_dataset)
+    assert summary.total_apps == 342
+    assert 0 < summary.apps_with_traffic <= summary.total_apps
+    assert summary.total_packets == small_dataset.total_packets
+    assert summary.total_megabytes == pytest.approx(
+        small_dataset.total_bytes / MB
+    )
+
+
+def test_summary_per_user_fields(small_dataset):
+    summary = summarize(small_dataset)
+    for user in summary.users:
+        assert user.days == pytest.approx(10.0)
+        assert user.packets > 0
+        assert user.apps_with_traffic > 5
+        assert user.sessions > 0
+        assert user.top_app != "-"
+
+
+def test_summary_categories_sorted(small_dataset):
+    summary = summarize(small_dataset)
+    volumes = [v for _, v in summary.category_megabytes]
+    assert volumes == sorted(volumes, reverse=True)
+    assert sum(volumes) == pytest.approx(summary.total_megabytes)
+
+
+def test_summary_top_app_is_biggest(small_dataset):
+    summary = summarize(small_dataset)
+    trace = small_dataset.users[0]
+    by_app = trace.packets.bytes_by_app()
+    expected = small_dataset.registry.name_of(max(by_app, key=lambda a: by_app[a]))
+    assert summary.users[0].top_app == expected

@@ -1,0 +1,40 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_time_constants():
+    assert units.MINUTE == 60.0
+    assert units.HOUR == 3600.0
+    assert units.DAY == 24 * 3600.0
+
+
+def test_mw_and_ms():
+    assert units.mw(1000.0) == pytest.approx(1.0)
+    assert units.ms(260.0) == pytest.approx(0.26)
+
+
+def test_joules_per_megabyte():
+    assert units.joules_per_megabyte(10.0, 2 * units.MB) == pytest.approx(5.0)
+
+
+def test_joules_per_megabyte_zero_bytes():
+    assert units.joules_per_megabyte(10.0, 0) == 0.0
+
+
+def test_bytes_to_mb():
+    assert units.bytes_to_mb(1_500_000) == pytest.approx(1.5)
+
+
+def test_days():
+    assert units.days(units.DAY * 2.5) == pytest.approx(2.5)
+
+
+def test_per_day():
+    assert units.per_day(100.0, 2 * units.DAY) == pytest.approx(50.0)
+
+
+def test_per_day_zero_duration():
+    assert units.per_day(100.0, 0.0) == 0.0

@@ -1,0 +1,124 @@
+"""Behaviour framework: burst synthesis, timers, contexts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.behavior import (
+    ConnAllocator,
+    PacketBlock,
+    TrafficContext,
+    periodic_times,
+    poisson_times,
+    synthesize_bursts,
+)
+from repro.workload.rng import substream
+
+
+def rng():
+    return substream(1, "test")
+
+
+def test_conn_allocator_unique_ranges():
+    alloc = ConnAllocator()
+    first = alloc.take(3)
+    second = alloc.take(2)
+    assert first == 1
+    assert second == 4
+    with pytest.raises(WorkloadError):
+        alloc.take(0)
+
+
+def test_packet_block_empty_and_concat():
+    empty = PacketBlock.empty()
+    assert len(empty) == 0
+    assert empty.total_bytes == 0
+    assert len(PacketBlock.concat([empty, empty])) == 0
+
+
+def test_packet_block_clip():
+    block = synthesize_bursts(np.array([0.0, 100.0]), 1000, 1, rng())
+    clipped = block.clip(50.0, 200.0)
+    assert np.all(clipped.timestamps >= 50.0)
+    assert len(clipped) < len(block)
+
+
+def test_synthesize_bursts_shape():
+    times = np.array([10.0, 50.0, 90.0])
+    block = synthesize_bursts(times, 10_000, 7, rng(), packets_per_burst=4)
+    assert len(block) == 12
+    assert set(np.unique(block.conns)) == {7}
+    # First packet of each burst is the uplink request at the burst time.
+    firsts = block.timestamps.reshape(3, 4)[:, 0]
+    np.testing.assert_allclose(firsts, times)
+    assert np.all(block.directions.reshape(3, 4)[:, 0] == 0)
+    assert np.all(block.directions.reshape(3, 4)[:, 1:] == 1)
+
+
+def test_synthesize_bursts_byte_totals_close():
+    block = synthesize_bursts(
+        np.array([0.0]), 100_000, 1, rng(), packets_per_burst=6, up_fraction=0.1
+    )
+    assert block.total_bytes == pytest.approx(100_000, rel=0.15)
+
+
+def test_synthesize_bursts_minimum_sizes():
+    block = synthesize_bursts(np.array([0.0]), 10, 1, rng())
+    assert np.all(block.sizes >= 60)
+
+
+def test_synthesize_bursts_per_burst_arrays():
+    sizes = np.array([1000.0, 50_000.0])
+    block = synthesize_bursts(np.array([0.0, 100.0]), sizes, np.array([1, 2]), rng())
+    first = block.sizes[:4].sum()
+    second = block.sizes[4:].sum()
+    assert second > first
+    assert set(block.conns[:4]) == {1}
+    assert set(block.conns[4:]) == {2}
+
+
+def test_synthesize_bursts_validation():
+    with pytest.raises(WorkloadError):
+        synthesize_bursts(np.array([0.0]), 100, 1, rng(), packets_per_burst=1)
+    with pytest.raises(WorkloadError):
+        synthesize_bursts(np.array([0.0]), 100, 1, rng(), up_fraction=1.5)
+
+
+def test_synthesize_empty():
+    assert len(synthesize_bursts(np.empty(0), 100, 1, rng())) == 0
+
+
+def test_periodic_times_phase_and_period():
+    times = periodic_times(100.0, 1000.0, 60.0, rng(), phase=60.0)
+    assert times[0] == pytest.approx(160.0)
+    assert np.all(np.diff(times) == pytest.approx(60.0))
+    assert times[-1] < 1000.0
+
+
+def test_periodic_times_jitter_stays_in_window():
+    times = periodic_times(0.0, 500.0, 60.0, rng(), jitter=30.0)
+    assert np.all(times >= 0.0)
+    assert np.all(times < 500.0)
+    assert np.all(np.diff(times) >= 0)
+
+
+def test_periodic_times_empty_window():
+    assert len(periodic_times(10.0, 10.0, 5.0, rng())) == 0
+    with pytest.raises(WorkloadError):
+        periodic_times(0.0, 10.0, 0.0, rng())
+
+
+def test_poisson_times_rate():
+    times = poisson_times(0.0, 100_000.0, 100.0, rng())
+    assert len(times) == pytest.approx(1000, rel=0.15)
+    assert np.all(np.diff(times) >= 0)
+    with pytest.raises(WorkloadError):
+        poisson_times(0.0, 10.0, 0.0, rng())
+
+
+def test_traffic_context_fields():
+    ctx = TrafficContext(
+        user_id=1, app_id=2, conns=ConnAllocator(), study_duration=100.0
+    )
+    assert ctx.user_id == 1
+    assert ctx.conns.take() == 1

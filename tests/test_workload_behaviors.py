@@ -1,0 +1,187 @@
+"""Concrete behaviours: traffic shape checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.units import HOUR, MINUTE
+from repro.workload.behavior import ConnAllocator, TrafficContext
+from repro.workload.behaviors import (
+    BulkDownloadBehavior,
+    ForegroundSessionBehavior,
+    LingeringForegroundBehavior,
+    PeriodicUpdateBehavior,
+    PostSessionSyncBehavior,
+    PushNotificationBehavior,
+    StreamingBehavior,
+)
+from repro.workload.rng import substream
+
+
+def ctx():
+    return TrafficContext(1, 1, ConnAllocator(), study_duration=7 * 86400.0)
+
+
+def rng(key="x"):
+    return substream(99, key)
+
+
+class TestPeriodicUpdate:
+    def test_update_count(self):
+        b = PeriodicUpdateBehavior(period=300.0, bytes_per_update=1000.0)
+        block = b.generate(0.0, 3600.0, ctx(), rng())
+        bursts = len(block) / b.packets_per_burst
+        assert bursts == pytest.approx(11, abs=1)  # phase=period -> ~11
+
+    def test_first_update_one_period_in(self):
+        b = PeriodicUpdateBehavior(
+            period=300.0, bytes_per_update=1000.0, jitter_fraction=0.0
+        )
+        block = b.generate(1000.0, 3000.0, ctx(), rng())
+        assert block.timestamps.min() == pytest.approx(1300.0)
+
+    def test_conn_rotation(self):
+        b = PeriodicUpdateBehavior(
+            period=60.0, bytes_per_update=1000.0, conn_lifetime=600.0
+        )
+        block = b.generate(0.0, 3600.0, ctx(), rng())
+        assert len(np.unique(block.conns)) >= 5
+
+    def test_short_window_empty(self):
+        b = PeriodicUpdateBehavior(period=300.0, bytes_per_update=1000.0)
+        assert len(b.generate(0.0, 100.0, ctx(), rng())) == 0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            PeriodicUpdateBehavior(period=0.0, bytes_per_update=10.0)
+        with pytest.raises(WorkloadError):
+            PeriodicUpdateBehavior(period=10.0, bytes_per_update=-1.0)
+        with pytest.raises(WorkloadError):
+            PeriodicUpdateBehavior(period=10.0, bytes_per_update=1.0, conn_lifetime=0)
+
+    def test_describe(self):
+        assert "300" in PeriodicUpdateBehavior(300.0, 10.0).describe()
+
+
+class TestPush:
+    def test_keepalives_dominate_count(self):
+        b = PushNotificationBehavior(
+            keepalive_period=300.0, push_mean_interval=6 * HOUR
+        )
+        block = b.generate(0.0, 6 * HOUR, ctx(), rng())
+        # ~71 keepalives, ~1 push; 2 packets per burst.
+        assert len(block) >= 2 * 60
+
+    def test_nearly_empty_requests(self):
+        b = PushNotificationBehavior(keepalive_period=300.0, keepalive_bytes=200.0)
+        block = b.generate(0.0, 2 * HOUR, ctx(), rng())
+        # Median burst is tiny even though pushes are bigger.
+        assert np.median(block.sizes) < 500
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            PushNotificationBehavior(keepalive_period=0.0)
+
+
+class TestStreaming:
+    def test_first_chunk_at_start(self):
+        b = StreamingBehavior(chunk_interval=600.0, chunk_bytes=1e6)
+        block = b.generate(100.0, 2000.0, ctx(), rng())
+        assert block.timestamps.min() < 110.0
+
+    def test_bytes_scale_with_duration(self):
+        b = StreamingBehavior(chunk_interval=300.0, chunk_bytes=1e6)
+        short = b.generate(0.0, 600.0, ctx(), rng("a")).total_bytes
+        long = b.generate(0.0, 6000.0, ctx(), rng("a")).total_bytes
+        assert long > 5 * short
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            StreamingBehavior(chunk_interval=0.0, chunk_bytes=1.0)
+
+
+class TestBulkDownload:
+    def test_one_download_at_window_start(self):
+        b = BulkDownloadBehavior(download_bytes=50e6, probability=1.0)
+        block = b.generate(500.0, 4000.0, ctx(), rng())
+        assert block.total_bytes == pytest.approx(50e6, rel=0.4)
+        assert block.timestamps.min() >= 500.0
+        assert block.timestamps.max() <= 500.0 + 2 * b.duration
+
+    def test_probability_zero(self):
+        b = BulkDownloadBehavior(download_bytes=1e6, probability=0.0)
+        assert len(b.generate(0.0, 1000.0, ctx(), rng())) == 0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            BulkDownloadBehavior(download_bytes=0.0)
+        with pytest.raises(WorkloadError):
+            BulkDownloadBehavior(download_bytes=1.0, probability=2.0)
+
+
+class TestForeground:
+    def test_session_always_has_traffic(self):
+        b = ForegroundSessionBehavior(burst_mean_interval=600.0)
+        block = b.generate(0.0, 30.0, ctx(), rng())
+        assert len(block) >= 1
+
+    def test_burst_rate(self):
+        b = ForegroundSessionBehavior(burst_mean_interval=10.0)
+        block = b.generate(0.0, 10_000.0, ctx(), rng())
+        bursts = len(block) / 4
+        assert bursts == pytest.approx(1000, rel=0.2)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ForegroundSessionBehavior(burst_mean_interval=0.0)
+        with pytest.raises(WorkloadError):
+            ForegroundSessionBehavior(conns_per_session=0)
+
+
+class TestPostSessionSync:
+    def test_sync_lands_in_first_minute(self):
+        b = PostSessionSyncBehavior(sync_bytes=1000.0, probability=1.0)
+        for i in range(20):
+            block = b.generate(100.0, 10_000.0, ctx(), rng(f"s{i}"))
+            if len(block):
+                assert block.timestamps.min() < 160.0
+
+    def test_probability_respected(self):
+        b = PostSessionSyncBehavior(probability=0.0)
+        assert len(b.generate(0.0, 1000.0, ctx(), rng())) == 0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            PostSessionSyncBehavior(sync_bytes=0.0)
+
+
+class TestLingering:
+    def test_requests_follow_transition(self):
+        b = LingeringForegroundBehavior(
+            probability=1.0, median_duration=600.0, sigma=0.01, request_period=10.0
+        )
+        block = b.generate(0.0, 10_000.0, ctx(), rng())
+        assert len(block) > 0
+        # All traffic within the drawn duration (~600 s) of the transition.
+        assert block.timestamps.max() < 700.0
+
+    def test_heavy_tail_produces_long_episodes(self):
+        b = LingeringForegroundBehavior(
+            probability=1.0, median_duration=120.0, sigma=2.2, request_period=30.0
+        )
+        durations = [b.draw_duration(rng(f"d{i}")) for i in range(300)]
+        assert max(durations) > 3600.0  # hours-long stragglers exist
+        assert float(np.median(durations)) == pytest.approx(120.0, rel=0.5)
+
+    def test_truncated_by_episode_end(self):
+        b = LingeringForegroundBehavior(
+            probability=1.0, median_duration=1e6, sigma=0.01, request_period=5.0
+        )
+        block = b.generate(0.0, 100.0, ctx(), rng())
+        assert block.timestamps.max() < 100.0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            LingeringForegroundBehavior(probability=1.5)
+        with pytest.raises(WorkloadError):
+            LingeringForegroundBehavior(median_duration=0.0)

@@ -1,0 +1,41 @@
+"""Generator self-calibration: catalog promises vs. measured traffic."""
+
+import pytest
+
+from repro.workload.calibration import CalibrationRow, calibrate
+
+
+def test_calibration_passes_on_generated_study(medium_dataset):
+    report = calibrate(medium_dataset)
+    assert report.checked >= 5  # several steady periodic apps sampled
+    details = "; ".join(
+        f"{r.app}: period {r.configured_period:.0f}->{r.measured_period:.0f}, "
+        f"bytes {r.configured_bytes:.0f}->{r.measured_bytes_per_burst:.0f}"
+        for r in report.failures
+    )
+    assert not report.failures, details
+
+
+def test_calibration_measures_weibo(medium_dataset):
+    report = calibrate(medium_dataset)
+    weibo = [r for r in report.rows if r.app == "com.sina.weibo"]
+    assert weibo
+    assert weibo[0].measured_period == pytest.approx(420.0, rel=0.25)
+
+
+def test_calibration_row_tolerances():
+    good = CalibrationRow("a", 300.0, 310.0, 1000.0, 1050.0, n_bursts=100)
+    assert good.ok
+    drifted = CalibrationRow("a", 300.0, 500.0, 1000.0, 1000.0, n_bursts=100)
+    assert not drifted.ok
+    wrong_bytes = CalibrationRow("a", 300.0, 300.0, 1000.0, 2500.0, n_bursts=100)
+    assert not wrong_bytes.ok
+    sparse = CalibrationRow("a", 300.0, 900.0, 1000.0, 9000.0, n_bursts=5)
+    assert sparse.ok  # not enough data to judge
+
+
+def test_calibration_skips_evolving_apps(medium_dataset):
+    report = calibrate(medium_dataset)
+    names = {r.app for r in report.rows}
+    assert "com.facebook.katana" not in names  # evolving schedule
+    assert "com.gau.go.launcherex.gowidget.weatherwidget" not in names  # screen-gated

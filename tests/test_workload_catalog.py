@@ -1,0 +1,171 @@
+"""Catalog structure and paper-derived parameterisation."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.units import MINUTE
+from repro.workload.appprofile import (
+    AppProfile,
+    BehaviorSchedule,
+    UsagePattern,
+    evolving,
+)
+from repro.workload.behaviors import PeriodicUpdateBehavior
+from repro.workload.catalog import (
+    CatalogConfig,
+    TOTAL_APPS,
+    build_catalog,
+    named_profiles,
+)
+
+
+def by_name(catalog):
+    return {p.name: p for p in catalog}
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_catalog()
+
+
+def test_catalog_size_matches_paper(catalog):
+    assert len(catalog) == TOTAL_APPS == 342
+
+
+def test_catalog_names_unique(catalog):
+    names = [p.name for p in catalog]
+    assert len(set(names)) == len(names)
+
+
+def test_catalog_deterministic():
+    a = build_catalog(CatalogConfig(seed=5))
+    b = build_catalog(CatalogConfig(seed=5))
+    assert [p.name for p in a] == [p.name for p in b]
+    assert [p.install_probability for p in a] == [p.install_probability for p in b]
+
+
+def test_catalog_seed_changes_generics():
+    a = build_catalog(CatalogConfig(seed=5))
+    b = build_catalog(CatalogConfig(seed=6))
+    generic_a = [p.install_probability for p in a if p.name.startswith("com.generic")]
+    generic_b = [p.install_probability for p in b if p.name.startswith("com.generic")]
+    assert generic_a != generic_b
+
+
+def test_all_table1_apps_present(catalog):
+    apps = by_name(catalog)
+    for name in (
+        "com.sina.weibo",
+        "com.twitter.android",
+        "com.facebook.katana",
+        "com.google.android.apps.plus",
+        "com.sec.spp.push",
+        "com.urbanairship.push",
+        "com.google.android.apps.maps",
+        "com.google.android.gm",
+        "com.gau.go.launcherex.gowidget.weatherwidget",
+        "com.gau.go.weatherex",
+        "com.accuweather.android",
+        "com.accuweather.widget",
+        "com.spotify.music",
+        "com.pandora.android",
+        "au.com.shiftyjelly.pocketcasts",
+        "com.bambuna.podcastaddict",
+    ):
+        assert name in apps, name
+
+
+def test_browsers_differ_in_lingering(catalog):
+    apps = by_name(catalog)
+    chrome = apps["com.android.chrome"]
+    firefox = apps["org.mozilla.firefox"]
+    from repro.workload.behaviors import LingeringForegroundBehavior
+
+    assert any(
+        isinstance(b, LingeringForegroundBehavior) for b in chrome.on_background
+    )
+    assert not any(
+        isinstance(b, LingeringForegroundBehavior) for b in firefox.on_background
+    )
+
+
+def test_weibo_high_frequency_small_updates(catalog):
+    weibo = by_name(catalog)["com.sina.weibo"]
+    periodic = weibo.background[0].behavior
+    assert isinstance(periodic, PeriodicUpdateBehavior)
+    assert 5 * MINUTE <= periodic.period <= 10 * MINUTE
+    assert periodic.bytes_per_update < 100_000
+
+
+def test_twitter_batches_hourly(catalog):
+    twitter = by_name(catalog)["com.twitter.android"]
+    periodic = twitter.background[0].behavior
+    assert periodic.period == pytest.approx(3600.0)
+    assert periodic.bytes_per_update > 1e6
+
+
+def test_facebook_evolves_5min_to_hourly(catalog):
+    facebook = by_name(catalog)["com.facebook.katana"]
+    assert len(facebook.background) == 2
+    early, late = facebook.background
+    assert early.behavior.period == pytest.approx(300.0)
+    assert late.behavior.period == pytest.approx(3600.0)
+    assert early.end_fraction == late.start_fraction
+
+
+def test_widget_screen_on_only_vs_app(catalog):
+    apps = by_name(catalog)
+    assert apps["com.accuweather.widget"].background_screen_on_only
+    assert not apps["com.accuweather.android"].background_screen_on_only
+
+
+def test_autostart_services(catalog):
+    apps = by_name(catalog)
+    assert apps["com.sec.spp.push"].autostarts
+    assert apps["com.sina.weibo"].autostarts
+    assert not apps["com.android.chrome"].autostarts
+
+
+def test_generic_category_names(catalog):
+    generics = [p for p in catalog if p.name.startswith("com.generic")]
+    assert len(generics) > 300
+    assert all(p.category in p.name for p in generics)
+
+
+def test_schedule_validation():
+    with pytest.raises(WorkloadError):
+        BehaviorSchedule(PeriodicUpdateBehavior(60.0, 10.0), 0.6, 0.4)
+    sched = BehaviorSchedule(PeriodicUpdateBehavior(60.0, 10.0), 0.25, 0.75)
+    assert sched.window(100.0) == (25.0, 75.0)
+
+
+def test_evolving_helper():
+    a = PeriodicUpdateBehavior(60.0, 10.0)
+    b = PeriodicUpdateBehavior(600.0, 10.0)
+    schedules = evolving(a, b, 0.3)
+    assert schedules[0].end_fraction == pytest.approx(0.3)
+    assert schedules[1].start_fraction == pytest.approx(0.3)
+
+
+def test_profile_validation():
+    with pytest.raises(WorkloadError):
+        AppProfile(name="", category="x")
+    with pytest.raises(WorkloadError):
+        AppProfile(name="a", category="x", install_probability=1.5)
+    with pytest.raises(WorkloadError):
+        AppProfile(name="a", category="x", background_survival_days=0.0)
+    with pytest.raises(WorkloadError):
+        UsagePattern(active_day_probability=0.0)
+    with pytest.raises(WorkloadError):
+        UsagePattern(session_minutes=-1.0)
+
+
+def test_config_rejects_too_small_catalog():
+    with pytest.raises(WorkloadError):
+        CatalogConfig(total_apps=3)
+
+
+def test_has_background_traffic_property():
+    plain = AppProfile(name="a", category="x")
+    assert not plain.has_background_traffic
+    assert by_name(build_catalog())["com.sina.weibo"].has_background_traffic

@@ -1,0 +1,125 @@
+"""End-to-end study generation."""
+
+import numpy as np
+import pytest
+
+from repro import StudyConfig, generate_study
+from repro.errors import WorkloadError
+from repro.trace.arrays import STATE_UNLABELLED
+from repro.trace.events import ProcessState
+from repro.units import DAY
+from repro.workload.generator import StudyGenerator
+from repro.workload.rng import substream
+
+
+def test_config_validation():
+    with pytest.raises(WorkloadError):
+        StudyConfig(n_users=0)
+    with pytest.raises(WorkloadError):
+        StudyConfig(duration_days=0.0)
+
+
+def test_config_duration_seconds():
+    assert StudyConfig(duration_days=2.0).duration == pytest.approx(2 * DAY)
+
+
+def test_structure(small_dataset, small_config):
+    assert len(small_dataset) == small_config.n_users
+    assert len(small_dataset.registry) == 342
+    assert small_dataset.metadata["seed"] == small_config.seed
+    for trace in small_dataset:
+        assert trace.duration == pytest.approx(small_config.duration)
+        assert trace.packets.is_time_sorted()
+
+
+def test_validates(small_dataset):
+    small_dataset.validate()
+
+
+def test_states_labelled(small_dataset):
+    for trace in small_dataset:
+        assert not np.any(trace.packets.states == STATE_UNLABELLED)
+
+
+def test_all_five_states_present(small_dataset):
+    states = set()
+    for trace in small_dataset:
+        states |= set(np.unique(trace.packets.states).tolist())
+    assert {int(s) for s in (
+        ProcessState.FOREGROUND,
+        ProcessState.PERCEPTIBLE,
+        ProcessState.SERVICE,
+        ProcessState.BACKGROUND,
+    )} <= states
+
+
+def test_determinism():
+    config = StudyConfig(n_users=2, duration_days=3.0, seed=5)
+    a = generate_study(config)
+    b = generate_study(config)
+    for ta, tb in zip(a, b):
+        assert np.array_equal(ta.packets.data, tb.packets.data)
+        assert len(ta.events.process_events) == len(tb.events.process_events)
+
+
+def test_seed_changes_output():
+    a = generate_study(StudyConfig(n_users=2, duration_days=3.0, seed=5))
+    b = generate_study(StudyConfig(n_users=2, duration_days=3.0, seed=6))
+    assert not np.array_equal(a.users[0].packets.data, b.users[0].packets.data)
+
+
+def test_users_differ(small_dataset):
+    a, b = small_dataset.users[0], small_dataset.users[1]
+    assert len(a.packets) != len(b.packets) or not np.array_equal(
+        a.packets.data, b.packets.data
+    )
+
+
+def test_app_diversity(small_dataset):
+    """Different users install different app sets (Fig 1's premise)."""
+    sets = [frozenset(t.app_ids()) for t in small_dataset]
+    assert len(set(sets)) == len(sets)
+
+
+def test_conn_ids_assigned(small_dataset):
+    trace = small_dataset.users[0]
+    assert np.all(trace.packets.conns > 0)
+
+
+def test_packets_within_window(small_dataset):
+    for trace in small_dataset:
+        ts = trace.packets.timestamps
+        assert ts.min() >= 0.0
+        assert ts.max() < trace.end
+
+
+def test_generator_registry_covers_catalog():
+    gen = StudyGenerator(StudyConfig(n_users=1, duration_days=1.0))
+    assert len(gen.registry) == len(gen.profiles)
+    assert gen.registry.name_of(1) == gen.profiles[0].name
+
+
+def test_order_independent_rng():
+    """Per-(user, app, slot) substreams: identical keys, identical draws."""
+    a = substream(42, "traffic", 1, 7, "bg0")
+    b = substream(42, "traffic", 1, 7, "bg0")
+    c = substream(42, "traffic", 1, 8, "bg0")
+    assert a.random() == b.random()
+    assert a.random() != c.random()
+
+
+def test_longer_study_has_proportionally_more_traffic():
+    short = generate_study(StudyConfig(n_users=2, duration_days=3.0, seed=9))
+    long = generate_study(StudyConfig(n_users=2, duration_days=9.0, seed=9))
+    ratio = long.total_bytes / short.total_bytes
+    assert 1.5 < ratio < 6.0
+
+
+def test_parallel_generation_identical():
+    """Worker count never changes the output (per-user determinism)."""
+    config = StudyConfig(n_users=3, duration_days=2.0, seed=12)
+    serial = generate_study(config)
+    parallel = generate_study(config, workers=2)
+    for a, b in zip(serial, parallel):
+        assert np.array_equal(a.packets.data, b.packets.data)
+        assert len(a.events.process_events) == len(b.events.process_events)

@@ -1,0 +1,53 @@
+"""Named scenario factories."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.scenarios import (
+    available_scenarios,
+    bench_scale,
+    get_scenario,
+    month_scale,
+    paper_scale,
+    smoke_scale,
+)
+
+
+def test_available():
+    assert available_scenarios() == ["bench", "month", "paper", "smoke"]
+
+
+def test_paper_scale_matches_study():
+    config = paper_scale()
+    assert config.n_users == 20
+    assert config.duration_days == 623.0
+    assert config.catalog.total_apps == 342
+
+
+def test_bench_scale():
+    config = bench_scale(seed=7)
+    assert config.n_users == 20
+    assert config.duration_days == 28.0
+    assert config.seed == 7
+
+
+def test_smoke_and_month():
+    assert smoke_scale().n_users == 2
+    assert month_scale().n_users == 10
+
+
+def test_get_scenario_case_insensitive():
+    assert get_scenario("PAPER").duration_days == 623.0
+
+
+def test_unknown_scenario():
+    with pytest.raises(WorkloadError):
+        get_scenario("galaxy")
+
+
+def test_smoke_scenario_generates():
+    from repro import generate_study
+
+    dataset = generate_study(get_scenario("smoke"))
+    assert len(dataset) == 2
+    assert dataset.total_packets > 0

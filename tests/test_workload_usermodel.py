@@ -1,0 +1,179 @@
+"""User model: sessions, state machines, screen intervals."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.trace.events import ProcessState, is_background, is_foreground
+from repro.units import DAY
+from repro.workload.appprofile import AppProfile, UsagePattern
+from repro.workload.behaviors import ForegroundSessionBehavior, StreamingBehavior
+from repro.workload.usermodel import (
+    UserConfig,
+    UserModel,
+    intersect_with,
+    merge_intervals,
+)
+
+
+def _catalog():
+    return {
+        1: AppProfile(
+            name="app.daily",
+            category="social",
+            install_probability=1.0,
+            usage=UsagePattern(active_day_probability=1.0, sessions_per_active_day=3.0),
+            foreground=ForegroundSessionBehavior(),
+            runs_as_service=True,
+            background_survival_days=1.0,
+        ),
+        2: AppProfile(
+            name="app.media",
+            category="music",
+            install_probability=1.0,
+            usage=UsagePattern(
+                active_day_probability=1.0,
+                playback_minutes_per_active_day=30.0,
+            ),
+            perceptible=StreamingBehavior(chunk_interval=300.0, chunk_bytes=1e6),
+        ),
+        3: AppProfile(
+            name="app.autostart",
+            category="service",
+            install_probability=1.0,
+            usage=UsagePattern(active_day_probability=0.05),
+            autostarts=True,
+            runs_as_service=True,
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def timeline():
+    model = UserModel(1, _catalog(), seed=7)
+    return model.build_timeline(7 * DAY)
+
+
+def test_merge_intervals():
+    merged = merge_intervals([(0.0, 2.0), (1.0, 3.0), (5.0, 6.0)])
+    assert merged.tolist() == [[0.0, 3.0], [5.0, 6.0]]
+    assert merge_intervals([]).shape == (0, 2)
+
+
+def test_intersect_with():
+    merged = merge_intervals([(0.0, 10.0), (20.0, 30.0)])
+    assert intersect_with(merged, (5.0, 25.0)) == [(5.0, 10.0), (20.0, 25.0)]
+    assert intersect_with(merged, (12.0, 15.0)) == []
+
+
+def test_determinism():
+    a = UserModel(1, _catalog(), seed=7).build_timeline(3 * DAY)
+    b = UserModel(1, _catalog(), seed=7).build_timeline(3 * DAY)
+    assert [(s.app_id, s.start) for s in a.sessions] == [
+        (s.app_id, s.start) for s in b.sessions
+    ]
+
+
+def test_different_users_differ():
+    a = UserModel(1, _catalog(), seed=7).build_timeline(3 * DAY)
+    b = UserModel(2, _catalog(), seed=7).build_timeline(3 * DAY)
+    assert [(s.app_id, s.start) for s in a.sessions] != [
+        (s.app_id, s.start) for s in b.sessions
+    ]
+
+
+def test_sessions_do_not_overlap(timeline):
+    spans = sorted((s.start, s.full_end) for s in timeline.sessions)
+    for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+        assert s2 >= e1
+
+
+def test_daily_app_has_sessions_most_days(timeline):
+    days = {int(s.start // DAY) for s in timeline.sessions if s.app_id == 1}
+    assert len(days) >= 5  # p=1.0 nominally, lognormal factor may skip few
+
+
+def test_playback_windows_only_for_media(timeline):
+    assert timeline.playback_windows[2]
+    assert not timeline.playback_windows.get(1)
+
+
+def test_process_event_stream_consistency(timeline):
+    """Per app: events alternate sensibly and timestamps are ordered."""
+    by_app = {}
+    for event in sorted(timeline.process_events, key=lambda e: e.timestamp):
+        by_app.setdefault(event.app, []).append(event)
+    for app, events in by_app.items():
+        times = [e.timestamp for e in events]
+        assert times == sorted(times)
+        for prev, cur in zip(events, events[1:]):
+            if prev.state == ProcessState.FOREGROUND:
+                assert cur.state != ProcessState.NOT_RUNNING
+
+
+def test_autostart_app_in_background_from_t0(timeline):
+    events = [e for e in timeline.process_events if e.app == 3]
+    first = min(events, key=lambda e: e.timestamp)
+    assert first.timestamp == 0.0
+    assert is_background(first.state)
+    # Autostart apps are never reaped.
+    assert all(e.state != ProcessState.NOT_RUNNING for e in events)
+
+
+def test_bg_windows_follow_sessions(timeline):
+    for app_id, windows in timeline.bg_windows.items():
+        for start, end in windows:
+            assert end > start
+            assert 0.0 <= start <= timeline.duration
+            assert end <= timeline.duration
+
+
+def test_fg_windows_match_sessions(timeline):
+    n_sessions_app1 = sum(1 for s in timeline.sessions if s.app_id == 1)
+    assert len(timeline.fg_windows[1]) == n_sessions_app1
+
+
+def test_screen_intervals_cover_sessions(timeline):
+    intervals = timeline.screen_intervals
+    for session in timeline.sessions[:20]:
+        mid = session.start + session.duration / 2
+        covered = np.any(
+            (intervals[:, 0] <= mid) & (mid < intervals[:, 1])
+        )
+        assert covered
+
+
+def test_screen_events_alternate(timeline):
+    states = [e.on for e in timeline.screen_events]
+    assert states == [v for pair in zip([True] * (len(states) // 2), [False] * (len(states) // 2)) for v in pair]
+
+
+def test_input_events_inside_sessions(timeline):
+    session_spans = [(s.app_id, s.start, s.end) for s in timeline.sessions]
+    for event in timeline.input_events[:50]:
+        assert any(
+            app == event.app and start <= event.timestamp <= end + 1.0
+            for app, start, end in session_spans
+        )
+
+
+def test_usage_rate_heterogeneity():
+    model = UserModel(1, _catalog(), seed=7)
+    rates = {
+        uid: UserModel(uid, _catalog(), seed=7).usage_rate(3, _catalog()[3])[0]
+        for uid in range(1, 30)
+    }
+    values = list(rates.values())
+    assert max(values) / min(values) > 2.0
+
+
+def test_invalid_duration():
+    with pytest.raises(WorkloadError):
+        UserModel(1, _catalog(), seed=7).build_timeline(0.0)
+
+
+def test_user_config_validation():
+    with pytest.raises(WorkloadError):
+        UserConfig(awake_start_hour_mean=25.0)
+    with pytest.raises(WorkloadError):
+        UserConfig(screen_checks_per_day=-1.0)
