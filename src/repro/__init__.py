@@ -23,6 +23,7 @@ Quickstart::
 """
 
 from repro.core.accounting import StudyEnergy
+from repro.metrics import RunMetrics
 from repro.radio import (
     LTE_DEFAULT,
     RadioModel,
@@ -46,6 +47,7 @@ __all__ = [
     "PacketArray",
     "ProcessState",
     "RadioModel",
+    "RunMetrics",
     "StudyConfig",
     "StudyEnergy",
     "StudyGenerator",

@@ -11,7 +11,11 @@
 
 Every analysis command accepts either ``--dataset FILE`` (a saved
 study) or generation parameters (``--users/--days/--seed``), in which
-case the study is generated on the fly.
+case the study is generated on the fly. All of them also take
+``--workers N`` (parallel generation + attribution; 0 = one per CPU),
+``--cache-dir DIR`` (reuse attribution across runs over the same
+dataset) and ``--metrics-json FILE`` (timings, throughput and cache
+counters; ``-`` for stdout).
 """
 
 from __future__ import annotations
@@ -20,7 +24,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro import StudyConfig, StudyEnergy, generate_study
+from repro import RunMetrics, StudyConfig, StudyEnergy, generate_study
 from repro.errors import AnalysisError
 from repro.core import (
     background_energy_fraction,
@@ -85,17 +89,45 @@ def _add_study_args(parser: argparse.ArgumentParser) -> None:
         choices=available_scenarios(),
         help="named study scale (overrides --users/--days)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="processes for generation and attribution (0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        help="directory for the on-disk attribution cache",
+    )
+    parser.add_argument(
+        "--metrics-json",
+        metavar="FILE",
+        help="write run metrics (timings, throughput, cache counters) "
+        "as JSON; '-' for stdout",
+    )
+
+
+def _metrics(args: argparse.Namespace) -> RunMetrics:
+    return getattr(args, "_run_metrics", None) or RunMetrics()
 
 
 def _study(args: argparse.Namespace, dataset=None) -> StudyEnergy:
     if dataset is None:
         dataset = _load_dataset(args)
-    return StudyEnergy(dataset, model=get_model(getattr(args, "model", "lte")))
+    return StudyEnergy(
+        dataset,
+        model=get_model(getattr(args, "model", "lte")),
+        workers=getattr(args, "workers", 1),
+        cache_dir=getattr(args, "cache_dir", None),
+        metrics=_metrics(args),
+    )
 
 
 def _load_dataset(args: argparse.Namespace) -> Dataset:
+    metrics = _metrics(args)
     if args.dataset:
-        return Dataset.load(args.dataset)
+        with metrics.stage("load"):
+            return Dataset.load(args.dataset)
     if getattr(args, "scenario", None):
         config = get_scenario(args.scenario, seed=args.seed)
     else:
@@ -107,7 +139,10 @@ def _load_dataset(args: argparse.Namespace) -> Dataset:
         f"{config.duration_days:g} days (seed {config.seed}) ...",
         file=sys.stderr,
     )
-    return generate_study(config, workers=getattr(args, "workers", 1))
+    with metrics.stage("generate"):
+        dataset = generate_study(config, workers=getattr(args, "workers", 1))
+    metrics.count("generation.packets", dataset.total_packets)
+    return dataset
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -395,12 +430,6 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("generate", help="generate and save a study")
     _add_study_args(p)
     p.add_argument("--out", default="study.npz")
-    p.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help="parallel generation processes (useful at --scenario paper)",
-    )
     p.set_defaults(func=_cmd_generate)
 
     p = sub.add_parser("figure", help="reproduce one figure")
@@ -473,7 +502,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    metrics = RunMetrics()
+    args._run_metrics = metrics
+    with metrics.stage("command"):
+        rc = args.func(args)
+    out = getattr(args, "metrics_json", None)
+    if out:
+        metrics.write_json(out)
+    return rc
 
 
 if __name__ == "__main__":

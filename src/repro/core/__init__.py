@@ -37,11 +37,13 @@ from repro.core.transitions import (
     TransitionStats,
     bytes_since_foreground,
     first_minute_fractions,
+    fraction_of_apps_above,
+    persistence_cdf,
     persistence_durations,
     trace_timeline,
 )
 from repro.core.periodicity import UpdateFrequency, estimate_update_frequency
-from repro.core.casestudies import CaseStudyRow, case_study_table
+from repro.core.casestudies import CaseStudyRow, case_study_row, case_study_table
 from repro.core.appreport import AppReport, app_report, render_app_report
 from repro.core.headlines import (
     Headline,
@@ -70,6 +72,7 @@ from repro.core.whatif import (
     frequency_cap_savings,
     kill_policy_savings,
     os_coalescing_savings,
+    savings_on_affected_days,
     total_savings,
 )
 
@@ -77,7 +80,11 @@ __all__ = [
     "AppReport",
     "CaseStudyRow",
     "app_report",
+    "case_study_row",
+    "fraction_of_apps_above",
+    "persistence_cdf",
     "render_app_report",
+    "savings_on_affected_days",
     "CoalescingResult",
     "Diagnosis",
     "frequency_cap_savings",

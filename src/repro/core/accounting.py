@@ -5,6 +5,21 @@ packet timeline once (the radio is shared per device, so attribution
 must happen device-wide) and caches the per-packet attribution. All
 figure/table analyses then reduce those arrays.
 
+The engine has three independent speed knobs, all off by default:
+
+* ``workers`` — per-user attribution fans out over a process pool
+  (users are independent; results are identical for any worker count);
+* ``lazy`` — nothing is computed at construction; each user's
+  attribution is computed on first access and memoized, and any
+  study-wide reduction materializes the remaining users in one
+  (possibly parallel) batch;
+* ``cache_dir`` — computed arrays are persisted per user, keyed by
+  (dataset fingerprint, model, policy), so re-analysing the same saved
+  study skips attribution entirely.
+
+A :class:`~repro.metrics.RunMetrics` instance (own or injected) records
+attribution time, packet throughput and cache hit/miss counts.
+
 The paper's invariant holds by construction and is property-tested: the
 total cellular energy of a device equals the sum over apps of the
 energy attributed to them, plus the radio's idle floor.
@@ -12,46 +27,166 @@ energy attributed to them, plus the radio's idle floor.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.errors import AnalysisError
-from repro.radio.attribution import AttributionResult, TailPolicy, attribute_energy
+from repro.metrics import RunMetrics
+from repro.parallel import map_tasks, resolve_workers
+from repro.radio.attribution import (
+    AttributionResult,
+    AttributionTask,
+    TailPolicy,
+    result_from_payload,
+)
 from repro.radio.base import RadioModel
 from repro.radio.lte import LTE_DEFAULT
+from repro.core.cache import AttributionCache
 from repro.trace.dataset import Dataset
 from repro.trace.events import BACKGROUND_STATES, FOREGROUND_STATES, ProcessState
+from repro.trace.trace import UserTrace
 from repro.units import DAY
 
 
 class StudyEnergy:
-    """Per-packet energy attribution for every user of a dataset."""
+    """Per-packet energy attribution for every user of a dataset.
+
+    Args:
+        dataset: The study to attribute.
+        model: Radio power model (default: the paper's LTE constants).
+        policy: Tail-energy attribution rule.
+        workers: Process count for batch attribution; ``0`` or ``None``
+            means one per available CPU, ``1`` stays in process.
+        lazy: Defer all computation to first access.
+        cache_dir: Directory for the on-disk attribution cache; ``None``
+            disables it.
+        metrics: A shared :class:`RunMetrics` to record into; a private
+            one is created when omitted.
+    """
 
     def __init__(
         self,
         dataset: Dataset,
         model: RadioModel = LTE_DEFAULT,
         policy: TailPolicy = TailPolicy.LAST_PACKET,
+        *,
+        workers: Optional[int] = 1,
+        lazy: bool = False,
+        cache_dir: Optional[Union[str, Path]] = None,
+        metrics: Optional[RunMetrics] = None,
     ) -> None:
         self.dataset = dataset
         self.model = model
         self.policy = policy
+        self.workers = resolve_workers(workers)
+        self.metrics = metrics if metrics is not None else RunMetrics()
+        self._order: List[int] = [t.user_id for t in dataset]
+        self._traces: Dict[int, UserTrace] = {t.user_id: t for t in dataset}
         self._results: Dict[int, AttributionResult] = {}
-        for trace in dataset:
-            self._results[trace.user_id] = attribute_energy(
-                model, trace.packets, window=(trace.start, trace.end), policy=policy
+        self._cache: Optional[AttributionCache] = (
+            AttributionCache.for_study(cache_dir, dataset, model, policy)
+            if cache_dir is not None
+            else None
+        )
+        if not lazy:
+            self.materialize()
+
+    # ------------------------------------------------------------------
+    # Computation
+    # ------------------------------------------------------------------
+    def materialize(self) -> "StudyEnergy":
+        """Compute every user not yet attributed (idempotent).
+
+        Disk-cached users load first; the remainder is computed in one
+        batch — across ``self.workers`` processes when that pays — and
+        written back to the cache. Called implicitly by every
+        study-wide reduction, so lazy instances never observe a
+        partially-attributed dataset.
+        """
+        pending = [uid for uid in self._order if uid not in self._results]
+        if not pending:
+            return self
+        with self.metrics.stage("attribute"):
+            remaining = []
+            for uid in pending:
+                payload = self._load_cached(self._traces[uid])
+                if payload is None:
+                    remaining.append(uid)
+                else:
+                    self._adopt(uid, payload)
+            task = AttributionTask(
+                self.model,
+                self.policy,
+                {
+                    uid: (self._traces[uid].packets, self._window(uid))
+                    for uid in remaining
+                },
             )
+            for uid, payload in map_tasks(task, remaining, self.workers):
+                self._adopt(uid, payload, computed=True)
+        return self
+
+    def _window(self, user_id: int) -> Tuple[float, float]:
+        trace = self._traces[user_id]
+        return (trace.start, trace.end)
+
+    def _load_cached(self, trace: UserTrace) -> Optional[Dict[str, object]]:
+        if self._cache is None:
+            return None
+        payload = self._cache.load(trace.user_id, trace.packets)
+        if payload is None:
+            self.metrics.count("attribution.cache_misses")
+        else:
+            self.metrics.count("attribution.cache_hits")
+        return payload
+
+    def _adopt(
+        self, user_id: int, payload: Dict[str, object], computed: bool = False
+    ) -> AttributionResult:
+        packets = self._traces[user_id].packets
+        result = result_from_payload(self.model, packets, self.policy, payload)
+        self._results[user_id] = result
+        if computed:
+            self.metrics.count("attribution.users")
+            self.metrics.count("attribution.packets", len(packets))
+            if self._cache is not None:
+                self._cache.store(user_id, payload)
+        return result
+
+    def _iter_results(self) -> Iterator[AttributionResult]:
+        """All results, in dataset order regardless of access history.
+
+        Keeps every study-wide float reduction bit-identical between
+        eager, lazy and parallel instances (dict insertion order would
+        follow first-access order on a lazy engine).
+        """
+        self.materialize()
+        return (self._results[uid] for uid in self._order)
 
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
     def user_result(self, user_id: int) -> AttributionResult:
-        """The cached attribution for one user."""
-        try:
-            return self._results[user_id]
-        except KeyError:
-            raise AnalysisError(f"unknown user id {user_id}") from None
+        """The attribution for one user (computed on first access)."""
+        result = self._results.get(user_id)
+        if result is not None:
+            return result
+        trace = self._traces.get(user_id)
+        if trace is None:
+            raise AnalysisError(f"unknown user id {user_id}")
+        with self.metrics.stage("attribute"):
+            payload = self._load_cached(trace)
+            if payload is not None:
+                return self._adopt(user_id, payload)
+            task = AttributionTask(
+                self.model,
+                self.policy,
+                {user_id: (trace.packets, self._window(user_id))},
+            )
+            _, payload = task(user_id)
+            return self._adopt(user_id, payload, computed=True)
 
     @property
     def user_ids(self) -> List[int]:
@@ -68,22 +203,22 @@ class StudyEnergy:
     @property
     def total_energy(self) -> float:
         """Radio energy over all users, joules (attributed + idle)."""
-        return sum(r.total_energy for r in self._results.values())
+        return sum(r.total_energy for r in self._iter_results())
 
     @property
     def attributed_energy(self) -> float:
         """Energy attributed to apps over all users, joules."""
-        return sum(r.attributed_energy for r in self._results.values())
+        return sum(r.attributed_energy for r in self._iter_results())
 
     @property
     def idle_energy(self) -> float:
         """Unattributed idle-floor energy over all users, joules."""
-        return sum(r.energy.idle_energy for r in self._results.values())
+        return sum(r.energy.idle_energy for r in self._iter_results())
 
     def energy_by_app(self) -> Dict[int, float]:
         """Joules per app id, summed over users."""
         totals: Dict[int, float] = {}
-        for result in self._results.values():
+        for result in self._iter_results():
             for app, joules in result.energy_by_app().items():
                 totals[app] = totals.get(app, 0.0) + joules
         return totals
@@ -99,7 +234,7 @@ class StudyEnergy:
     def energy_by_app_state(self) -> Dict[Tuple[int, int], float]:
         """Joules per (app id, process state), summed over users."""
         totals: Dict[Tuple[int, int], float] = {}
-        for result in self._results.values():
+        for result in self._iter_results():
             for key, joules in result.energy_by_app_state().items():
                 totals[key] = totals.get(key, 0.0) + joules
         return totals

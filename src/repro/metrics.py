@@ -1,0 +1,126 @@
+"""Run metrics: wall time, per-stage timings and counters.
+
+One :class:`RunMetrics` object travels through a run — the CLI creates
+one per invocation and hands it to :class:`~repro.core.accounting.
+StudyEnergy`; library users can do the same::
+
+    from repro import RunMetrics, StudyEnergy
+
+    metrics = RunMetrics()
+    study = StudyEnergy(dataset, workers=4, metrics=metrics)
+    study.total_energy
+    print(metrics.to_json())
+
+Stages are cumulative named timers (``with metrics.stage("attribute")``)
+and counters are cumulative named tallies (``metrics.count("packets",
+n)``). :meth:`as_dict` adds derived throughput rates for the well-known
+pairs (attributed packets per second of attribution time, generated
+packets per second of generation time) so consumers never recompute
+them inconsistently. The CLI's ``--metrics-json FILE`` flag writes this
+dictionary at the end of the command (``-`` for stdout).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+#: (rate name, counter, stage) triples materialised by :meth:`RunMetrics.as_dict`.
+DERIVED_RATES = (
+    ("attribute_packets_per_s", "attribution.packets", "attribute"),
+    ("generate_packets_per_s", "generation.packets", "generate"),
+)
+
+
+class RunMetrics:
+    """Cumulative stage timings and counters for one run."""
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+        self._stage_seconds: Dict[str, float] = {}
+        self._stage_calls: Dict[str, int] = {}
+        self._counters: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a block under ``name``; nested/repeated calls accumulate."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self._stage_seconds[name] = self._stage_seconds.get(name, 0.0) + elapsed
+            self._stage_calls[name] = self._stage_calls.get(name, 0) + 1
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to the counter ``name``."""
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    @property
+    def wall_time(self) -> float:
+        """Seconds since this object was created."""
+        return time.perf_counter() - self._start
+
+    def stage_seconds(self, name: str) -> float:
+        """Total seconds recorded under stage ``name`` (0.0 if never run)."""
+        return self._stage_seconds.get(name, 0.0)
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never counted)."""
+        return self._counters.get(name, 0)
+
+    def rate(self, counter: str, stage: str) -> Optional[float]:
+        """``counter / stage`` as events per second, if both were recorded."""
+        seconds = self._stage_seconds.get(stage)
+        events = self._counters.get(counter)
+        if not seconds or events is None:
+            return None
+        return events / seconds
+
+    def as_dict(self) -> dict:
+        """The full report: wall time, stages, counters, derived rates."""
+        derived = {}
+        for name, counter, stage in DERIVED_RATES:
+            value = self.rate(counter, stage)
+            if value is not None:
+                derived[name] = round(value, 3)
+        return {
+            "wall_time_s": round(self.wall_time, 6),
+            "stages": {
+                name: {
+                    "seconds": round(seconds, 6),
+                    "calls": self._stage_calls[name],
+                }
+                for name, seconds in sorted(self._stage_seconds.items())
+            },
+            "counters": dict(sorted(self._counters.items())),
+            "derived": derived,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """:meth:`as_dict` as a JSON string."""
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def write_json(self, path: Union[str, Path]) -> None:
+        """Write the report to ``path``; ``-`` prints to stdout."""
+        payload = self.to_json()
+        if str(path) == "-":
+            print(payload)
+        else:
+            Path(path).write_text(payload + "\n")
+
+    def __repr__(self) -> str:
+        return (
+            f"RunMetrics(wall={self.wall_time:.3f}s, "
+            f"stages={sorted(self._stage_seconds)}, "
+            f"counters={sorted(self._counters)})"
+        )

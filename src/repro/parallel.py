@@ -1,0 +1,104 @@
+"""Shared multiprocessing helpers.
+
+Both the workload generator and the energy-attribution engine fan
+per-user work out over a process pool. The selection logic (how many
+workers make sense, which start method to use, when a pool is not worth
+its overhead) is identical for both, so it lives here once.
+
+Tasks handed to :func:`map_tasks` must be picklable callables (see
+``workload.generator._GenerateUserTask`` and
+``radio.attribution.AttributionTask``). The task may carry bulky shared
+state: it reaches workers copy-on-write under ``fork`` and is shipped
+once per worker (via the pool initializer) under ``spawn`` — never once
+per item, so per-item payloads stay small.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise a worker-count request.
+
+    ``None`` or ``0`` means "one per available CPU"; negative counts are
+    an error surfaced as ``ValueError``; anything else passes through.
+    """
+    if workers is None or workers == 0:
+        return available_cpus()
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0: {workers}")
+    return workers
+
+
+def preferred_start_method() -> str:
+    """The pool start method used throughout the library.
+
+    ``fork`` keeps worker startup cheap and works from any entry point
+    (REPL, piped scripts); platforms without it fall back to ``spawn``.
+    """
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return "spawn"
+
+
+#: Task shared with pool workers. Set in the parent before the pool is
+#: created: ``fork`` children inherit it copy-on-write (zero pickling,
+#: however large the task's state); ``spawn`` workers receive it once
+#: each via the pool initializer instead of once per map chunk.
+_POOL_TASK: Optional[Callable] = None
+
+
+def _set_pool_task(task: Callable) -> None:
+    global _POOL_TASK
+    _POOL_TASK = task
+
+
+def _call_pool_task(item):
+    return _POOL_TASK(item)
+
+
+def map_tasks(
+    task: Callable[[T], R],
+    items: Sequence[T],
+    workers: Optional[int] = 1,
+) -> List[R]:
+    """``[task(item) for item in items]``, optionally across processes.
+
+    Order is preserved. With ``workers`` resolved to 1 — or fewer than
+    two items, where a pool can only add overhead — the map runs in
+    process, so callers need no serial/parallel branch of their own.
+
+    Put the bulky shared state (packet arrays, configs) on the *task*
+    and keep ``items`` small (ids): the task crosses into workers once
+    per pool — for free under ``fork`` — while every item crosses a
+    pipe per call.
+    """
+    workers = resolve_workers(workers)
+    items = list(items)
+    if workers <= 1 or len(items) < 2:
+        return [task(item) for item in items]
+    context = multiprocessing.get_context(preferred_start_method())
+    _set_pool_task(task)
+    try:
+        with context.Pool(
+            min(workers, len(items)),
+            initializer=_set_pool_task,
+            initargs=(task,),
+        ) as pool:
+            return pool.map(_call_pool_task, items)
+    finally:
+        _set_pool_task(None)

@@ -28,12 +28,18 @@ from repro.radio.registry import available_models, get_model
 from repro.radio.vectorized import PacketEnergy, compute_packet_energy
 from repro.radio.attribution import (
     AttributionResult,
+    AttributionTask,
     TailPolicy,
     attribute_energy,
+    result_from_payload,
+    result_payload,
 )
 
 __all__ = [
     "AttributionResult",
+    "AttributionTask",
+    "result_from_payload",
+    "result_payload",
     "LTE_DEFAULT",
     "PacketEnergy",
     "RadioInterval",

@@ -51,6 +51,41 @@ class PacketEnergy:
         return len(self.transfer)
 
 
+def transfer_energy_vector(
+    model: RadioModel, packets: PacketArray
+) -> np.ndarray:
+    """Per-packet transfer energy: linear in bytes, by direction.
+
+    One cheap vectorised pass; the pool/cache boundary recomputes this
+    rather than shipping it (see ``radio.attribution.result_payload``),
+    so it must stay a pure function of (model, packets).
+    """
+    sizes = packets.sizes.astype(np.float64)
+    is_up = packets.directions == int(Direction.UPLINK)
+    epb = np.where(is_up, model.energy_per_byte_up, model.energy_per_byte_down)
+    return sizes * epb
+
+
+def packet_gaps(ts: np.ndarray, window_end: float) -> np.ndarray:
+    """Gap following each packet (the last runs to the window end)."""
+    n = len(ts)
+    gaps = np.empty(n)
+    gaps[:-1] = np.diff(ts)
+    gaps[-1] = window_end - ts[-1]
+    return gaps
+
+
+def promotion_energy_vector(
+    model: RadioModel, gaps: np.ndarray
+) -> np.ndarray:
+    """Per-packet promotion energy: first packet, and any packet after
+    a demoted gap. Also recomputed at the pool/cache boundary."""
+    promoted = np.empty(len(gaps), dtype=bool)
+    promoted[0] = True
+    promoted[1:] = gaps[:-1] > model.tail_duration
+    return np.where(promoted, model.promotion_energy, 0.0)
+
+
 def compute_packet_energy(
     model: RadioModel,
     packets: PacketArray,
@@ -86,26 +121,14 @@ def compute_packet_energy(
 
     tail_d = model.tail_duration
 
-    # Transfer energy: linear in bytes, by direction.
-    sizes = packets.sizes.astype(np.float64)
-    is_up = packets.directions == int(Direction.UPLINK)
-    epb = np.where(is_up, model.energy_per_byte_up, model.energy_per_byte_down)
-    transfer = sizes * epb
-
-    # Gap following each packet (last packet runs to the window end).
-    gaps = np.empty(n)
-    gaps[:-1] = np.diff(ts)
-    gaps[-1] = w1 - ts[-1]
+    transfer = transfer_energy_vector(model, packets)
+    gaps = packet_gaps(ts, w1)
 
     # Tail energy of the radio-on time after each packet.
     on_times = np.minimum(gaps, tail_d)
     tail = model.tail_energy_vector(on_times)
 
-    # Promotions: first packet, and any packet after a demoted gap.
-    promoted = np.empty(n, dtype=bool)
-    promoted[0] = True
-    promoted[1:] = gaps[:-1] > tail_d
-    promotion = np.where(promoted, model.promotion_energy, 0.0)
+    promotion = promotion_energy_vector(model, gaps)
 
     # Idle: lead-in before the first promotion, demoted parts of
     # inter-packet gaps (minus the following promotion ramp), and the

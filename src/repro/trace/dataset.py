@@ -13,6 +13,7 @@ embedded in the archive. No external serialisation dependency is needed.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass
 from pathlib import Path
@@ -170,6 +171,22 @@ class Dataset:
             trace.validate()
             for app_id in trace.app_ids():
                 self.registry.by_id(app_id)
+
+    def fingerprint(self) -> str:
+        """Stable content digest of the study's packet timelines.
+
+        Hashes every user's id, window and full packet records (all
+        columns, so relabelling flows or states also changes the
+        digest). Two datasets with equal fingerprints attribute
+        identically under any fixed (model, policy) — this is the
+        dataset component of the attribution disk-cache key.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        for trace in self.users:
+            digest.update(np.int64(trace.user_id).tobytes())
+            digest.update(np.float64([trace.start, trace.end]).tobytes())
+            digest.update(np.ascontiguousarray(trace.packets.data).tobytes())
+        return digest.hexdigest()
 
     # ------------------------------------------------------------------
     # Persistence

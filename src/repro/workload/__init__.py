@@ -33,7 +33,9 @@ from repro.workload.appprofile import (
     AppProfile,
     BehaviorSchedule,
     UsagePattern,
+    evolving,
 )
+from repro.workload.calibration import calibrate
 from repro.workload.catalog import build_catalog, CatalogConfig
 from repro.workload.usermodel import UserConfig, UserModel
 from repro.workload.generator import StudyConfig, StudyGenerator, generate_study
@@ -67,6 +69,8 @@ __all__ = [
     "available_scenarios",
     "bench_scale",
     "build_catalog",
+    "calibrate",
+    "evolving",
     "generate_study",
     "get_scenario",
     "paper_scale",

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import WorkloadError
+from repro.parallel import map_tasks
 from repro.trace.arrays import PacketArray
 from repro.trace.dataset import AppInfo, AppRegistry, Dataset
 from repro.trace.events import EventLog
@@ -104,16 +105,7 @@ class StudyGenerator:
                 count; >1 mainly pays off at paper scale (623 days).
         """
         user_ids = list(range(1, self.config.n_users + 1))
-        if workers > 1 and len(user_ids) > 1:
-            import multiprocessing
-
-            # fork keeps worker startup cheap and works from any entry
-            # point (REPL, piped scripts); fall back to spawn elsewhere.
-            method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
-            with multiprocessing.get_context(method).Pool(workers) as pool:
-                users = pool.map(_GenerateUserTask(self.config), user_ids)
-        else:
-            users = [self._generate_user(uid) for uid in user_ids]
+        users = map_tasks(_GenerateUserTask(self.config), user_ids, workers)
         dataset = Dataset(
             self.registry,
             users,

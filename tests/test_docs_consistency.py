@@ -1,0 +1,91 @@
+"""docs/API.md cannot rot: every documented symbol must import.
+
+The reference's contract (stated at the top of the file): each code
+span in the first column of a section table is either an attribute of
+that section's package or a dotted module path. This test parametrizes
+over every such span and imports it, so renaming or dropping a symbol
+without updating the docs — or documenting a symbol that was never
+exported — fails the tier-1 run. The CLI block is checked too: every
+`repro <command>` line must name real subcommands.
+"""
+
+import re
+from importlib import import_module
+from pathlib import Path
+
+import pytest
+
+API_MD = Path(__file__).resolve().parent.parent / "docs" / "API.md"
+SECTION_RE = re.compile(r"^## `(repro[a-z_.]*)`")
+CODE_RE = re.compile(r"`([^`]+)`")
+IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+DOTTED_RE = re.compile(r"^[a-z_]+(\.[a-z_]+)+$")
+
+
+def _documented_symbols():
+    """(package, span) for every first-column code span in API.md."""
+    section = None
+    for line in API_MD.read_text().splitlines():
+        match = SECTION_RE.match(line)
+        if match:
+            section = match.group(1)
+            continue
+        if section is None or not line.startswith("|"):
+            continue
+        first_cell = line.split("|")[1].strip()
+        if first_cell == "name" or set(first_cell) <= {"-", ":", " "}:
+            continue  # header / separator rows
+        for span in CODE_RE.findall(first_cell):
+            yield section, span.strip()
+
+
+SYMBOLS = sorted(set(_documented_symbols()))
+
+
+def test_api_md_was_parsed():
+    """Guard the guard: an empty parse would vacuously pass."""
+    assert len(SYMBOLS) > 80
+    assert len({package for package, _ in SYMBOLS}) >= 7
+
+
+@pytest.mark.parametrize(
+    "package,span", SYMBOLS, ids=[f"{p}:{s}" for p, s in SYMBOLS]
+)
+def test_documented_symbol_imports(package, span):
+    if DOTTED_RE.match(span):
+        import_module(span)
+        return
+    assert IDENTIFIER_RE.match(span), (
+        f"docs/API.md first-column span {span!r} under {package} is not a "
+        "plain identifier or module path; move call examples/prose to the "
+        "second column"
+    )
+    module = import_module(package)
+    assert hasattr(module, span), (
+        f"docs/API.md documents {package}.{span}, which does not exist"
+    )
+
+
+def test_cli_block_commands_exist():
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    subparsers = next(
+        action
+        for action in parser._actions
+        if hasattr(action, "choices") and action.choices
+    )
+    known = set(subparsers.choices)
+
+    in_block = False
+    documented = set()
+    for line in API_MD.read_text().splitlines():
+        if line.startswith("```"):
+            in_block = not in_block
+            continue
+        if in_block and line.startswith("repro "):
+            head = line.split()[1]
+            documented.update(head.split("|"))
+    assert documented, "no CLI lines found in docs/API.md"
+    missing = documented - known
+    assert not missing, f"docs/API.md documents unknown CLI commands: {missing}"
