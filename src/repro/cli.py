@@ -197,6 +197,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args)
     study = _study(args, dataset)
+    study.prepare_indexes()
     headlines = {
         f"{h.description} (paper: {h.paper_value:g})": round(h.measured, 3)
         for h in headline_stats(study)

@@ -18,7 +18,12 @@ The engine has three independent speed knobs, all off by default:
   study skips attribution entirely.
 
 A :class:`~repro.metrics.RunMetrics` instance (own or injected) records
-attribution time, packet throughput and cache hit/miss counts.
+attribution time, packet throughput and cache hit/miss counts, plus the
+shared per-user :class:`~repro.trace.index.TraceIndex` layer's build
+time (``index.build`` stage) and reuse counts (``index.hits``). Every
+per-app reduction here goes through :meth:`StudyEnergy.index_for`
+rather than re-scanning the packet arrays; ``prepare_indexes()``
+batch-builds the indexes across the worker pool.
 
 The paper's invariant holds by construction and is property-tested: the
 total cellular energy of a device equals the sum over apps of the
@@ -45,7 +50,7 @@ from repro.radio.base import RadioModel
 from repro.radio.lte import LTE_DEFAULT
 from repro.core.cache import AttributionCache
 from repro.trace.dataset import Dataset
-from repro.trace.events import BACKGROUND_STATES, FOREGROUND_STATES, ProcessState
+from repro.trace.index import IndexTask, TraceIndex
 from repro.trace.trace import UserTrace
 from repro.units import DAY
 
@@ -85,6 +90,9 @@ class StudyEnergy:
         self._order: List[int] = [t.user_id for t in dataset]
         self._traces: Dict[int, UserTrace] = {t.user_id: t for t in dataset}
         self._results: Dict[int, AttributionResult] = {}
+        self._energy_by_app: Optional[Dict[int, float]] = None
+        self._bytes_by_app: Optional[Dict[int, int]] = None
+        self._energy_by_app_state: Optional[Dict[Tuple[int, int], float]] = None
         self._cache: Optional[AttributionCache] = (
             AttributionCache.for_study(cache_dir, dataset, model, policy)
             if cache_dir is not None
@@ -126,6 +134,44 @@ class StudyEnergy:
             )
             for uid, payload in map_tasks(task, remaining, self.workers):
                 self._adopt(uid, payload, computed=True)
+        return self
+
+    def index_for(self, user_id: int) -> TraceIndex:
+        """One user's shared :class:`~repro.trace.index.TraceIndex`.
+
+        The index is memoized on the trace itself, so every analysis
+        over this study — and any other engine over the same dataset —
+        sees the same partition: one app-grouping sort per user, ever.
+        Build time and reuse counts land in this engine's metrics
+        (``index.build`` stage, ``index.hits`` counter). The index is
+        derived state: it never enters the attribution cache key.
+        """
+        trace = self._traces.get(user_id)
+        if trace is None:
+            raise AnalysisError(f"unknown user id {user_id}")
+        return trace.index(metrics=self.metrics)
+
+    def prepare_indexes(self) -> "StudyEnergy":
+        """Batch-build every user's index, across the worker pool.
+
+        Optional warm-up for full figure/table suites: with
+        ``workers > 1`` the per-user sorts and state masks are computed
+        in the pool (only the order arrays and masks ship back) and
+        adopted here. Users whose index is already grouped are skipped.
+        """
+        pending = [
+            uid
+            for uid in self._order
+            if not self._traces[uid].index(metrics=self.metrics).is_grouped
+        ]
+        if not pending:
+            return self
+        with self.metrics.stage("index.build"):
+            task = IndexTask({uid: self._traces[uid].packets for uid in pending})
+            for uid, payload in map_tasks(task, pending, self.workers):
+                self._traces[uid].index(metrics=self.metrics).adopt_payload(
+                    payload
+                )
         return self
 
     def _window(self, user_id: int) -> Tuple[float, float]:
@@ -216,28 +262,41 @@ class StudyEnergy:
         return sum(r.energy.idle_energy for r in self._iter_results())
 
     def energy_by_app(self) -> Dict[int, float]:
-        """Joules per app id, summed over users."""
-        totals: Dict[int, float] = {}
-        for result in self._iter_results():
-            for app, joules in result.energy_by_app().items():
-                totals[app] = totals.get(app, 0.0) + joules
-        return totals
+        """Joules per app id, summed over users (memoized).
+
+        Attribution results are immutable once computed, so the
+        study-wide roll-up is computed once and a copy returned on
+        every call — analyses that re-ask per app (recommendations,
+        reports) no longer pay a full re-reduction each time.
+        """
+        if self._energy_by_app is None:
+            totals: Dict[int, float] = {}
+            for result in self._iter_results():
+                for app, joules in result.energy_by_app().items():
+                    totals[app] = totals.get(app, 0.0) + joules
+            self._energy_by_app = totals
+        return dict(self._energy_by_app)
 
     def bytes_by_app(self) -> Dict[int, int]:
-        """Traffic bytes per app id, summed over users."""
-        totals: Dict[int, int] = {}
-        for trace in self.dataset:
-            for app, volume in trace.packets.bytes_by_app().items():
-                totals[app] = totals.get(app, 0) + volume
-        return totals
+        """Traffic bytes per app id, summed over users (memoized)."""
+        if self._bytes_by_app is None:
+            totals: Dict[int, int] = {}
+            for trace in self.dataset:
+                by_app = trace.index(metrics=self.metrics).bytes_by_app()
+                for app, volume in by_app.items():
+                    totals[app] = totals.get(app, 0) + volume
+            self._bytes_by_app = totals
+        return dict(self._bytes_by_app)
 
     def energy_by_app_state(self) -> Dict[Tuple[int, int], float]:
-        """Joules per (app id, process state), summed over users."""
-        totals: Dict[Tuple[int, int], float] = {}
-        for result in self._iter_results():
-            for key, joules in result.energy_by_app_state().items():
-                totals[key] = totals.get(key, 0.0) + joules
-        return totals
+        """Joules per (app id, process state), summed over users (memoized)."""
+        if self._energy_by_app_state is None:
+            totals: Dict[Tuple[int, int], float] = {}
+            for result in self._iter_results():
+                for key, joules in result.energy_by_app_state().items():
+                    totals[key] = totals.get(key, 0.0) + joules
+            self._energy_by_app_state = totals
+        return dict(self._energy_by_app_state)
 
     def energy_by_state(self) -> Dict[int, float]:
         """Joules per process state, summed over apps and users."""
@@ -267,9 +326,9 @@ class StudyEnergy:
         ts = trace.packets.timestamps
         energy = result.per_packet
         if app_id is not None:
-            mask = trace.packets.apps == app_id
-            ts = ts[mask]
-            energy = energy[mask]
+            idx = self.index_for(user_id).app_indices(app_id)
+            ts = ts[idx]
+            energy = energy[idx]
         days = ((ts - trace.start) // DAY).astype(np.int64)
         return np.bincount(days, weights=energy, minlength=n_days)[:n_days]
 
@@ -283,17 +342,16 @@ class StudyEnergy:
         """
         trace = self.dataset.user(user_id)
         n_days = int(np.ceil((trace.end - trace.start) / DAY))
-        packets = trace.packets
-        mask = packets.apps == app_id
-        ts = packets.timestamps[mask]
-        states = packets.states[mask]
-        days = ((ts - trace.start) // DAY).astype(np.int64)
-        fg_values = np.array([int(s) for s in FOREGROUND_STATES])
-        bg_values = np.array([int(s) for s in BACKGROUND_STATES])
+        index = self.index_for(user_id)
+        ts = trace.packets.timestamps
         fg = np.zeros(n_days, dtype=bool)
         bg = np.zeros(n_days, dtype=bool)
-        fg_days = days[np.isin(states, fg_values)]
-        bg_days = days[np.isin(states, bg_values)]
+        fg_days = (
+            (ts[index.app_foreground_indices(app_id)] - trace.start) // DAY
+        ).astype(np.int64)
+        bg_days = (
+            (ts[index.app_background_indices(app_id)] - trace.start) // DAY
+        ).astype(np.int64)
         fg[np.unique(fg_days)] = True
         bg[np.unique(bg_days)] = True
         return fg, bg
@@ -303,5 +361,5 @@ class StudyEnergy:
         return [
             trace.user_id
             for trace in self.dataset
-            if np.any(trace.packets.apps == app_id)
+            if self.index_for(trace.user_id).has_app(app_id)
         ]

@@ -64,16 +64,15 @@ def hourly_energy_profile(study: StudyEnergy, app: str) -> Tuple[float, ...]:
     app_id = study.dataset.registry.id_of(app)
     bins = np.zeros(HOUR_BINS)
     for trace in study.dataset:
-        packets = trace.packets
-        mask = packets.apps == app_id
-        if not np.any(mask):
+        idx = study.index_for(trace.user_id).app_indices(app_id)
+        if len(idx) == 0:
             continue
         result = study.user_result(trace.user_id)
-        seconds_of_day = (packets.timestamps[mask] - trace.start) % DAY
+        seconds_of_day = (trace.packets.timestamps[idx] - trace.start) % DAY
         hours = (seconds_of_day // 3600).astype(np.int64)
         bins += np.bincount(
             np.clip(hours, 0, HOUR_BINS - 1),
-            weights=result.per_packet[mask],
+            weights=result.per_packet[idx],
             minlength=HOUR_BINS,
         )
     return tuple(float(v) for v in bins)

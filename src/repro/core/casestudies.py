@@ -21,7 +21,6 @@ import numpy as np
 from repro.core.accounting import StudyEnergy
 from repro.core.periodicity import UpdateFrequency, estimate_update_frequency
 from repro.errors import AnalysisError
-from repro.trace.events import BACKGROUND_STATES
 from repro.trace.flow import reconstruct_flows
 from repro.units import DAY, MB
 
@@ -79,11 +78,6 @@ class CaseStudyRow:
     n_flows: int
 
 
-def _background_mask(packets, app_id: int) -> np.ndarray:
-    bg_values = np.array([int(s) for s in BACKGROUND_STATES])
-    return (packets.apps == app_id) & np.isin(packets.states, bg_values)
-
-
 def case_study_row(
     study: StudyEnergy,
     app: str,
@@ -99,14 +93,15 @@ def case_study_row(
     users = 0
     time_groups: List[np.ndarray] = []
     for trace in study.dataset:
-        mask = _background_mask(trace.packets, app_id)
-        if not np.any(mask):
+        index = study.index_for(trace.user_id)
+        idx = index.app_background_indices(app_id)
+        if len(idx) == 0:
             continue
         users += 1
         user_days += trace.duration_days
         result = study.user_result(trace.user_id)
-        total_energy += float(result.per_packet[mask].sum())
-        subset = trace.packets.select(mask)
+        total_energy += float(result.per_packet[idx].sum())
+        subset = index.app_background_packets(app_id)
         total_bytes += subset.total_bytes
         n_flows += len(reconstruct_flows(subset, gap_timeout=flow_gap))
         time_groups.append(subset.timestamps)

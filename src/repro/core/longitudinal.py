@@ -26,7 +26,6 @@ import numpy as np
 from repro.core.accounting import StudyEnergy
 from repro.core.periodicity import UpdateFrequency, estimate_update_frequency
 from repro.errors import AnalysisError
-from repro.trace.events import BACKGROUND_STATES
 from repro.units import DAY
 
 #: Seconds per analysis week.
@@ -69,19 +68,18 @@ def weekly_background_energy(
     study: StudyEnergy, complete_weeks_only: bool = True
 ) -> WeeklySeries:
     """Background-state energy per study week, summed over users."""
-    bg_values = np.array([int(s) for s in BACKGROUND_STATES])
     longest = max((t.end - t.start) for t in study.dataset)
     n_weeks = int(np.ceil(longest / WEEK))
     totals = np.zeros(n_weeks)
     for trace in study.dataset:
         result = study.user_result(trace.user_id)
-        mask = np.isin(trace.packets.states, bg_values)
-        weeks = ((trace.packets.timestamps[mask] - trace.start) // WEEK).astype(
+        idx = study.index_for(trace.user_id).background_indices
+        weeks = ((trace.packets.timestamps[idx] - trace.start) // WEEK).astype(
             np.int64
         )
         totals += np.bincount(
             np.clip(weeks, 0, n_weeks - 1),
-            weights=result.per_packet[mask],
+            weights=result.per_packet[idx],
             minlength=n_weeks,
         )
     if complete_weeks_only and longest % WEEK > 0 and n_weeks > 1:
@@ -151,7 +149,6 @@ def era_comparison(
     if len(boundaries) < 2 or sorted(boundaries) != list(boundaries):
         raise AnalysisError(f"boundaries must be ascending fractions: {boundaries}")
     app_id = study.dataset.registry.id_of(app)
-    bg_values = np.array([int(s) for s in BACKGROUND_STATES])
     eras: List[EraStats] = []
     for lo_frac, hi_frac in zip(boundaries, boundaries[1:]):
         energy = 0.0
@@ -163,19 +160,16 @@ def era_comparison(
             lo = trace.start + lo_frac * duration
             hi = trace.start + hi_frac * duration
             packets = trace.packets
-            mask = (
-                (packets.apps == app_id)
-                & np.isin(packets.states, bg_values)
-                & (packets.timestamps >= lo)
-                & (packets.timestamps < hi)
-            )
-            if not np.any(mask):
+            bg_idx = study.index_for(trace.user_id).app_background_indices(app_id)
+            ts = packets.timestamps[bg_idx]
+            idx = bg_idx[(ts >= lo) & (ts < hi)]
+            if len(idx) == 0:
                 continue
             result = study.user_result(trace.user_id)
-            energy += float(result.per_packet[mask].sum())
-            volume += float(packets.sizes[mask].sum())
+            energy += float(result.per_packet[idx].sum())
+            volume += float(packets.sizes[idx].sum())
             days += (hi - lo) / DAY
-            groups.append(packets.timestamps[mask])
+            groups.append(packets.timestamps[idx])
         eras.append(
             EraStats(
                 start_fraction=lo_frac,

@@ -29,7 +29,7 @@ def top10_appearance_counts(
     """
     counts: Dict[str, int] = {}
     for trace in dataset:
-        by_app = trace.packets.bytes_by_app()
+        by_app = trace.index().bytes_by_app()
         ranked = sorted(by_app, key=lambda app: by_app[app], reverse=True)[:top_n]
         for app_id in ranked:
             name = dataset.registry.name_of(app_id)

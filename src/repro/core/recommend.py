@@ -27,7 +27,6 @@ from repro.core.periodicity import estimate_update_frequency
 from repro.core.transitions import persistence_durations
 from repro.core.whatif import batching_savings, kill_policy_savings
 from repro.errors import AnalysisError
-from repro.trace.events import BACKGROUND_STATES
 from repro.units import HOUR, MINUTE
 
 
@@ -81,20 +80,16 @@ def _lingering_fraction(
     app_id = study.dataset.registry.id_of(app)
     lingering = 0.0
     total = 0.0
-    from repro.trace.intervals import background_transitions
-
     for trace in study.dataset:
         result = study.user_result(trace.user_id)
-        packets = trace.packets
-        mask = packets.apps == app_id
-        if not np.any(mask):
+        index = study.index_for(trace.user_id)
+        idx = index.app_indices(app_id)
+        if len(idx) == 0:
             continue
-        total += float(result.per_packet[mask].sum())
-        ts = packets.timestamps
+        total += float(result.per_packet[idx].sum())
         per_packet = result.per_packet
-        idx = np.flatnonzero(mask)
-        app_ts = ts[idx]
-        for episode in background_transitions(trace.events, app_id, trace.end):
+        app_ts = trace.packets.timestamps[idx]
+        for episode in index.background_episodes(app_id):
             lo = np.searchsorted(app_ts, episode.start + 60.0)
             hi = np.searchsorted(app_ts, min(episode.start + window, episode.end))
             if hi > lo:
@@ -114,13 +109,11 @@ def recommend(
     if total <= 0:
         raise AnalysisError(f"no energy attributed to {app!r}")
 
-    bg_values = np.array([int(s) for s in BACKGROUND_STATES])
     groups = []
     for trace in study.dataset:
-        packets = trace.packets
-        mask = (packets.apps == app_id) & np.isin(packets.states, bg_values)
-        if np.any(mask):
-            groups.append(packets.timestamps[mask])
+        idx = study.index_for(trace.user_id).app_background_indices(app_id)
+        if len(idx):
+            groups.append(trace.packets.timestamps[idx])
     frequency = estimate_update_frequency(groups)
 
     lingering = _lingering_fraction(study, app)

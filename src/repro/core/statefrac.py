@@ -12,11 +12,7 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.core.accounting import StudyEnergy
 from repro.errors import AnalysisError
-from repro.trace.events import (
-    BACKGROUND_STATES,
-    FOREGROUND_STATES,
-    ProcessState,
-)
+from repro.trace.events import ProcessState, background_state_values
 
 #: Display order of the five paper states.
 STATE_ORDER = (
@@ -87,7 +83,7 @@ def background_energy_fraction(
     :func:`state_energy_share` on the ``NOT_RUNNING`` residue).
     """
     per_app_state = study.energy_by_app_state()
-    bg_values = {int(s) for s in BACKGROUND_STATES}
+    bg_values = set(background_state_values().tolist())
     five_values = {int(s) for s in STATE_ORDER}
     if app is not None:
         app_id = study.dataset.registry.id_of(app)
@@ -110,7 +106,7 @@ def background_energy_fraction(
 def background_fraction_per_app(study: StudyEnergy) -> Dict[str, float]:
     """Background energy fraction of every app with attributed energy."""
     per_app_state = study.energy_by_app_state()
-    bg_values = {int(s) for s in BACKGROUND_STATES}
+    bg_values = set(background_state_values().tolist())
     five_values = {int(s) for s in STATE_ORDER}
     totals: Dict[int, float] = {}
     background: Dict[int, float] = {}

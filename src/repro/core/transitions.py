@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.errors import AnalysisError
 from repro.trace.dataset import Dataset
-from repro.trace.intervals import BackgroundTransition, background_transitions
+from repro.trace.intervals import BackgroundTransition
 from repro.trace.trace import UserTrace
 from repro.units import MINUTE
 
@@ -69,12 +69,12 @@ class TransitionStats:
 
 def _episode_spans(
     trace: UserTrace, app_id: int
-) -> List[BackgroundTransition]:
-    return background_transitions(trace.events, app_id, trace.end)
+) -> Tuple[BackgroundTransition, ...]:
+    return trace.index().background_episodes(app_id)
 
 
 def _app_packet_times(trace: UserTrace, app_id: int) -> Tuple[np.ndarray, np.ndarray]:
-    packets = trace.packets.for_app(app_id)
+    packets = trace.index().app_packets(app_id)
     return packets.timestamps, packets.sizes.astype(np.int64)
 
 
@@ -272,7 +272,7 @@ def trace_timeline(
             "background packets"
         )
     _, trace, transition = best
-    packets = trace.packets.for_app(app_id)
+    packets = trace.index().app_packets(app_id)
     ts = packets.timestamps
     mask = (ts >= transition - before) & (ts < transition + after)
     return TimelineView(

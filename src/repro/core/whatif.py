@@ -23,15 +23,11 @@ from repro.errors import AnalysisError
 from repro.radio.attribution import attribute_energy
 from repro.trace.arrays import PacketArray
 from repro.trace.dataset import Dataset
-from repro.trace.events import BACKGROUND_STATES
+from repro.trace.index import TraceIndex
 from repro.units import DAY
 
 #: The paper's proposed idle threshold, days.
 DEFAULT_IDLE_DAYS = 3
-
-
-def _bg_state_values() -> np.ndarray:
-    return np.array([int(s) for s in BACKGROUND_STATES])
 
 
 @dataclass(frozen=True)
@@ -137,15 +133,18 @@ def _killed_days(fg: np.ndarray, bg: np.ndarray, idle_days: int) -> np.ndarray:
     return killed
 
 
-def _drop_app_bg_packets_on_days(
-    packets: PacketArray, app_id: int, killed: np.ndarray, start: float
-) -> PacketArray:
-    """Remove the app's background packets on killed days."""
-    days = ((packets.timestamps - start) // DAY).astype(np.int64)
+def _killed_drop_mask(
+    index: TraceIndex, app_id: int, killed: np.ndarray, start: float
+) -> np.ndarray:
+    """Boolean drop mask over the trace's original packets: the app's
+    background packets on killed days."""
+    packets = index.packets
+    idx = index.app_background_indices(app_id)
+    days = ((packets.timestamps[idx] - start) // DAY).astype(np.int64)
     days = np.clip(days, 0, len(killed) - 1)
-    is_bg = np.isin(packets.states, _bg_state_values())
-    drop = (packets.apps == app_id) & is_bg & killed[days]
-    return packets.select(~drop)
+    drop = np.zeros(len(packets), dtype=bool)
+    drop[idx[killed[days]]] = True
+    return drop
 
 
 def kill_policy_savings(
@@ -170,9 +169,10 @@ def kill_policy_savings(
         bg_only = bg & ~fg
         killed = _killed_days(fg, bg, idle_days)
         if killed.any():
-            kept = _drop_app_bg_packets_on_days(
-                trace.packets, app_id, killed, trace.start
+            drop = _killed_drop_mask(
+                study.index_for(trace.user_id), app_id, killed, trace.start
             )
+            kept = trace.packets.select(~drop)
             result = attribute_energy(
                 study.model, kept, window=(trace.start, trace.end), policy=study.policy
             )
@@ -238,15 +238,17 @@ def total_savings(
     per_user = []
     for trace in study.dataset:
         before = study.user_result(trace.user_id).attributed_energy
-        kept = trace.packets
+        index = study.index_for(trace.user_id)
+        drop = np.zeros(len(trace.packets), dtype=bool)
         candidates = app_ids if app_ids is not None else trace.app_ids()
         for app_id in candidates:
             fg, bg = _day_classification(study, trace.user_id, app_id)
             killed = _killed_days(fg, bg, idle_days)
             if killed.any():
-                kept = _drop_app_bg_packets_on_days(
-                    kept, app_id, killed, trace.start
-                )
+                # Each app's drop mask touches only that app's rows, so
+                # the union equals applying the drops one after another.
+                drop |= _killed_drop_mask(index, app_id, killed, trace.start)
+        kept = trace.packets.select(~drop)
         after = attribute_energy(
             study.model, kept, window=(trace.start, trace.end), policy=study.policy
         ).attributed_energy
@@ -274,9 +276,10 @@ def savings_on_affected_days(
         if not killed.any():
             continue
         daily_before = study.daily_energy(trace.user_id)
-        kept = _drop_app_bg_packets_on_days(
-            trace.packets, app_id, killed, trace.start
+        drop = _killed_drop_mask(
+            study.index_for(trace.user_id), app_id, killed, trace.start
         )
+        kept = trace.packets.select(~drop)
         result = attribute_energy(
             study.model, kept, window=(trace.start, trace.end), policy=study.policy
         )
@@ -304,7 +307,6 @@ def doze_savings(
     """
     registry = study.dataset.registry
     exempt = {registry.id_of(a) for a in whitelist}
-    bg_values = _bg_state_values()
     total_before = 0.0
     total_after = 0.0
     per_user = []
@@ -321,7 +323,7 @@ def doze_savings(
             ts - ev_times[np.clip(idx, 0, None)],
             0.0,
         )
-        is_bg = np.isin(trace.packets.states, bg_values)
+        is_bg = study.index_for(trace.user_id).background_mask
         drop = is_bg & (off_since > screen_off_threshold)
         if exempt:
             drop &= ~np.isin(trace.packets.apps, np.array(sorted(exempt)))
@@ -349,19 +351,16 @@ def batching_savings(
     if target_period <= 0:
         raise AnalysisError(f"target_period must be positive: {target_period}")
     app_id = study.dataset.registry.id_of(app)
-    bg_values = _bg_state_values()
     tail_cost = study.model.full_tail_energy + study.model.promotion_energy
     app_energy = 0.0
     saved = 0.0
     for trace in study.dataset:
-        mask = (trace.packets.apps == app_id) & np.isin(
-            trace.packets.states, bg_values
-        )
-        if not np.any(mask):
+        idx = study.index_for(trace.user_id).app_background_indices(app_id)
+        if len(idx) == 0:
             continue
         result = study.user_result(trace.user_id)
-        app_energy += float(result.per_packet[mask].sum())
-        ts = trace.packets.timestamps[mask]
+        app_energy += float(result.per_packet[idx].sum())
+        ts = trace.packets.timestamps[idx]
         starts = burst_starts(ts)
         if len(starts) < 2:
             continue
@@ -417,7 +416,6 @@ def os_coalescing_savings(
     """
     if period <= 0:
         raise AnalysisError(f"period must be positive: {period}")
-    bg_values = _bg_state_values()
     total_before = 0.0
     total_after = 0.0
     moved = 0
@@ -427,7 +425,7 @@ def os_coalescing_savings(
         packets = trace.packets
         data = packets.data.copy()
         ts = data["timestamp"]
-        is_bg = np.isin(data["state"], bg_values)
+        is_bg = study.index_for(trace.user_id).background_mask
         rel = ts[is_bg] - trace.start
         shifted = np.ceil(rel / period) * period + trace.start
         # Keep everything inside the observation window.
@@ -465,18 +463,17 @@ def frequency_cap_savings(
     """
     if min_period <= 0:
         raise AnalysisError(f"min_period must be positive: {min_period}")
-    bg_values = _bg_state_values()
     total_before = 0.0
     total_after = 0.0
     per_user = []
     for trace in study.dataset:
         before = study.user_result(trace.user_id).attributed_energy
         packets = trace.packets
+        index = study.index_for(trace.user_id)
         keep = np.ones(len(packets), dtype=bool)
-        is_bg = np.isin(packets.states, bg_values)
         ts = packets.timestamps
-        for app_id in trace.app_ids():
-            idx = np.flatnonzero((packets.apps == app_id) & is_bg)
+        for app_id in index:
+            idx = index.app_background_indices(app_id)
             if len(idx) == 0:
                 continue
             app_ts = ts[idx]

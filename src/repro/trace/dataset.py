@@ -150,6 +150,10 @@ class Dataset:
                 return trace
         raise TraceError(f"unknown user id {user_id}")
 
+    def index_for(self, user_id: int, metrics=None):
+        """One user's shared :class:`~repro.trace.index.TraceIndex`."""
+        return self.user(user_id).index(metrics=metrics)
+
     @property
     def total_packets(self) -> int:
         """Total packet count across all users."""

@@ -22,6 +22,8 @@ from dataclasses import dataclass
 from enum import IntEnum
 from typing import Iterable, Iterator, List, Optional, Sequence
 
+import numpy as np
+
 from repro.errors import TraceError
 
 
@@ -43,6 +45,35 @@ FOREGROUND_STATES = frozenset({ProcessState.FOREGROUND, ProcessState.VISIBLE})
 BACKGROUND_STATES = frozenset(
     {ProcessState.PERCEPTIBLE, ProcessState.SERVICE, ProcessState.BACKGROUND}
 )
+
+
+def _interned_values(states: Iterable[ProcessState]) -> np.ndarray:
+    values = np.array(sorted(int(s) for s in states), dtype=np.uint8)
+    values.setflags(write=False)
+    return values
+
+
+#: The background group as a sorted, read-only ``uint8`` array — the one
+#: canonical form every ``np.isin(states, …)`` test uses.
+BACKGROUND_STATE_VALUES = _interned_values(BACKGROUND_STATES)
+
+#: The foreground group in the same interned array form.
+FOREGROUND_STATE_VALUES = _interned_values(FOREGROUND_STATES)
+
+
+def background_state_values() -> np.ndarray:
+    """The paper's background group as a sorted ``uint8`` array.
+
+    Returns the interned (read-only, shared) array — callers must not
+    mutate it. Use it instead of rebuilding ``np.array([int(s) for s in
+    BACKGROUND_STATES])`` at every call site.
+    """
+    return BACKGROUND_STATE_VALUES
+
+
+def foreground_state_values() -> np.ndarray:
+    """The paper's foreground group as a sorted ``uint8`` array."""
+    return FOREGROUND_STATE_VALUES
 
 
 def is_foreground(state: ProcessState) -> bool:

@@ -11,6 +11,7 @@ from repro.errors import TraceError
 from repro.trace.arrays import PacketArray
 from repro.trace.events import EventLog, ProcessState
 from repro.trace.flow import FlowTable, reconstruct_flows
+from repro.trace.index import TraceIndex
 from repro.trace.intervals import label_packet_states
 
 
@@ -38,6 +39,7 @@ class UserTrace:
         self.packets = packets if packets.is_time_sorted() else packets.sorted_by_time()
         self.events = events
         self._flows: Optional[FlowTable] = None
+        self._index: Optional[TraceIndex] = None
 
     @property
     def duration(self) -> float:
@@ -53,7 +55,10 @@ class UserTrace:
         self, default_state: ProcessState = ProcessState.SERVICE
     ) -> np.ndarray:
         """Label every packet with its app's process state (in place)."""
-        return label_packet_states(self.packets, self.events, default_state)
+        labels = label_packet_states(self.packets, self.events, default_state)
+        if self._index is not None:
+            self._index.invalidate_states()
+        return labels
 
     def flows(self, gap_timeout: float = 60.0) -> FlowTable:
         """Reconstruct (and cache) the trace's flow table."""
@@ -65,13 +70,33 @@ class UserTrace:
         """Drop the cached flow table (after mutating packets)."""
         self._flows = None
 
+    def index(self, metrics=None) -> TraceIndex:
+        """The trace's shared :class:`~repro.trace.index.TraceIndex`.
+
+        Built lazily and memoized on the trace, so every analysis that
+        asks sees the same partition — one sort per user, ever. Passing
+        ``metrics`` (re)attaches a :class:`~repro.metrics.RunMetrics`
+        so build time and reuse counts are recorded.
+        """
+        if self._index is None:
+            self._index = TraceIndex(
+                self.packets, self.events, self.end, metrics=metrics
+            )
+        elif metrics is not None:
+            self._index.metrics = metrics
+        return self._index
+
+    def invalidate_index(self) -> None:
+        """Drop the cached index (after replacing or reordering packets)."""
+        self._index = None
+
     def packets_for_app(self, app: int) -> PacketArray:
         """Packets of a single app."""
-        return self.packets.for_app(app)
+        return self.index().app_packets(app)
 
     def app_ids(self) -> list:
         """Sorted ids of apps with at least one packet."""
-        return sorted(int(a) for a in np.unique(self.packets.apps))
+        return [int(a) for a in self.index().app_ids]
 
     def validate(self) -> None:
         """Structural validation of packets and events."""

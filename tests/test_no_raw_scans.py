@@ -1,0 +1,57 @@
+"""Guard: repro.core analyses must use the TraceIndex, not raw scans.
+
+Every figure/table analysis used to rediscover per-app and per-state
+groups with full-array boolean masks. Those all moved behind the shared
+:class:`~repro.trace.index.TraceIndex`; this test greps the analysis
+layer for the tell-tale patterns so a future edit cannot quietly
+reintroduce an O(apps x packets) scan.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+CORE = Path(__file__).resolve().parents[1] / "src" / "repro" / "core"
+
+#: Patterns that indicate an ad-hoc per-app or per-state scan.
+FORBIDDEN = (
+    # per-app boolean masks: packets.apps == app_id
+    re.compile(r"\.apps\s*=="),
+    # ad-hoc state-group membership: np.isin(<...>states<...>, ...)
+    re.compile(r"np\.isin\([^)]*\.states"),
+    re.compile(r"np\.isin\([^)]*\[[\"']state[\"']\]"),
+    # per-app row copies that bypass the grouped views
+    re.compile(r"\.for_app\("),
+    # rebuilding the interned state-value arrays by hand
+    re.compile(r"int\(s\)\s*for\s*s\s*in\s*BACKGROUND_STATES"),
+    re.compile(r"int\(s\)\s*for\s*s\s*in\s*FOREGROUND_STATES"),
+)
+
+
+def _core_sources():
+    return sorted(CORE.glob("*.py"))
+
+
+def test_core_package_exists():
+    assert _core_sources(), f"no sources under {CORE}"
+
+
+@pytest.mark.parametrize("path", _core_sources(), ids=lambda p: p.name)
+def test_no_raw_scans_in_core(path):
+    source = path.read_text()
+    offending = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        stripped = line.strip()
+        if stripped.startswith("#"):
+            continue
+        for pattern in FORBIDDEN:
+            if pattern.search(line):
+                offending.append(f"{path.name}:{lineno}: {stripped}")
+    assert not offending, (
+        "raw per-app/per-state scans in repro.core — route these through "
+        "TraceIndex (trace.index() / study.index_for()):\n"
+        + "\n".join(offending)
+    )
