@@ -1,0 +1,149 @@
+"""Streaming ingestion benchmarks: bounded memory, identical numbers.
+
+Quantifies the :mod:`repro.stream` contract on a saved multi-user
+study: the batch path loads the whole dataset before attributing
+(peak traced memory O(trace)), the streamed path holds one chunk of
+carry-annotated packets at a time (peak O(chunk)). Both are measured
+with :mod:`tracemalloc`, both wall-times are reported, and — the part
+that matters — every grouped total is asserted bit-identical
+(``array_equal``), because a faster-but-approximate ingest would be
+useless for reproducing the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro import RunMetrics, StudyConfig, StudyEnergy, generate_study
+from repro.stream import NpzStreamSource, StreamIngestor
+from repro.trace.dataset import Dataset
+
+from conftest import write_artifact
+
+#: Streamed chunk size, deliberately far below the per-user packet
+#: count so the O(chunk) bound is actually exercised.
+CHUNK_SIZE = 8192
+
+#: The streamed peak must stay under FIXED + MULTIPLE * chunk bytes:
+#: a trace-size-independent allowance (zip decompression buffers, the
+#: app registry, per-user accumulators) plus a few working copies of
+#: the chunk itself (read buffer, decoded rows, settled slices,
+#: bincount scratch).
+PEAK_FIXED_BYTES = 6_000_000
+PEAK_CHUNK_MULTIPLE = 12.0
+
+
+def _traced(fn):
+    """(result, seconds, peak traced bytes) for one cold call."""
+    tracemalloc.start()
+    start = time.perf_counter()
+    result = fn()
+    seconds = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return result, seconds, peak
+
+
+def _batch_totals(path):
+    dataset = Dataset.load(path)
+    study = StudyEnergy(dataset)
+    return {
+        "energy_by_app": study.energy_by_app(),
+        "energy_by_app_state": study.energy_by_app_state(),
+        "energy_by_state": study.energy_by_state(),
+        "bytes_by_app": study.bytes_by_app(),
+        "idle": study.idle_energy,
+    }
+
+
+def _stream_totals(path, metrics):
+    source = NpzStreamSource(path, chunk_size=CHUNK_SIZE)
+    result = StreamIngestor(source, metrics=metrics).run()
+    return {
+        "energy_by_app": result.energy_by_app(),
+        "energy_by_app_state": result.energy_by_app_state(),
+        "energy_by_state": result.energy_by_state(),
+        "bytes_by_app": result.bytes_by_app(),
+        "idle": result.idle_energy,
+    }
+
+
+def _assert_identical(batch, streamed):
+    for name in ("energy_by_app", "energy_by_app_state", "energy_by_state"):
+        assert list(batch[name]) == list(streamed[name])
+        assert np.array_equal(
+            np.array(list(batch[name].values())),
+            np.array(list(streamed[name].values())),
+        ), f"{name} drifted from the batch numbers"
+    assert batch["bytes_by_app"] == streamed["bytes_by_app"]
+    assert batch["idle"] == streamed["idle"]
+
+
+def test_stream_bounded_memory_identical(tmp_path_factory, output_dir, benchmark):
+    from repro.trace.arrays import PACKET_DTYPE
+
+    dataset = generate_study(
+        StudyConfig(n_users=8, duration_days=28.0, seed=42)
+    )
+    path = tmp_path_factory.mktemp("stream_bench") / "study.npz"
+    dataset.save(path)
+    n_packets = dataset.total_packets
+    trace_bytes = n_packets * PACKET_DTYPE.itemsize
+    del dataset
+
+    batch, batch_s, batch_peak = _traced(lambda: _batch_totals(path))
+    metrics = RunMetrics()
+    streamed, stream_s, stream_peak = _traced(
+        lambda: _stream_totals(path, metrics)
+    )
+    _assert_identical(batch, streamed)
+
+    chunk_bytes = CHUNK_SIZE * PACKET_DTYPE.itemsize
+    bound = PEAK_FIXED_BYTES + PEAK_CHUNK_MULTIPLE * chunk_bytes
+    assert stream_peak < bound, (
+        f"streamed peak {stream_peak / 1e6:.1f} MB is not bounded by the "
+        f"chunk size ({chunk_bytes / 1e6:.1f} MB chunks + fixed allowance)"
+    )
+    assert stream_peak < batch_peak / 4, (
+        "streaming should hold a small fraction of the batch footprint"
+    )
+
+    # Steady-state throughput for the benchmark table: one full streamed
+    # pass per round (cold sources, warm page cache).
+    benchmark.pedantic(
+        lambda: StreamIngestor(
+            NpzStreamSource(path, chunk_size=CHUNK_SIZE)
+        ).run(),
+        rounds=3,
+        iterations=1,
+    )
+
+    report = metrics.as_dict()
+    lines = [
+        "streamed vs batch ingestion — "
+        f"{n_packets:,} packets, chunk={CHUNK_SIZE}",
+        f"  trace size       {trace_bytes / 1e6:9.1f} MB on disk (packet rows)",
+        f"  batch   peak RSS {batch_peak / 1e6:9.1f} MB  wall {batch_s:6.2f} s",
+        f"  stream  peak RSS {stream_peak / 1e6:9.1f} MB  wall {stream_s:6.2f} s",
+        f"  peak ratio       {batch_peak / stream_peak:9.1f}x smaller streamed",
+        f"  chunks           {report['counters']['stream.chunks']:9d}",
+        f"  throughput       {report['derived']['ingest_packets_per_s']:9.0f} packets/s",
+        "  grouped totals   bit-identical (array_equal)",
+    ]
+    write_artifact(output_dir, "bench_stream.txt", "\n".join(lines))
+
+    benchmark.extra_info.update(
+        {
+            "packets": n_packets,
+            "chunk_size": CHUNK_SIZE,
+            "batch_peak_mb": round(batch_peak / 1e6, 2),
+            "stream_peak_mb": round(stream_peak / 1e6, 2),
+            "peak_ratio": round(batch_peak / stream_peak, 1),
+            "batch_wall_s": round(batch_s, 3),
+            "stream_wall_s": round(stream_s, 3),
+            "identical": True,
+        }
+    )

@@ -1,0 +1,6 @@
+#!/usr/bin/env sh
+# Tier-1 gate: the exact pytest line CI runs. Extra arguments are
+# passed through, e.g.  scripts/check_tier1.sh -k stream
+set -e
+cd "$(dirname "$0")/.."
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} exec python -m pytest -x -q "$@"

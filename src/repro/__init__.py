@@ -34,20 +34,32 @@ from repro.radio import (
     umts_model,
     wifi_model,
 )
+from repro.stream import (
+    CsvStreamSource,
+    NpzStreamSource,
+    StreamCheckpoint,
+    StreamIngestor,
+    StreamResult,
+)
 from repro.trace import Dataset, Direction, Packet, PacketArray, ProcessState
 from repro.workload import StudyConfig, StudyGenerator, generate_study
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CsvStreamSource",
     "Dataset",
     "Direction",
     "LTE_DEFAULT",
+    "NpzStreamSource",
     "Packet",
     "PacketArray",
     "ProcessState",
     "RadioModel",
     "RunMetrics",
+    "StreamCheckpoint",
+    "StreamIngestor",
+    "StreamResult",
     "StudyConfig",
     "StudyEnergy",
     "StudyGenerator",

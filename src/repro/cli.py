@@ -48,6 +48,12 @@ from repro.units import battery_fraction
 from repro.core.longitudinal import weekly_background_energy, improved_apps
 from repro.core.recommend import recommendation_report
 from repro.radio.registry import available_models, get_model
+from repro.stream import (
+    DEFAULT_CHUNK_SIZE,
+    CsvStreamSource,
+    NpzStreamSource,
+    StreamIngestor,
+)
 from repro.trace.io_text import dataset_from_csv
 from repro.trace.summary import summarize
 from repro.workload.scenarios import available_scenarios, get_scenario
@@ -329,6 +335,69 @@ def _cmd_import(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    metrics = _metrics(args)
+    chunk_size = args.chunk_size
+    if args.dataset:
+        source = NpzStreamSource(args.dataset, chunk_size=chunk_size)
+    elif args.user:
+        pairs = []
+        for spec in args.user:
+            parts = spec.split(":")
+            events = parts[1] if len(parts) > 1 and parts[1] else None
+            pairs.append((parts[0], events))
+        source = CsvStreamSource(
+            pairs, chunk_size=chunk_size, duration=args.duration
+        )
+    else:
+        print(
+            "ingest needs --dataset FILE or --user PACKETS_CSV[:EVENTS_CSV]",
+            file=sys.stderr,
+        )
+        return 2
+    ingestor = StreamIngestor(
+        source,
+        model=get_model(args.model),
+        workers=args.workers,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        metrics=metrics,
+    )
+    result = ingestor.run(resume=args.resume, max_chunks=args.max_chunks)
+    counters = metrics.as_dict()["counters"]
+    if result is None:
+        print(
+            f"stopped after {counters.get('stream.chunks', 0)} chunks; "
+            f"checkpoint written to {args.checkpoint} "
+            "(continue with --resume)"
+        )
+        return 0
+    energy = result.energy_by_app()
+    top = sorted(energy.items(), key=lambda kv: kv[1], reverse=True)
+    rows = [
+        (source.registry.name_of(app), f"{joules / 1e3:.1f}")
+        for app, joules in top[: args.top]
+    ]
+    print(
+        report.render_table(
+            ["app", "kJ"],
+            rows,
+            title=f"Streamed per-app energy (top {min(args.top, len(rows))})",
+        )
+    )
+    print(
+        f"\nusers: {len(result.users)}  chunks: "
+        f"{counters.get('stream.chunks', 0)}  checkpoints: "
+        f"{counters.get('stream.checkpoints', 0)}"
+    )
+    print(
+        f"attributed: {result.attributed_energy / 1e3:.1f} kJ  "
+        f"idle: {result.idle_energy / 1e3:.1f} kJ  "
+        f"total: {result.total_energy / 1e3:.1f} kJ"
+    )
+    return 0
+
+
 def _cmd_app(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args)
     study = _study(args, dataset)
@@ -477,6 +546,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--out", default="study.npz")
     p.set_defaults(func=_cmd_import)
+
+    p = sub.add_parser(
+        "ingest",
+        help="streaming ingestion: bounded-memory, checkpoint/resume",
+    )
+    p.add_argument("--dataset", help="stream a saved study (.npz)")
+    p.add_argument(
+        "--user",
+        action="append",
+        help="stream one user's PACKETS_CSV[:EVENTS_CSV] (repeatable)",
+    )
+    p.add_argument(
+        "--chunk-size",
+        type=int,
+        default=DEFAULT_CHUNK_SIZE,
+        help="maximum packets held in memory per chunk",
+    )
+    p.add_argument(
+        "--duration",
+        type=float,
+        help="CSV observation window (default: latest event, ceil to day)",
+    )
+    p.add_argument("--checkpoint", metavar="FILE", help="checkpoint file")
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from --checkpoint instead of starting over",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="write a checkpoint every N chunks (0 = only at the end)",
+    )
+    p.add_argument(
+        "--max-chunks",
+        type=int,
+        metavar="N",
+        help="stop after N chunks, checkpoint, and exit (bounded slice)",
+    )
+    p.add_argument(
+        "--model",
+        default="lte",
+        choices=available_models(),
+        help="radio power model for energy attribution",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="chunk workers / users in flight (0 = one per CPU)",
+    )
+    p.add_argument("--top", type=int, default=15, help="apps to print")
+    p.add_argument(
+        "--metrics-json",
+        metavar="FILE",
+        help="write run metrics as JSON; '-' for stdout",
+    )
+    p.set_defaults(func=_cmd_ingest)
 
     p = sub.add_parser("app", help="single-app deep dive")
     p.add_argument("--app", required=True)

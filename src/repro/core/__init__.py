@@ -21,7 +21,7 @@ One module per result:
   and table.
 """
 
-from repro.core.accounting import StudyEnergy
+from repro.core.accounting import PartialTotals, StudyEnergy, merge_keyed_totals
 from repro.core.popularity import (
     category_energy,
     top10_appearance_counts,
@@ -103,7 +103,9 @@ __all__ = [
     "weekly_background_energy",
     "ConsumerRow",
     "KillPolicyResult",
+    "PartialTotals",
     "StudyEnergy",
+    "merge_keyed_totals",
     "TransitionStats",
     "UpdateFrequency",
     "background_energy_fraction",

@@ -55,6 +55,81 @@ from repro.trace.trace import UserTrace
 from repro.units import DAY
 
 
+def merge_keyed_totals(parts, zero=0.0):
+    """Fold per-user keyed totals into one dict, order-preserving.
+
+    ``parts`` yields mappings (one per user, in a fixed order); each
+    mapping's items are folded with ``totals[k] = totals.get(k, zero) + v``
+    in that mapping's own iteration order. This is the exact addition
+    sequence :class:`StudyEnergy` has always used for its study-wide
+    roll-ups — extracting it lets the streaming engine
+    (:class:`repro.stream.StreamIngestor`) replay the identical float
+    additions and land on bit-identical study totals.
+    """
+    totals = {}
+    for part in parts:
+        for key, value in part.items():
+            totals[key] = totals.get(key, zero) + value
+    return totals
+
+
+class PartialTotals:
+    """Streaming per-key accumulator with batch-identical float sums.
+
+    ``np.bincount`` accumulates its weights sequentially in input-array
+    order, and the batch path's per-key sums are exactly one bincount
+    over the whole trace (:meth:`AttributionResult._group_sum`). Adding
+    the running totals as *leading pseudo-entries* of the next chunk's
+    bincount therefore replays the whole-trace addition sequence
+    exactly: each key's partial enters first, then its chunk values in
+    order, and ``0.0 + x == x`` keeps the very first chunk unperturbed.
+    That makes the accumulated totals bit-identical to the batch result
+    for any chunk sizes.
+    """
+
+    def __init__(
+        self,
+        keys: Optional[np.ndarray] = None,
+        values: Optional[np.ndarray] = None,
+    ) -> None:
+        self._keys = (
+            np.empty(0, dtype=np.int64)
+            if keys is None
+            else np.asarray(keys, dtype=np.int64)
+        )
+        self._values = (
+            np.empty(0, dtype=np.float64)
+            if values is None
+            else np.asarray(values, dtype=np.float64)
+        )
+
+    def add(self, keys: np.ndarray, weights: np.ndarray) -> None:
+        """Accumulate ``weights`` grouped by ``keys`` (one chunk)."""
+        if len(keys) == 0:
+            return
+        all_keys = np.concatenate([self._keys, np.asarray(keys, np.int64)])
+        all_weights = np.concatenate(
+            [self._values, np.asarray(weights, np.float64)]
+        )
+        uniq, inverse = np.unique(all_keys, return_inverse=True)
+        sums = np.bincount(inverse, weights=all_weights, minlength=len(uniq))
+        self._keys = uniq
+        self._values = sums
+
+    def as_dict(self) -> Dict[int, float]:
+        """Totals keyed by int, in sorted-key order (the batch order)."""
+        return {
+            int(k): float(v) for k, v in zip(self._keys, self._values)
+        }
+
+    def payload(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(keys, values) arrays for checkpoint serialisation."""
+        return self._keys.copy(), self._values.copy()
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+
 class StudyEnergy:
     """Per-packet energy attribution for every user of a dataset.
 
@@ -270,40 +345,37 @@ class StudyEnergy:
         reports) no longer pay a full re-reduction each time.
         """
         if self._energy_by_app is None:
-            totals: Dict[int, float] = {}
-            for result in self._iter_results():
-                for app, joules in result.energy_by_app().items():
-                    totals[app] = totals.get(app, 0.0) + joules
-            self._energy_by_app = totals
+            self._energy_by_app = merge_keyed_totals(
+                r.energy_by_app() for r in self._iter_results()
+            )
         return dict(self._energy_by_app)
 
     def bytes_by_app(self) -> Dict[int, int]:
         """Traffic bytes per app id, summed over users (memoized)."""
         if self._bytes_by_app is None:
-            totals: Dict[int, int] = {}
-            for trace in self.dataset:
-                by_app = trace.index(metrics=self.metrics).bytes_by_app()
-                for app, volume in by_app.items():
-                    totals[app] = totals.get(app, 0) + volume
-            self._bytes_by_app = totals
+            self._bytes_by_app = merge_keyed_totals(
+                (
+                    trace.index(metrics=self.metrics).bytes_by_app()
+                    for trace in self.dataset
+                ),
+                zero=0,
+            )
         return dict(self._bytes_by_app)
 
     def energy_by_app_state(self) -> Dict[Tuple[int, int], float]:
         """Joules per (app id, process state), summed over users (memoized)."""
         if self._energy_by_app_state is None:
-            totals: Dict[Tuple[int, int], float] = {}
-            for result in self._iter_results():
-                for key, joules in result.energy_by_app_state().items():
-                    totals[key] = totals.get(key, 0.0) + joules
-            self._energy_by_app_state = totals
+            self._energy_by_app_state = merge_keyed_totals(
+                r.energy_by_app_state() for r in self._iter_results()
+            )
         return dict(self._energy_by_app_state)
 
     def energy_by_state(self) -> Dict[int, float]:
         """Joules per process state, summed over apps and users."""
-        totals: Dict[int, float] = {}
-        for (_, state), joules in self.energy_by_app_state().items():
-            totals[state] = totals.get(state, 0.0) + joules
-        return totals
+        return merge_keyed_totals(
+            {state: joules}
+            for (_, state), joules in self.energy_by_app_state().items()
+        )
 
     # ------------------------------------------------------------------
     # Per-user / per-day reductions

@@ -30,3 +30,9 @@ class WorkloadError(ReproError):
 class AnalysisError(ReproError):
     """An analysis was asked for something the input cannot provide
     (e.g. unknown app name, empty dataset where data is required)."""
+
+
+class StreamError(ReproError):
+    """Invalid streaming-ingestion state (out-of-order chunks, a
+    checkpoint that does not match the source or model, feeding a
+    finished stream)."""

@@ -32,6 +32,7 @@ from typing import Dict, Iterator, Optional, Union
 DERIVED_RATES = (
     ("attribute_packets_per_s", "attribution.packets", "attribute"),
     ("generate_packets_per_s", "generation.packets", "generate"),
+    ("ingest_packets_per_s", "stream.packets", "stream.attribute"),
 )
 
 

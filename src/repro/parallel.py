@@ -102,3 +102,54 @@ def map_tasks(
             return pool.map(_call_pool_task, items)
     finally:
         _set_pool_task(None)
+
+
+class TaskPool:
+    """A process pool that survives many :meth:`map` rounds.
+
+    :func:`map_tasks` pays pool startup on every call, which is fine
+    for one batch fan-out but not for a streaming ingestor that fans
+    the *same* task out once per chunk round. ``TaskPool`` starts the
+    workers once and reuses them; unlike :func:`map_tasks`, per-round
+    data must ride on the **items** (the task is shipped once, at pool
+    creation), so streaming callers pass ``(uid, carry, chunk)`` tuples
+    as items. With ``workers`` resolved to 1 the pool is never created
+    and every map runs in process.
+
+    Use as a context manager, or call :meth:`close` explicitly.
+    """
+
+    def __init__(self, task: Callable[[T], R], workers: Optional[int] = 1) -> None:
+        self.task = task
+        self.workers = resolve_workers(workers)
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            context = multiprocessing.get_context(preferred_start_method())
+            self._pool = context.Pool(
+                self.workers,
+                initializer=_set_pool_task,
+                initargs=(self.task,),
+            )
+        return self._pool
+
+    def map(self, items: Sequence[T]) -> List[R]:
+        """``[task(item) for item in items]``, order-preserving."""
+        items = list(items)
+        if self.workers <= 1 or len(items) < 2:
+            return [self.task(item) for item in items]
+        return self._ensure_pool().map(_call_pool_task, items)
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "TaskPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

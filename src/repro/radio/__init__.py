@@ -25,7 +25,12 @@ from repro.radio.umts import umts_model, UMTS_DEFAULT
 from repro.radio.wifi import wifi_model, WIFI_DEFAULT
 from repro.radio.machine import RadioStateMachine, SimulationResult
 from repro.radio.registry import available_models, get_model
-from repro.radio.vectorized import PacketEnergy, compute_packet_energy
+from repro.radio.streaming import (
+    FinalizedChunk,
+    RadioCarry,
+    StreamingAttribution,
+)
+from repro.radio.vectorized import PacketEnergy, blocked_sum, compute_packet_energy
 from repro.radio.attribution import (
     AttributionResult,
     AttributionTask,
@@ -40,19 +45,23 @@ __all__ = [
     "AttributionTask",
     "result_from_payload",
     "result_payload",
+    "FinalizedChunk",
     "LTE_DEFAULT",
     "PacketEnergy",
+    "RadioCarry",
     "RadioInterval",
     "RadioModel",
     "RadioState",
     "RadioStateMachine",
     "SimulationResult",
+    "StreamingAttribution",
     "TailPhase",
     "TailPolicy",
     "UMTS_DEFAULT",
     "WIFI_DEFAULT",
     "attribute_energy",
     "available_models",
+    "blocked_sum",
     "get_model",
     "compute_packet_energy",
     "lte_fast_dormancy_model",

@@ -1,0 +1,360 @@
+"""Resumable, chunk-at-a-time radio simulation.
+
+:class:`StreamingAttribution` consumes one device's time-ordered packet
+stream in bounded chunks and emits, for every packet whose radio fate
+is settled, the exact energy the batch engine
+(:func:`~repro.radio.vectorized.compute_packet_energy` +
+:func:`~repro.radio.attribution.attribute_energy`) would attribute to
+it — bit for bit, for any chunk size.
+
+The trick is that only one packet is ever undecided: a packet's
+transfer and promotion energy are fixed the moment it arrives (they
+depend on the gap *before* it), while its tail energy depends on the
+gap *after* it. So the carry between chunks — :class:`RadioCarry` — is
+a single pending packet plus a handful of accumulators:
+
+* the pending packet's timestamp, app, state, transfer and promotion;
+* half the raw tail of the packet before it (what
+  :attr:`~repro.radio.attribution.TailPolicy.SPLIT_ADJACENT` shifts
+  forward across the boundary);
+* the idle-time accumulator, buffered to the same absolute
+  :data:`~repro.radio.vectorized.SUM_BLOCK` boundaries the batch
+  engine's :func:`~repro.radio.vectorized.blocked_sum` uses, so the
+  float additions happen in the identical order.
+
+The carry serialises to a small payload of plain numpy arrays
+(:meth:`RadioCarry.to_payload`), which is what
+:class:`repro.stream.StreamCheckpoint` persists: kill the process,
+reload the payload, keep feeding — the numbers cannot drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import StreamError, TraceError
+from repro.radio.attribution import TailPolicy
+from repro.radio.base import RadioModel
+from repro.radio.vectorized import (
+    SUM_BLOCK,
+    transfer_energy_vector,
+)
+from repro.trace.arrays import PacketArray
+
+_EMPTY_F8 = np.empty(0, dtype=np.float64)
+
+
+@dataclass
+class RadioCarry:
+    """Everything the radio simulation needs across a chunk boundary."""
+
+    #: Simulation window ``(w0, w1)`` — the batch engine's ``window``.
+    window: Tuple[float, float]
+    #: Packets consumed so far (including the pending one).
+    n_packets: int = 0
+    #: The pending (last-seen) packet, tail still open.
+    pending_ts: float = 0.0
+    pending_app: int = 0
+    pending_state: int = 0
+    pending_size: int = 0
+    pending_transfer: float = 0.0
+    pending_promotion: float = 0.0
+    #: Half the raw tail of the packet before the pending one (what
+    #: ``SPLIT_ADJACENT`` adds to the pending packet when it settles).
+    prev_half_tail: float = 0.0
+    #: ``max(ts0 - promotion_duration - w0, 0)`` — fixed by packet one.
+    lead_in_idle: float = 0.0
+    #: Completed-block part of the inner-gap idle time (blocked_sum fold).
+    idle_acc: float = 0.0
+    #: Inner-gap idle values of the current, incomplete block.
+    idle_buffer: np.ndarray = field(default_factory=lambda: _EMPTY_F8.copy())
+
+    def to_payload(self) -> Dict[str, np.ndarray]:
+        """A picklable / npz-storable form; floats stay binary-exact."""
+        return {
+            "floats": np.array(
+                [
+                    self.window[0],
+                    self.window[1],
+                    self.pending_ts,
+                    self.pending_transfer,
+                    self.pending_promotion,
+                    self.prev_half_tail,
+                    self.lead_in_idle,
+                    self.idle_acc,
+                ],
+                dtype=np.float64,
+            ),
+            "ints": np.array(
+                [
+                    self.n_packets,
+                    self.pending_app,
+                    self.pending_state,
+                    self.pending_size,
+                ],
+                dtype=np.int64,
+            ),
+            "idle_buffer": np.asarray(self.idle_buffer, dtype=np.float64),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, np.ndarray]) -> "RadioCarry":
+        """Rebuild a carry from :meth:`to_payload` output."""
+        floats = np.asarray(payload["floats"], dtype=np.float64)
+        ints = np.asarray(payload["ints"], dtype=np.int64)
+        return cls(
+            window=(float(floats[0]), float(floats[1])),
+            n_packets=int(ints[0]),
+            pending_ts=float(floats[2]),
+            pending_app=int(ints[1]),
+            pending_state=int(ints[2]),
+            pending_size=int(ints[3]),
+            pending_transfer=float(floats[3]),
+            pending_promotion=float(floats[4]),
+            prev_half_tail=float(floats[5]),
+            lead_in_idle=float(floats[6]),
+            idle_acc=float(floats[7]),
+            idle_buffer=np.asarray(payload["idle_buffer"], dtype=np.float64),
+        )
+
+
+@dataclass
+class FinalizedChunk:
+    """Per-packet attribution of the packets settled by one feed."""
+
+    apps: np.ndarray  # app ids, int64
+    states: np.ndarray  # process-state labels, int64
+    sizes: np.ndarray  # packet sizes, int64
+    per_packet: np.ndarray  # attributed joules under the policy, float64
+
+    def __len__(self) -> int:
+        return len(self.per_packet)
+
+    @classmethod
+    def empty(cls) -> "FinalizedChunk":
+        return cls(
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            _EMPTY_F8.copy(),
+        )
+
+
+class StreamingAttribution:
+    """Incremental :func:`~repro.radio.attribution.attribute_energy`.
+
+    Feed time-ordered packet chunks with :meth:`feed`; each call returns
+    the packets it settled (everything up to, not including, the new
+    pending packet). :meth:`finish` settles the pending packet against
+    the window end and returns the unattributed idle energy. The
+    concatenation of every :class:`FinalizedChunk` is bit-identical —
+    value by value — to the batch engine's policy-adjusted per-packet
+    attribution over the whole trace, and the finished idle energy is
+    bit-identical to its ``idle_energy``, for any chunk sizes.
+
+    Args:
+        model: Radio power model.
+        policy: Tail-energy attribution rule.
+        window: Simulation window ``(w0, w1)``; must equal the batch
+            trace window for identity.
+        carry: Resume from a previous run's :class:`RadioCarry`
+            (default: start fresh).
+    """
+
+    def __init__(
+        self,
+        model: RadioModel,
+        policy: TailPolicy,
+        window: Tuple[float, float],
+        carry: Optional[RadioCarry] = None,
+    ) -> None:
+        if window[1] < window[0]:
+            raise StreamError(
+                f"window end {window[1]} before start {window[0]}"
+            )
+        if carry is not None and tuple(carry.window) != tuple(window):
+            raise StreamError(
+                f"carry window {carry.window} does not match {window}"
+            )
+        self.model = model
+        self.policy = policy
+        self.window = (float(window[0]), float(window[1]))
+        self.carry = carry if carry is not None else RadioCarry(self.window)
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+    def feed(self, chunk: PacketArray) -> FinalizedChunk:
+        """Consume one time-ordered chunk; return the packets it settled.
+
+        An empty chunk is a no-op. The first packet of the chunk settles
+        the carried pending packet; the chunk's own last packet becomes
+        the new pending one.
+        """
+        if self._finished:
+            raise StreamError("feed() after finish()")
+        k = len(chunk)
+        if k == 0:
+            return FinalizedChunk.empty()
+        if not chunk.is_time_sorted():
+            raise StreamError("chunk packets must be time-sorted")
+        carry = self.carry
+        ts = chunk.timestamps.astype(np.float64)
+        w0, w1 = self.window
+        if ts[0] < w0 or ts[-1] > w1:
+            raise TraceError("packets outside the simulation window")
+        if carry.n_packets and ts[0] < carry.pending_ts:
+            raise StreamError(
+                f"chunk starts at {ts[0]} before pending packet at "
+                f"{carry.pending_ts}"
+            )
+
+        model = self.model
+        tail_d = model.tail_duration
+        transfer = transfer_energy_vector(model, chunk)
+        apps = chunk.apps.astype(np.int64)
+        states = chunk.states.astype(np.int64)
+        sizes = chunk.sizes.astype(np.int64)
+
+        if carry.n_packets == 0:
+            # First packets of the stream: fix the pre-trace idle lead-in
+            # and promote packet one, exactly as the batch engine does.
+            carry.lead_in_idle = max(
+                float(ts[0]) - model.promotion_duration - w0, 0.0
+            )
+            diffs = np.diff(ts)
+            promotion = np.empty(k, dtype=np.float64)
+            promotion[0] = model.promotion_energy
+            promotion[1:] = np.where(diffs > tail_d, model.promotion_energy, 0.0)
+            ext_ts = ts
+            ext_transfer = transfer
+            ext_promotion = promotion
+            ext_apps, ext_states, ext_sizes = apps, states, sizes
+        else:
+            ext_ts = np.concatenate(([carry.pending_ts], ts))
+            diffs = np.diff(ext_ts)
+            promotion = np.where(
+                diffs > tail_d, model.promotion_energy, 0.0
+            )
+            ext_transfer = np.concatenate(([carry.pending_transfer], transfer))
+            ext_promotion = np.concatenate(
+                ([carry.pending_promotion], promotion)
+            )
+            ext_apps = np.concatenate(([carry.pending_app], apps))
+            ext_states = np.concatenate(([carry.pending_state], states))
+            ext_sizes = np.concatenate(([carry.pending_size], sizes))
+
+        # ``diffs`` are the gaps after each settled packet — the batch
+        # engine's ``gaps[:-1]`` restricted to this chunk's span.
+        on_times = np.minimum(diffs, tail_d)
+        raw_tail = model.tail_energy_vector(on_times)
+        idle_inner = np.clip(
+            diffs - tail_d - model.promotion_duration, 0.0, None
+        )
+        self._push_idle(idle_inner)
+
+        if self.policy == TailPolicy.SPLIT_ADJACENT:
+            half = raw_tail * 0.5
+            adjusted = raw_tail - half
+            if len(half):
+                prev_half = np.empty_like(half)
+                prev_half[0] = carry.prev_half_tail
+                prev_half[1:] = half[:-1]
+                adjusted = adjusted + prev_half
+                carry.prev_half_tail = float(half[-1])
+        else:
+            adjusted = raw_tail
+
+        settled = FinalizedChunk(
+            ext_apps[:-1],
+            ext_states[:-1],
+            ext_sizes[:-1],
+            (ext_transfer[:-1] + ext_promotion[:-1]) + adjusted,
+        )
+
+        carry.n_packets += k
+        carry.pending_ts = float(ext_ts[-1])
+        carry.pending_app = int(ext_apps[-1])
+        carry.pending_state = int(ext_states[-1])
+        carry.pending_size = int(ext_sizes[-1])
+        carry.pending_transfer = float(ext_transfer[-1])
+        carry.pending_promotion = float(ext_promotion[-1])
+        return settled
+
+    def finish(self) -> Tuple[FinalizedChunk, float]:
+        """Settle the pending packet against the window end.
+
+        Returns ``(last settled packet(s), idle_energy)``; idle energy
+        is the batch engine's unattributed idle floor, bit-identical.
+        """
+        if self._finished:
+            raise StreamError("finish() called twice")
+        self._finished = True
+        carry = self.carry
+        model = self.model
+        w0, w1 = self.window
+        if carry.n_packets == 0:
+            return FinalizedChunk.empty(), (w1 - w0) * model.idle_power
+
+        tail_d = model.tail_duration
+        trailing_gap = w1 - carry.pending_ts
+        raw_tail = model.tail_energy_vector(
+            np.minimum(np.array([trailing_gap]), tail_d)
+        )
+        if self.policy == TailPolicy.SPLIT_ADJACENT and carry.n_packets >= 2:
+            # The batch pass never halves the last packet's own tail; it
+            # only receives the forward half of its predecessor's.
+            adjusted = raw_tail + carry.prev_half_tail
+        else:
+            adjusted = raw_tail
+
+        settled = FinalizedChunk(
+            np.array([carry.pending_app], dtype=np.int64),
+            np.array([carry.pending_state], dtype=np.int64),
+            np.array([carry.pending_size], dtype=np.int64),
+            (
+                np.array([carry.pending_transfer])
+                + np.array([carry.pending_promotion])
+            )
+            + adjusted,
+        )
+
+        idle_acc = carry.idle_acc
+        if len(carry.idle_buffer):
+            idle_acc += float(carry.idle_buffer.sum())
+            carry.idle_buffer = _EMPTY_F8.copy()
+        carry.idle_acc = idle_acc
+        idle_time = carry.lead_in_idle + idle_acc
+        idle_time += max(trailing_gap - tail_d, 0.0)
+        return settled, idle_time * model.idle_power
+
+    @property
+    def finished(self) -> bool:
+        """True once :meth:`finish` has run."""
+        return self._finished
+
+    # ------------------------------------------------------------------
+    # Idle accumulation
+    # ------------------------------------------------------------------
+    def _push_idle(self, values: np.ndarray) -> None:
+        """Fold inner-gap idle values at absolute SUM_BLOCK boundaries.
+
+        The buffer always starts at a block boundary of the whole
+        stream's idle-gap sequence, so every ``float(block.sum())``
+        here sums exactly the values the batch engine's
+        :func:`~repro.radio.vectorized.blocked_sum` sums, in order.
+        """
+        carry = self.carry
+        buffer = (
+            np.concatenate([carry.idle_buffer, values])
+            if len(carry.idle_buffer)
+            else np.asarray(values, dtype=np.float64)
+        )
+        while len(buffer) >= SUM_BLOCK:
+            carry.idle_acc += float(buffer[:SUM_BLOCK].sum())
+            buffer = buffer[SUM_BLOCK:]
+        carry.idle_buffer = np.ascontiguousarray(buffer, dtype=np.float64)

@@ -20,6 +20,28 @@ from repro.radio.base import RadioModel
 from repro.trace.arrays import PacketArray
 from repro.trace.packet import Direction
 
+#: Block length of :func:`blocked_sum` — the float reduction unit shared
+#: by the batch engine and the streaming engine's idle accumulator.
+SUM_BLOCK = 8192
+
+
+def blocked_sum(values: np.ndarray, block: int = SUM_BLOCK) -> float:
+    """Sum ``values`` in fixed blocks aligned to the array start.
+
+    ``float(values.sum())`` associates differently for every array
+    length, so a streamed consumer that sees the same values in chunks
+    could never reproduce it bit-for-bit. Summing block-by-block (one
+    ``np.sum`` per ``block`` values, partials folded left-to-right)
+    gives a reduction any chunking can replay exactly: a streaming
+    accumulator that buffers values to the same absolute block
+    boundaries performs the identical sequence of float additions (see
+    :class:`repro.radio.streaming.StreamingAttribution`).
+    """
+    total = 0.0
+    for start in range(0, len(values), block):
+        total += float(values[start : start + block].sum())
+    return total
+
 
 @dataclass
 class PacketEnergy:
@@ -136,7 +158,7 @@ def compute_packet_energy(
     idle_time = max(float(ts[0]) - model.promotion_duration - w0, 0.0)
     inner = gaps[:-1]
     idle_inner = np.clip(inner - tail_d - model.promotion_duration, 0.0, None)
-    idle_time += float(idle_inner.sum())
+    idle_time += blocked_sum(idle_inner)
     idle_time += max(gaps[-1] - tail_d, 0.0)
     idle_energy = idle_time * model.idle_power
 

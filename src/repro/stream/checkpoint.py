@@ -1,0 +1,193 @@
+"""Durable snapshots of an in-flight streaming ingestion.
+
+A :class:`StreamCheckpoint` captures everything
+:class:`repro.stream.StreamIngestor` needs to continue after a kill
+with *no recomputation*: per user, the packets consumed so far, the
+resumable radio state (:class:`~repro.radio.streaming.RadioCarry` — the
+pending tail owner and idle accumulators) and the partial per-app /
+per-(app, state) / bytes totals, plus the finished users' idle floors.
+Float state crosses the file as raw ``float64`` arrays, never text, so
+a resumed run performs bit-identical arithmetic.
+
+The file is one ``.npz`` with a JSON header member (the idiom of
+:meth:`repro.trace.dataset.Dataset.save`), written atomically
+(tmp + rename, the idiom of
+:class:`repro.core.cache.AttributionCache.store`). The header binds the
+checkpoint to its source (:meth:`CsvStreamSource.signature`), model and
+policy; loading against anything else raises
+:class:`~repro.errors.StreamError` rather than silently mixing runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.errors import StreamError
+from repro.radio.attribution import TailPolicy
+from repro.radio.base import RadioModel
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class UserCheckpoint:
+    """One user's resumable state inside a checkpoint."""
+
+    user_id: int
+    #: ``pending`` (untouched), ``running`` (mid-stream) or ``done``.
+    status: str
+    #: Packets already consumed — the resume seek offset.
+    rows_consumed: int = 0
+    #: Radio carry payload (``running`` users only).
+    carry: Optional[Dict[str, np.ndarray]] = None
+    #: Partial per-app energy (keys, values) arrays.
+    energy_keys: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    energy_values: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.float64)
+    )
+    #: Partial per-(app, state) energy, keys combined as app*256+state.
+    state_keys: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    state_values: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.float64)
+    )
+    #: Partial per-app byte totals (exact int64).
+    bytes_keys: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    bytes_values: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    #: Unattributed idle energy (``done`` users only).
+    idle_energy: float = 0.0
+
+
+class StreamCheckpoint:
+    """Snapshot of a streaming run, bound to (source, model, policy)."""
+
+    def __init__(
+        self,
+        signature: str,
+        model: RadioModel,
+        policy: TailPolicy,
+        users: List[UserCheckpoint],
+        chunks_done: int = 0,
+    ) -> None:
+        self.signature = signature
+        self.model_repr = repr(model)
+        self.policy_value = policy.value
+        self.users = users
+        self.chunks_done = int(chunks_done)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: PathLike) -> Path:
+        """Write the checkpoint atomically (tmp + rename)."""
+        path = Path(path)
+        arrays: Dict[str, np.ndarray] = {}
+        header = {
+            "signature": self.signature,
+            "model": self.model_repr,
+            "policy": self.policy_value,
+            "chunks_done": self.chunks_done,
+            "users": [],
+        }
+        for user in self.users:
+            uid = user.user_id
+            header["users"].append(
+                {
+                    "user_id": uid,
+                    "status": user.status,
+                    "rows_consumed": user.rows_consumed,
+                    "has_carry": user.carry is not None,
+                }
+            )
+            arrays[f"energy_keys_{uid}"] = user.energy_keys
+            arrays[f"energy_values_{uid}"] = user.energy_values
+            arrays[f"state_keys_{uid}"] = user.state_keys
+            arrays[f"state_values_{uid}"] = user.state_values
+            arrays[f"bytes_keys_{uid}"] = user.bytes_keys
+            arrays[f"bytes_values_{uid}"] = user.bytes_values
+            arrays[f"idle_{uid}"] = np.float64(user.idle_energy)
+            if user.carry is not None:
+                for name, value in user.carry.items():
+                    arrays[f"carry_{name}_{uid}"] = value
+        arrays["header"] = np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        )
+        tmp = path.with_suffix(".tmp.npz")
+        np.savez(tmp, **arrays)
+        tmp.replace(path)
+        return path
+
+    @classmethod
+    def load(cls, path: PathLike) -> "StreamCheckpoint":
+        """Read a checkpoint written by :meth:`save`."""
+        path = Path(path)
+        if not path.exists():
+            raise StreamError(f"no checkpoint at {path}")
+        with np.load(path) as archive:
+            header = json.loads(bytes(archive["header"]).decode("utf-8"))
+            users = []
+            for entry in header["users"]:
+                uid = int(entry["user_id"])
+                carry = None
+                if entry["has_carry"]:
+                    carry = {
+                        "floats": archive[f"carry_floats_{uid}"],
+                        "ints": archive[f"carry_ints_{uid}"],
+                        "idle_buffer": archive[f"carry_idle_buffer_{uid}"],
+                    }
+                users.append(
+                    UserCheckpoint(
+                        user_id=uid,
+                        status=str(entry["status"]),
+                        rows_consumed=int(entry["rows_consumed"]),
+                        carry=carry,
+                        energy_keys=archive[f"energy_keys_{uid}"],
+                        energy_values=archive[f"energy_values_{uid}"],
+                        state_keys=archive[f"state_keys_{uid}"],
+                        state_values=archive[f"state_values_{uid}"],
+                        bytes_keys=archive[f"bytes_keys_{uid}"],
+                        bytes_values=archive[f"bytes_values_{uid}"],
+                        idle_energy=float(archive[f"idle_{uid}"]),
+                    )
+                )
+        checkpoint = cls.__new__(cls)
+        checkpoint.signature = header["signature"]
+        checkpoint.model_repr = header["model"]
+        checkpoint.policy_value = header["policy"]
+        checkpoint.users = users
+        checkpoint.chunks_done = int(header["chunks_done"])
+        return checkpoint
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def verify(
+        self, signature: str, model: RadioModel, policy: TailPolicy
+    ) -> None:
+        """Refuse to resume against a different source, model or policy."""
+        if self.signature != signature:
+            raise StreamError(
+                "checkpoint was written for a different source "
+                f"(checkpoint {self.signature}, source {signature})"
+            )
+        if self.model_repr != repr(model):
+            raise StreamError(
+                "checkpoint was written under a different radio model"
+            )
+        if self.policy_value != policy.value:
+            raise StreamError(
+                f"checkpoint was written under policy "
+                f"{self.policy_value!r}, run requested {policy.value!r}"
+            )

@@ -1,0 +1,343 @@
+"""Chunked packet sources for streaming ingestion.
+
+Two sources feed :class:`repro.stream.StreamIngestor`, both yielding
+one user's packets as a sequence of time-ordered, bounded-size
+:class:`~repro.trace.arrays.PacketArray` chunks:
+
+* :class:`CsvStreamSource` — the ``io_text`` CSV schemas, parsed row
+  by row through the same lazy iterators the batch reader uses
+  (:func:`repro.trace.io_text.iter_packet_rows`), so app registration
+  order — and therefore every app id — is identical to
+  :func:`repro.trace.io_text.dataset_from_csv` over the same files.
+* :class:`NpzStreamSource` — a saved :class:`~repro.trace.dataset.Dataset`
+  archive, read member-by-member through :mod:`zipfile` so only one
+  chunk of one user's packet table is ever decompressed into memory.
+
+Both expose the same protocol: ``registry``, ``user_ids``,
+``window(uid)``, ``n_packets(uid)``, ``iter_chunks(uid, skip=0)`` and a
+:meth:`signature` digest that binds checkpoints to their source.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zipfile
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import StreamError
+from repro.trace.arrays import PACKET_DTYPE, PacketArray
+from repro.trace.dataset import AppRegistry
+from repro.trace.events import EventLog
+from repro.trace.intervals import label_packet_states
+from repro.trace.io_text import (
+    PathLike,
+    iter_event_rows,
+    iter_packet_rows,
+)
+
+#: Default rows per chunk — small enough that a chunk of the paper-scale
+#: packet table is a few hundred kilobytes, large enough to amortise the
+#: per-chunk numpy overhead.
+DEFAULT_CHUNK_SIZE = 65536
+
+
+class CsvStreamSource:
+    """Stream per-user packets from ``io_text`` CSV files.
+
+    A cheap prepass walks every user's files once — registering app
+    names in the exact order the batch reader would and recording the
+    time horizon — so ids, windows and state labels match
+    :func:`~repro.trace.io_text.dataset_from_csv` over the same files
+    exactly. Packet CSVs must already be time-sorted (the batch path
+    sorts in RAM; a bounded-memory reader cannot), which is checked
+    during iteration and reported with file name and row number.
+
+    Event CSVs are read whole in the prepass (event streams are tiny
+    next to packet tables) and used to state-label each chunk; only
+    packet rows are streamed.
+
+    Args:
+        user_files: One ``(packets_csv, events_csv_or_None)`` per user;
+            user ids are assigned 1..N in order, as in the batch reader.
+        chunk_size: Maximum packets per yielded chunk.
+        duration: Observation window length; defaults to the latest
+            packet/event time across users rounded up to a whole day
+            (the batch reader's rule).
+    """
+
+    def __init__(
+        self,
+        user_files: Sequence[Tuple[PathLike, Optional[PathLike]]],
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        duration: Optional[float] = None,
+    ) -> None:
+        if not user_files:
+            raise StreamError("at least one user is required")
+        if chunk_size < 1:
+            raise StreamError(f"chunk_size must be >= 1: {chunk_size}")
+        self.chunk_size = int(chunk_size)
+        self._files = [
+            (Path(p), Path(e) if e is not None else None)
+            for p, e in user_files
+        ]
+        self.registry = AppRegistry()
+        self._events: Dict[int, EventLog] = {}
+        self._counts: Dict[int, int] = {}
+        horizon = 0.0
+        for uid, (packets_path, events_path) in enumerate(
+            self._files, start=1
+        ):
+            count = 0
+            last_ts = None
+            for row in iter_packet_rows(packets_path, self.registry):
+                count += 1
+                if last_ts is not None and row[0] < last_ts:
+                    raise StreamError(
+                        f"{packets_path.name}: packets not time-sorted at "
+                        f"row {count} (t={row[0]} after t={last_ts}); "
+                        "sort the file before streaming it"
+                    )
+                last_ts = row[0]
+            if last_ts is not None:
+                horizon = max(horizon, last_ts)
+            events = EventLog()
+            if events_path is not None:
+                for kind, event in iter_event_rows(events_path, self.registry):
+                    if kind == "process":
+                        events.add_process_event(event)
+                    elif kind == "screen":
+                        events.add_screen_event(event)
+                    else:
+                        events.add_input_event(event)
+                    horizon = max(horizon, event.timestamp)
+            self._events[uid] = events
+            self._counts[uid] = count
+        if duration is None:
+            duration = float(np.ceil(horizon / 86400.0) * 86400.0) or 86400.0
+        self.duration = float(duration)
+
+    @property
+    def user_ids(self) -> List[int]:
+        """User ids in ingestion order (1..N, as the batch reader)."""
+        return list(range(1, len(self._files) + 1))
+
+    def window(self, user_id: int) -> Tuple[float, float]:
+        """Simulation window of one user — ``(0, duration)`` for CSV."""
+        return (0.0, self.duration)
+
+    def n_packets(self, user_id: int) -> int:
+        """Total packet rows of one user (known from the prepass)."""
+        return self._counts[user_id]
+
+    def events_for(self, user_id: int) -> EventLog:
+        """One user's full event log (loaded in the prepass)."""
+        return self._events[user_id]
+
+    def iter_chunks(
+        self, user_id: int, skip: int = 0
+    ) -> Iterator[PacketArray]:
+        """Yield one user's packets as state-labelled, bounded chunks.
+
+        ``skip`` drops that many leading rows — how a resumed run seeks
+        past packets its checkpoint already accounted for (the rows are
+        re-read but nothing is recomputed).
+        """
+        packets_path, _ = self._files[user_id - 1]
+        events = self._events[user_id]
+        rows: List[Tuple[float, int, int, int, int]] = []
+        for i, row in enumerate(iter_packet_rows(packets_path, self.registry)):
+            if i < skip:
+                continue
+            rows.append(row)
+            if len(rows) >= self.chunk_size:
+                yield self._chunk_from_rows(rows, events)
+                rows = []
+        if rows:
+            yield self._chunk_from_rows(rows, events)
+
+    def _chunk_from_rows(
+        self,
+        rows: List[Tuple[float, int, int, int, int]],
+        events: EventLog,
+    ) -> PacketArray:
+        columns = list(zip(*rows))
+        chunk = PacketArray.from_columns(
+            np.array(columns[0], dtype=np.float64),
+            np.array(columns[1], dtype=np.uint32),
+            np.array(columns[2], dtype=np.uint8),
+            np.array(columns[3], dtype=np.uint16),
+            np.array(columns[4], dtype=np.uint32),
+        )
+        # Labelling is elementwise (per-app searchsorted against the
+        # full event log), so labelling chunk-by-chunk writes the exact
+        # labels the batch reader's whole-trace pass would.
+        label_packet_states(chunk, events)
+        return chunk
+
+    def signature(self) -> str:
+        """Digest binding a checkpoint to these files and settings."""
+        payload = json.dumps(
+            {
+                "kind": "csv",
+                "files": [
+                    [str(p), str(e) if e is not None else None]
+                    for p, e in self._files
+                ],
+                "duration": self.duration,
+            }
+        )
+        return hashlib.blake2b(
+            payload.encode("utf-8"), digest_size=12
+        ).hexdigest()
+
+
+class NpzStreamSource:
+    """Stream per-user packets out of a saved dataset archive.
+
+    Reads the archive the way :meth:`repro.trace.dataset.Dataset.load`
+    does — JSON header member for registry, users and windows — but
+    never materialises a packet table: each ``packets_<uid>`` member is
+    opened as a compressed zip stream, its ``.npy`` header parsed, and
+    records are pulled ``chunk_size`` rows at a time. Peak memory is one
+    chunk, not one trace. Stored packets already carry their state
+    labels, so chunks need no relabelling.
+    """
+
+    def __init__(
+        self, path: PathLike, chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> None:
+        if chunk_size < 1:
+            raise StreamError(f"chunk_size must be >= 1: {chunk_size}")
+        self.path = Path(path)
+        self.chunk_size = int(chunk_size)
+        with zipfile.ZipFile(self.path) as archive:
+            with archive.open("header.npy") as handle:
+                header_bytes = _read_npy_stream_fully(handle)
+        header = json.loads(header_bytes.tobytes().decode("utf-8"))
+        self.registry = AppRegistry.from_json(json.dumps(header["registry"]))
+        self._users = {
+            int(entry["user_id"]): (
+                float(entry["start"]),
+                float(entry["end"]),
+            )
+            for entry in header["users"]
+        }
+        self._order = [int(entry["user_id"]) for entry in header["users"]]
+        self._counts: Dict[int, int] = {}
+        with zipfile.ZipFile(self.path) as archive:
+            for uid in self._order:
+                with archive.open(f"packets_{uid}.npy") as handle:
+                    shape, dtype = _read_npy_header(handle, f"packets_{uid}")
+                    self._counts[uid] = int(shape[0])
+
+    @property
+    def user_ids(self) -> List[int]:
+        """User ids in archive (= dataset) order."""
+        return list(self._order)
+
+    def window(self, user_id: int) -> Tuple[float, float]:
+        """One user's stored observation window."""
+        return self._users[user_id]
+
+    def n_packets(self, user_id: int) -> int:
+        """Stored packet count of one user (from the .npy header)."""
+        return self._counts[user_id]
+
+    def iter_chunks(
+        self, user_id: int, skip: int = 0
+    ) -> Iterator[PacketArray]:
+        """Yield one user's packets in bounded chunks, decompressing
+        ``chunk_size`` records at a time straight off the archive."""
+        with zipfile.ZipFile(self.path) as archive:
+            with archive.open(f"packets_{user_id}.npy") as handle:
+                shape, dtype = _read_npy_header(
+                    handle, f"packets_{user_id}"
+                )
+                total = int(shape[0])
+                itemsize = dtype.itemsize
+                _discard_exactly(handle, skip * itemsize)
+                remaining = total - skip
+                while remaining > 0:
+                    rows = min(self.chunk_size, remaining)
+                    buffer = _read_exactly(handle, rows * itemsize)
+                    chunk = np.frombuffer(buffer, dtype=dtype).copy()
+                    remaining -= rows
+                    yield PacketArray(chunk)
+
+    def signature(self) -> str:
+        """Digest binding a checkpoint to this archive."""
+        payload = json.dumps(
+            {
+                "kind": "npz",
+                "path": str(self.path),
+                "users": [[uid, self._counts[uid]] for uid in self._order],
+            }
+        )
+        return hashlib.blake2b(
+            payload.encode("utf-8"), digest_size=12
+        ).hexdigest()
+
+
+StreamSource = Union[CsvStreamSource, NpzStreamSource]
+
+
+def _read_npy_header(handle, member: str) -> Tuple[tuple, np.dtype]:
+    """Parse one ``.npy`` member's header off a zip stream.
+
+    Leaves the stream positioned at the first data byte and validates
+    the layout a packet table must have (C-order records of
+    :data:`~repro.trace.arrays.PACKET_DTYPE`).
+    """
+    version = np.lib.format.read_magic(handle)
+    if version == (1, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+    elif version == (2, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+    else:
+        raise StreamError(f"{member}: unsupported .npy version {version}")
+    if fortran:
+        raise StreamError(f"{member}: Fortran-order arrays not supported")
+    if dtype != PACKET_DTYPE:
+        raise StreamError(
+            f"{member}: expected packet dtype {PACKET_DTYPE}, got {dtype}"
+        )
+    return shape, dtype
+
+
+def _read_npy_stream_fully(handle) -> np.ndarray:
+    """Read one small non-packet ``.npy`` member (the JSON header)."""
+    version = np.lib.format.read_magic(handle)
+    if version == (1, 0):
+        shape, _, dtype = np.lib.format.read_array_header_1_0(handle)
+    else:
+        shape, _, dtype = np.lib.format.read_array_header_2_0(handle)
+    count = int(np.prod(shape)) if shape else 1
+    buffer = _read_exactly(handle, count * dtype.itemsize)
+    return np.frombuffer(buffer, dtype=dtype).reshape(shape)
+
+
+def _read_exactly(handle, n_bytes: int) -> bytes:
+    """Read exactly ``n_bytes`` off a (possibly short-reading) stream."""
+    parts = []
+    remaining = n_bytes
+    while remaining > 0:
+        piece = handle.read(remaining)
+        if not piece:
+            raise StreamError("truncated packet member in archive")
+        parts.append(piece)
+        remaining -= len(piece)
+    return b"".join(parts)
+
+
+def _discard_exactly(handle, n_bytes: int) -> None:
+    """Skip ``n_bytes`` of a compressed stream in bounded pieces."""
+    remaining = n_bytes
+    while remaining > 0:
+        piece = handle.read(min(remaining, 1 << 20))
+        if not piece:
+            raise StreamError("truncated packet member in archive")
+        remaining -= len(piece)

@@ -1,0 +1,469 @@
+"""Streaming ingestion with incremental, batch-identical accounting.
+
+:class:`StreamIngestor` drives a chunk source
+(:class:`~repro.stream.chunks.CsvStreamSource` or
+:class:`~repro.stream.chunks.NpzStreamSource`) through the resumable
+radio layer (:class:`~repro.radio.streaming.StreamingAttribution`) and
+folds every settled packet into per-user partial totals
+(:class:`~repro.core.accounting.PartialTotals` — the carry-bincount
+accumulator whose float additions replay the batch engine's exactly).
+The finished :class:`StreamResult` therefore reports per-app,
+per-(app, state) and per-state energy, byte volumes and idle floors
+**bit-identical** to :class:`~repro.core.accounting.StudyEnergy` over
+the same data — ``array_equal``, not ``allclose`` — while peak memory
+stays O(workers × chunk).
+
+Periodic :class:`~repro.stream.checkpoint.StreamCheckpoint` snapshots
+make the run killable: ``run(resume=True)`` reloads the carries and
+partials and continues without recomputing a single settled packet.
+
+Parallelism: chunk rounds fan out over a persistent
+:class:`~repro.parallel.TaskPool` — workers do the vector math
+(:meth:`StreamingAttribution.feed`) and ship back settled arrays plus
+the new carry; the parent performs *all* float accumulation itself,
+sequentially, so results are identical for any worker count.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.accounting import PartialTotals, merge_keyed_totals
+from repro.errors import StreamError
+from repro.metrics import RunMetrics
+from repro.parallel import TaskPool, resolve_workers
+from repro.radio.attribution import TailPolicy
+from repro.radio.base import RadioModel
+from repro.radio.lte import LTE_DEFAULT
+from repro.radio.streaming import (
+    FinalizedChunk,
+    RadioCarry,
+    StreamingAttribution,
+)
+from repro.stream.checkpoint import StreamCheckpoint, UserCheckpoint
+from repro.stream.chunks import StreamSource
+from repro.trace.arrays import PacketArray
+
+
+class _IntTotals:
+    """Exact per-key ``int64`` accumulator (byte volumes).
+
+    Integer addition is associative, so unlike the float paths no
+    ordering trick is needed — any chunking lands on the identical
+    integers the batch :meth:`~repro.trace.index.TraceIndex.bytes_by_app`
+    reduction computes.
+    """
+
+    def __init__(
+        self,
+        keys: Optional[np.ndarray] = None,
+        values: Optional[np.ndarray] = None,
+    ) -> None:
+        self._keys = (
+            np.empty(0, dtype=np.int64)
+            if keys is None
+            else np.asarray(keys, dtype=np.int64)
+        )
+        self._values = (
+            np.empty(0, dtype=np.int64)
+            if values is None
+            else np.asarray(values, dtype=np.int64)
+        )
+
+    def add(self, keys: np.ndarray, amounts: np.ndarray) -> None:
+        if len(keys) == 0:
+            return
+        all_keys = np.concatenate([self._keys, np.asarray(keys, np.int64)])
+        all_amounts = np.concatenate(
+            [self._values, np.asarray(amounts, np.int64)]
+        )
+        uniq, inverse = np.unique(all_keys, return_inverse=True)
+        sums = np.zeros(len(uniq), dtype=np.int64)
+        np.add.at(sums, inverse, all_amounts)
+        self._keys = uniq
+        self._values = sums
+
+    def as_dict(self) -> Dict[int, int]:
+        return {int(k): int(v) for k, v in zip(self._keys, self._values)}
+
+    def payload(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self._keys.copy(), self._values.copy()
+
+
+class UserStreamAccumulator:
+    """One user's in-flight state: radio carry plus partial totals."""
+
+    def __init__(self, user_id: int, window: Tuple[float, float]) -> None:
+        self.user_id = user_id
+        self.window = window
+        self.carry: Optional[Dict[str, np.ndarray]] = None
+        self.rows_consumed = 0
+        self.done = False
+        self.idle_energy = 0.0
+        self.energy = PartialTotals()
+        self.app_state = PartialTotals()
+        self.bytes = _IntTotals()
+
+    def adopt(
+        self,
+        settled: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        carry: Optional[Dict[str, np.ndarray]],
+    ) -> None:
+        """Fold one round's settled packets in; take the new carry."""
+        apps, states, sizes, per_packet = settled
+        self.energy.add(apps, per_packet)
+        self.app_state.add(apps * 256 + states, per_packet)
+        self.bytes.add(apps, sizes)
+        if carry is not None:
+            self.carry = carry
+
+    def finish(self, model: RadioModel, policy: TailPolicy) -> None:
+        """Settle the pending packet and the idle floor."""
+        carry = (
+            RadioCarry.from_payload(self.carry)
+            if self.carry is not None
+            else None
+        )
+        sim = StreamingAttribution(model, policy, self.window, carry)
+        settled, idle = sim.finish()
+        self.adopt(
+            (settled.apps, settled.states, settled.sizes, settled.per_packet),
+            None,
+        )
+        self.idle_energy = idle
+        self.done = True
+
+    # ------------------------------------------------------------------
+    # Checkpoint round-trip
+    # ------------------------------------------------------------------
+    def to_checkpoint(self) -> UserCheckpoint:
+        if self.done:
+            status = "done"
+        elif self.rows_consumed or self.carry is not None:
+            status = "running"
+        else:
+            status = "pending"
+        energy_keys, energy_values = self.energy.payload()
+        state_keys, state_values = self.app_state.payload()
+        bytes_keys, bytes_values = self.bytes.payload()
+        return UserCheckpoint(
+            user_id=self.user_id,
+            status=status,
+            rows_consumed=self.rows_consumed,
+            carry=self.carry,
+            energy_keys=energy_keys,
+            energy_values=energy_values,
+            state_keys=state_keys,
+            state_values=state_values,
+            bytes_keys=bytes_keys,
+            bytes_values=bytes_values,
+            idle_energy=self.idle_energy,
+        )
+
+    @classmethod
+    def from_checkpoint(
+        cls, saved: UserCheckpoint, window: Tuple[float, float]
+    ) -> "UserStreamAccumulator":
+        acc = cls(saved.user_id, window)
+        acc.rows_consumed = saved.rows_consumed
+        acc.carry = saved.carry
+        acc.done = saved.status == "done"
+        acc.idle_energy = saved.idle_energy
+        acc.energy = PartialTotals(saved.energy_keys, saved.energy_values)
+        acc.app_state = PartialTotals(saved.state_keys, saved.state_values)
+        acc.bytes = _IntTotals(saved.bytes_keys, saved.bytes_values)
+        return acc
+
+
+class UserStreamResult:
+    """One user's finished streaming totals (grouped views)."""
+
+    def __init__(self, acc: UserStreamAccumulator) -> None:
+        self.user_id = acc.user_id
+        self.idle_energy = acc.idle_energy
+        self._energy = acc.energy.as_dict()
+        self._app_state = acc.app_state.as_dict()
+        self._bytes = acc.bytes.as_dict()
+
+    def energy_by_app(self) -> Dict[int, float]:
+        """Joules per app id — batch ``AttributionResult`` order/values."""
+        return dict(self._energy)
+
+    def energy_by_app_state(self) -> Dict[Tuple[int, int], float]:
+        """Joules per (app, process state) — keys decoded app*256+state."""
+        return {(k // 256, k % 256): v for k, v in self._app_state.items()}
+
+    def bytes_by_app(self) -> Dict[int, int]:
+        """Traffic bytes per app id (exact integers)."""
+        return dict(self._bytes)
+
+
+class StreamResult:
+    """Study-wide totals of one completed streaming ingestion.
+
+    Every reduction here replays the exact fold
+    :class:`~repro.core.accounting.StudyEnergy` performs — users in
+    ingestion order through
+    :func:`~repro.core.accounting.merge_keyed_totals`, idle via a
+    sequential ``sum`` — so each is bit-identical to its batch
+    counterpart. ``attributed_energy`` is the one exception: the batch
+    scalar sums per-packet arrays whole, an association no stream can
+    replay, so here it is defined as the fold of the (bit-identical)
+    per-app totals.
+    """
+
+    def __init__(self, users: List[UserStreamResult]) -> None:
+        self.users = users
+        self._by_id = {u.user_id: u for u in users}
+
+    @property
+    def user_ids(self) -> List[int]:
+        """User ids in ingestion order."""
+        return [u.user_id for u in self.users]
+
+    def user(self, user_id: int) -> UserStreamResult:
+        """One user's totals."""
+        try:
+            return self._by_id[user_id]
+        except KeyError:
+            raise StreamError(f"unknown user id {user_id}") from None
+
+    def energy_by_app(self) -> Dict[int, float]:
+        """Joules per app id, summed over users."""
+        return merge_keyed_totals(u.energy_by_app() for u in self.users)
+
+    def energy_by_app_state(self) -> Dict[Tuple[int, int], float]:
+        """Joules per (app id, process state), summed over users."""
+        return merge_keyed_totals(
+            u.energy_by_app_state() for u in self.users
+        )
+
+    def energy_by_state(self) -> Dict[int, float]:
+        """Joules per process state, summed over apps and users."""
+        return merge_keyed_totals(
+            {state: joules}
+            for (_, state), joules in self.energy_by_app_state().items()
+        )
+
+    def bytes_by_app(self) -> Dict[int, int]:
+        """Traffic bytes per app id, summed over users."""
+        return merge_keyed_totals(
+            (u.bytes_by_app() for u in self.users), zero=0
+        )
+
+    @property
+    def idle_energy(self) -> float:
+        """Unattributed idle-floor energy over all users, joules."""
+        return sum(u.idle_energy for u in self.users)
+
+    @property
+    def attributed_energy(self) -> float:
+        """Energy attributed to apps (fold of the per-app totals)."""
+        return sum(self.energy_by_app().values())
+
+    @property
+    def total_energy(self) -> float:
+        """Attributed plus idle energy, joules."""
+        return self.attributed_energy + self.idle_energy
+
+
+class StreamChunkTask:
+    """Picklable per-chunk radio step for :class:`~repro.parallel.TaskPool`.
+
+    Unlike the batch :class:`~repro.radio.attribution.AttributionTask`,
+    per-round data cannot live on the task (the pool ships the task
+    once, at creation) — each item carries ``(user_id, window, carry
+    payload, chunk records)`` and returns the settled arrays plus the
+    advanced carry. No accumulation happens here, so any worker count
+    yields identical results.
+    """
+
+    def __init__(self, model: RadioModel, policy: TailPolicy) -> None:
+        self.model = model
+        self.policy = policy
+
+    def __call__(self, item):
+        user_id, window, carry_payload, chunk_data = item
+        carry = (
+            RadioCarry.from_payload(carry_payload)
+            if carry_payload is not None
+            else None
+        )
+        sim = StreamingAttribution(self.model, self.policy, window, carry)
+        settled = sim.feed(PacketArray(chunk_data))
+        return (
+            user_id,
+            (settled.apps, settled.states, settled.sizes, settled.per_packet),
+            sim.carry.to_payload(),
+        )
+
+
+class StreamIngestor:
+    """Drive a chunk source to a batch-identical :class:`StreamResult`.
+
+    Args:
+        source: A :class:`~repro.stream.chunks.CsvStreamSource` or
+            :class:`~repro.stream.chunks.NpzStreamSource`.
+        model: Radio power model (default: the paper's LTE constants).
+        policy: Tail-energy attribution rule.
+        workers: Chunk rounds fan out over this many processes; also
+            the number of users in flight at once, so peak memory is
+            O(workers × chunk). ``1`` (default) stays in process.
+        checkpoint_path: Where snapshots are written; required for
+            ``checkpoint_every``, ``max_chunks`` and ``resume``.
+        checkpoint_every: Snapshot after every N processed chunks
+            (``0`` disables periodic snapshots).
+        metrics: A shared :class:`~repro.metrics.RunMetrics`; a private
+            one is created when omitted.
+    """
+
+    def __init__(
+        self,
+        source: StreamSource,
+        model: RadioModel = LTE_DEFAULT,
+        policy: TailPolicy = TailPolicy.LAST_PACKET,
+        *,
+        workers: Optional[int] = 1,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        checkpoint_every: int = 0,
+        metrics: Optional[RunMetrics] = None,
+    ) -> None:
+        self.source = source
+        self.model = model
+        self.policy = policy
+        self.workers = resolve_workers(workers)
+        self.checkpoint_path = (
+            Path(checkpoint_path) if checkpoint_path is not None else None
+        )
+        self.checkpoint_every = int(checkpoint_every)
+        self.metrics = metrics if metrics is not None else RunMetrics()
+        if self.checkpoint_every and self.checkpoint_path is None:
+            raise StreamError("checkpoint_every needs a checkpoint_path")
+
+    def run(
+        self,
+        resume: bool = False,
+        max_chunks: Optional[int] = None,
+    ) -> Optional[StreamResult]:
+        """Ingest every user; return the study totals.
+
+        With ``resume=True`` the run continues from
+        ``checkpoint_path`` — done users are never re-read, a
+        mid-stream user seeks past its consumed rows and picks its
+        radio carry back up mid-tail. ``max_chunks`` stops the run
+        after that many chunks, writes a checkpoint and returns
+        ``None`` (the bounded-slice / kill-simulation mode).
+        """
+        if max_chunks is not None and self.checkpoint_path is None:
+            raise StreamError("max_chunks needs a checkpoint_path")
+        accs = self._initial_accumulators(resume)
+        order = self.source.user_ids
+        active = [uid for uid in order if not accs[uid].done]
+        iterators = {}
+        chunks_this_run = 0
+        since_checkpoint = 0
+        task = StreamChunkTask(self.model, self.policy)
+        with TaskPool(task, self.workers) as pool:
+            while active:
+                items = []
+                chunk_rows = []
+                exhausted = []
+                with self.metrics.stage("stream.read"):
+                    for uid in list(active):
+                        if len(items) >= self.workers:
+                            break
+                        iterator = iterators.get(uid)
+                        if iterator is None:
+                            iterator = self.source.iter_chunks(
+                                uid, skip=accs[uid].rows_consumed
+                            )
+                            iterators[uid] = iterator
+                        chunk = next(iterator, None)
+                        if chunk is None:
+                            exhausted.append(uid)
+                        else:
+                            acc = accs[uid]
+                            items.append(
+                                (uid, acc.window, acc.carry, chunk.data)
+                            )
+                            chunk_rows.append(len(chunk))
+                with self.metrics.stage("stream.attribute"):
+                    for uid in exhausted:
+                        accs[uid].finish(self.model, self.policy)
+                        active.remove(uid)
+                        self.metrics.count("stream.users")
+                    if items:
+                        results = pool.map(items)
+                        for (uid, settled, carry), rows in zip(
+                            results, chunk_rows
+                        ):
+                            accs[uid].adopt(settled, carry)
+                            accs[uid].rows_consumed += rows
+                            self.metrics.count("stream.chunks")
+                            self.metrics.count("stream.packets", rows)
+                        chunks_this_run += len(items)
+                        since_checkpoint += len(items)
+                if max_chunks is not None and chunks_this_run >= max_chunks:
+                    if active:
+                        self._save_checkpoint(accs, order)
+                        return None
+                    break
+                if (
+                    self.checkpoint_every
+                    and since_checkpoint >= self.checkpoint_every
+                    and active
+                ):
+                    self._save_checkpoint(accs, order)
+                    since_checkpoint = 0
+        result = StreamResult(
+            [UserStreamResult(accs[uid]) for uid in order]
+        )
+        if self.checkpoint_path is not None:
+            self._save_checkpoint(accs, order)
+        return result
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _initial_accumulators(
+        self, resume: bool
+    ) -> Dict[int, UserStreamAccumulator]:
+        order = self.source.user_ids
+        if not resume:
+            return {
+                uid: UserStreamAccumulator(uid, self.source.window(uid))
+                for uid in order
+            }
+        if self.checkpoint_path is None:
+            raise StreamError("resume needs a checkpoint_path")
+        checkpoint = StreamCheckpoint.load(self.checkpoint_path)
+        checkpoint.verify(
+            self.source.signature(), self.model, self.policy
+        )
+        saved = {user.user_id: user for user in checkpoint.users}
+        if set(saved) != set(order):
+            raise StreamError(
+                "checkpoint user set does not match the source"
+            )
+        return {
+            uid: UserStreamAccumulator.from_checkpoint(
+                saved[uid], self.source.window(uid)
+            )
+            for uid in order
+        }
+
+    def _save_checkpoint(
+        self, accs: Dict[int, UserStreamAccumulator], order: List[int]
+    ) -> None:
+        with self.metrics.stage("stream.checkpoint"):
+            checkpoint = StreamCheckpoint(
+                self.source.signature(),
+                self.model,
+                self.policy,
+                [accs[uid].to_checkpoint() for uid in order],
+            )
+            checkpoint.save(self.checkpoint_path)
+            self.metrics.count("stream.checkpoints")

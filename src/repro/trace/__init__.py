@@ -33,6 +33,8 @@ from repro.trace.dataset import AppInfo, AppRegistry, Dataset
 from repro.trace.summary import DatasetSummary, UserSummary, summarize
 from repro.trace.io_text import (
     dataset_from_csv,
+    iter_event_rows,
+    iter_packet_rows,
     read_events_csv,
     read_packets_csv,
     write_events_csv,
@@ -59,6 +61,8 @@ __all__ = [
     "UserTrace",
     "app_state_intervals",
     "dataset_from_csv",
+    "iter_event_rows",
+    "iter_packet_rows",
     "read_events_csv",
     "read_packets_csv",
     "write_events_csv",

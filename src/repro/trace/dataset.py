@@ -136,6 +136,7 @@ class Dataset:
         self.registry = registry
         self.users: List[UserTrace] = list(users)
         self.metadata = dict(metadata or {})
+        self._fingerprint: Optional[str] = None
 
     def __len__(self) -> int:
         return len(self.users)
@@ -164,10 +165,32 @@ class Dataset:
         """Total traffic volume across all users."""
         return sum(u.packets.total_bytes for u in self.users)
 
+    def append_user(self, trace: UserTrace) -> UserTrace:
+        """Add one user trace, invalidating the cached fingerprint.
+
+        Mutating ``self.users`` directly would leave a previously
+        computed :meth:`fingerprint` stale — and a stale fingerprint
+        poisons every consumer keyed on it (the
+        :class:`~repro.core.cache.AttributionCache` would happily serve
+        another dataset's arrays). Use this instead of ``users.append``.
+        """
+        if any(t.user_id == trace.user_id for t in self.users):
+            raise TraceError(f"duplicate user id {trace.user_id}")
+        self.users.append(trace)
+        self._fingerprint = None
+        return trace
+
+    def extend(self, traces: Iterable[UserTrace]) -> "Dataset":
+        """Append many user traces via :meth:`append_user`."""
+        for trace in traces:
+            self.append_user(trace)
+        return self
+
     def label_states(self) -> None:
         """Label every user's packets with process states."""
         for trace in self.users:
             trace.label_states()
+        self._fingerprint = None
 
     def validate(self) -> None:
         """Validate every trace and cross-check app ids against registry."""
@@ -184,13 +207,19 @@ class Dataset:
         digest). Two datasets with equal fingerprints attribute
         identically under any fixed (model, policy) — this is the
         dataset component of the attribution disk-cache key.
+
+        The digest is cached; :meth:`append_user`, :meth:`extend` and
+        :meth:`label_states` invalidate it.
         """
+        if self._fingerprint is not None:
+            return self._fingerprint
         digest = hashlib.blake2b(digest_size=16)
         for trace in self.users:
             digest.update(np.int64(trace.user_id).tobytes())
             digest.update(np.float64([trace.start, trace.end]).tobytes())
             digest.update(np.ascontiguousarray(trace.packets.data).tobytes())
-        return digest.hexdigest()
+        self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Persistence

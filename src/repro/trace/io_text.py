@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -72,6 +72,46 @@ def _app_id(registry: AppRegistry, name: str) -> int:
     return registry.register(name).app_id
 
 
+#: One parsed packets-CSV row: (timestamp, size, direction, app id, conn).
+PacketRow = Tuple[float, int, int, int, int]
+
+
+def iter_packet_rows(
+    path: PathLike, registry: AppRegistry
+) -> Iterator[PacketRow]:
+    """Lazily parse a packets CSV, one row at a time.
+
+    This is the single parsing path: the batch reader
+    (:func:`read_packets_csv`) collects every row, the streaming reader
+    (:class:`repro.stream.CsvStreamSource`) consumes bounded slices —
+    both see identical rows and register unseen app names in identical
+    (file) order. Malformed rows raise :class:`TraceError` naming the
+    file and line number.
+    """
+    path = Path(path)
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        required = {"timestamp", "size", "direction", "app"}
+        if reader.fieldnames is None or not required.issubset(reader.fieldnames):
+            raise TraceError(
+                f"{path.name}: packets CSV must have columns "
+                f"{sorted(required)}, got {reader.fieldnames}"
+            )
+        for row in reader:
+            try:
+                yield (
+                    float(row["timestamp"]),
+                    int(row["size"]),
+                    int(_parse_direction(row["direction"])),
+                    _app_id(registry, row["app"]),
+                    int(row.get("conn") or 0),
+                )
+            except (TraceError, ValueError, TypeError) as exc:
+                raise TraceError(
+                    f"{path.name}:{reader.line_num}: {exc}"
+                ) from None
+
+
 def read_packets_csv(path: PathLike, registry: AppRegistry) -> PacketArray:
     """Read a packets CSV, registering unseen app names.
 
@@ -82,20 +122,14 @@ def read_packets_csv(path: PathLike, registry: AppRegistry) -> PacketArray:
     directions: List[int] = []
     apps: List[int] = []
     conns: List[int] = []
-    with open(path, newline="") as handle:
-        reader = csv.DictReader(handle)
-        required = {"timestamp", "size", "direction", "app"}
-        if reader.fieldnames is None or not required.issubset(reader.fieldnames):
-            raise TraceError(
-                f"packets CSV must have columns {sorted(required)}, got "
-                f"{reader.fieldnames}"
-            )
-        for row in reader:
-            times.append(float(row["timestamp"]))
-            sizes.append(int(row["size"]))
-            directions.append(int(_parse_direction(row["direction"])))
-            apps.append(_app_id(registry, row["app"]))
-            conns.append(int(row.get("conn") or 0))
+    for timestamp, size, direction, app, conn in iter_packet_rows(
+        path, registry
+    ):
+        times.append(timestamp)
+        sizes.append(size)
+        directions.append(direction)
+        apps.append(app)
+        conns.append(conn)
     packets = PacketArray.from_columns(
         np.array(times),
         np.array(sizes, dtype=np.uint32),
@@ -106,46 +140,74 @@ def read_packets_csv(path: PathLike, registry: AppRegistry) -> PacketArray:
     return packets.sorted_by_time()
 
 
-def read_events_csv(path: PathLike, registry: AppRegistry) -> EventLog:
-    """Read an events CSV (process/screen/input streams)."""
-    log = EventLog()
+#: One parsed events-CSV row, tagged by kind.
+EventRow = Tuple[str, object]
+
+
+def iter_event_rows(
+    path: PathLike, registry: AppRegistry
+) -> Iterator[EventRow]:
+    """Lazily parse an events CSV into ``(kind, event)`` pairs.
+
+    ``kind`` is ``"process"``/``"screen"``/``"input"``; ``event`` is the
+    matching :mod:`repro.trace.events` record. Shared by the batch and
+    streaming readers; malformed rows raise :class:`TraceError` naming
+    the file and line number.
+    """
+    path = Path(path)
     with open(path, newline="") as handle:
         reader = csv.DictReader(handle)
         required = {"timestamp", "kind"}
         if reader.fieldnames is None or not required.issubset(reader.fieldnames):
             raise TraceError(
-                f"events CSV must have columns {sorted(required)}, got "
-                f"{reader.fieldnames}"
+                f"{path.name}: events CSV must have columns "
+                f"{sorted(required)}, got {reader.fieldnames}"
             )
         for row in reader:
-            timestamp = float(row["timestamp"])
-            kind = row["kind"].strip().lower()
-            if kind == "process":
-                state_name = (row.get("value") or "").strip().upper()
-                try:
-                    state = ProcessState[state_name]
-                except KeyError:
-                    raise TraceError(
-                        f"unknown process state {row.get('value')!r}"
-                    ) from None
-                log.add_process_event(
-                    ProcessStateEvent(
-                        timestamp, _app_id(registry, row.get("app") or ""), state
-                    )
-                )
-            elif kind == "screen":
-                value = (row.get("value") or "").strip().lower()
-                if value not in ("on", "off"):
-                    raise TraceError(f"screen value must be on/off, got {value!r}")
-                log.add_screen_event(ScreenEvent(timestamp, value == "on"))
-            elif kind == "input":
-                log.add_input_event(
-                    UserInputEvent(
-                        timestamp, _app_id(registry, row.get("app") or "")
-                    )
-                )
-            else:
-                raise TraceError(f"unknown event kind {row['kind']!r}")
+            try:
+                yield _parse_event_row(row, registry)
+            except (TraceError, ValueError, TypeError) as exc:
+                raise TraceError(
+                    f"{path.name}:{reader.line_num}: {exc}"
+                ) from None
+
+
+def _parse_event_row(row, registry: AppRegistry) -> EventRow:
+    timestamp = float(row["timestamp"])
+    kind = row["kind"].strip().lower()
+    if kind == "process":
+        state_name = (row.get("value") or "").strip().upper()
+        try:
+            state = ProcessState[state_name]
+        except KeyError:
+            raise TraceError(
+                f"unknown process state {row.get('value')!r}"
+            ) from None
+        return kind, ProcessStateEvent(
+            timestamp, _app_id(registry, row.get("app") or ""), state
+        )
+    if kind == "screen":
+        value = (row.get("value") or "").strip().lower()
+        if value not in ("on", "off"):
+            raise TraceError(f"screen value must be on/off, got {value!r}")
+        return kind, ScreenEvent(timestamp, value == "on")
+    if kind == "input":
+        return kind, UserInputEvent(
+            timestamp, _app_id(registry, row.get("app") or "")
+        )
+    raise TraceError(f"unknown event kind {row['kind']!r}")
+
+
+def read_events_csv(path: PathLike, registry: AppRegistry) -> EventLog:
+    """Read an events CSV (process/screen/input streams)."""
+    log = EventLog()
+    for kind, event in iter_event_rows(path, registry):
+        if kind == "process":
+            log.add_process_event(event)
+        elif kind == "screen":
+            log.add_screen_event(event)
+        else:
+            log.add_input_event(event)
     return log
 
 

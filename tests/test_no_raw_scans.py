@@ -15,6 +15,7 @@ from pathlib import Path
 import pytest
 
 CORE = Path(__file__).resolve().parents[1] / "src" / "repro" / "core"
+STREAM = Path(__file__).resolve().parents[1] / "src" / "repro" / "stream"
 
 #: Patterns that indicate an ad-hoc per-app or per-state scan.
 FORBIDDEN = (
@@ -35,23 +36,48 @@ def _core_sources():
     return sorted(CORE.glob("*.py"))
 
 
-def test_core_package_exists():
-    assert _core_sources(), f"no sources under {CORE}"
+def _stream_sources():
+    return sorted(STREAM.glob("*.py"))
 
 
-@pytest.mark.parametrize("path", _core_sources(), ids=lambda p: p.name)
-def test_no_raw_scans_in_core(path):
-    source = path.read_text()
+def _scan(path):
     offending = []
-    for lineno, line in enumerate(source.splitlines(), start=1):
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
         stripped = line.strip()
         if stripped.startswith("#"):
             continue
         for pattern in FORBIDDEN:
             if pattern.search(line):
                 offending.append(f"{path.name}:{lineno}: {stripped}")
+    return offending
+
+
+def test_core_package_exists():
+    assert _core_sources(), f"no sources under {CORE}"
+
+
+def test_stream_package_exists():
+    assert _stream_sources(), f"no sources under {STREAM}"
+
+
+@pytest.mark.parametrize("path", _core_sources(), ids=lambda p: p.name)
+def test_no_raw_scans_in_core(path):
+    offending = _scan(path)
     assert not offending, (
         "raw per-app/per-state scans in repro.core — route these through "
         "TraceIndex (trace.index() / study.index_for()):\n"
+        + "\n".join(offending)
+    )
+
+
+@pytest.mark.parametrize("path", _stream_sources(), ids=lambda p: p.name)
+def test_no_raw_scans_in_stream(path):
+    """The streaming accumulators group with bincount over chunk-local
+    keys; whole-trace boolean masks would silently reintroduce the
+    O(apps x packets) cost the chunked design exists to avoid."""
+    offending = _scan(path)
+    assert not offending, (
+        "raw per-app/per-state scans in repro.stream — accumulate through "
+        "PartialTotals / the carry-bincount path instead:\n"
         + "\n".join(offending)
     )

@@ -1,0 +1,421 @@
+"""repro.stream: bit-identity with batch, chunk edges, checkpoint/resume.
+
+The subsystem's contract is the repo's established standard: every
+streamed total must equal the batch :class:`StudyEnergy` value
+bit-for-bit (``array_equal``, never ``allclose``), for any chunk size,
+any worker count, and across a kill + resume. The edge cases the issue
+calls out — a tail window spanning a chunk split, an app whose only
+packet is the last of a chunk, an empty chunk, resume mid-tail — each
+get a dedicated test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import StudyConfig, StudyEnergy, generate_study
+from repro.errors import StreamError, TraceError
+from repro.radio.attribution import TailPolicy, attribute_energy
+from repro.radio.lte import LTE_DEFAULT
+from repro.radio.streaming import RadioCarry, StreamingAttribution
+from repro.radio.vectorized import SUM_BLOCK, blocked_sum
+from repro.stream import (
+    CsvStreamSource,
+    NpzStreamSource,
+    StreamCheckpoint,
+    StreamIngestor,
+)
+from repro.trace.io_text import (
+    dataset_from_csv,
+    write_events_csv,
+    write_packets_csv,
+)
+from repro.trace.packet import Direction
+
+from conftest import make_packets
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def assert_streams_equal_batch(result, study):
+    """Every grouped total bit-identical between stream and batch."""
+    for name in ("energy_by_app", "energy_by_app_state", "energy_by_state"):
+        batch = getattr(study, name)()
+        streamed = getattr(result, name)()
+        assert list(batch) == list(streamed), f"{name} keys differ"
+        assert np.array_equal(
+            np.array(list(batch.values())),
+            np.array(list(streamed.values())),
+        ), f"{name} values differ"
+    assert study.bytes_by_app() == result.bytes_by_app()
+    assert study.idle_energy == result.idle_energy
+
+
+def batch_per_packet(packets, window, policy=TailPolicy.LAST_PACKET):
+    result = attribute_energy(
+        LTE_DEFAULT, packets, window=window, policy=policy
+    )
+    return result.per_packet, result.energy.idle_energy
+
+
+def stream_per_packet(chunks, window, policy=TailPolicy.LAST_PACKET):
+    sim = StreamingAttribution(LTE_DEFAULT, policy, window)
+    pieces = [sim.feed(chunk).per_packet for chunk in chunks]
+    final, idle = sim.finish()
+    pieces.append(final.per_packet)
+    return np.concatenate(pieces), idle
+
+
+@pytest.fixture(scope="module")
+def saved_study(tmp_path_factory):
+    """A 4-user study on disk plus its batch attribution."""
+    dataset = generate_study(StudyConfig(n_users=4, duration_days=6, seed=9))
+    path = tmp_path_factory.mktemp("stream") / "study.npz"
+    dataset.save(path)
+    return path, StudyEnergy(dataset)
+
+
+# ----------------------------------------------------------------------
+# StreamingAttribution: per-packet identity at chunk edges
+# ----------------------------------------------------------------------
+def test_tail_spanning_chunk_split():
+    """A gap shorter than the tail crossing a chunk boundary: the tail
+    energy must land on the packet before the split, exactly."""
+    packets = make_packets(
+        [
+            (10.0, 1000, Direction.DOWNLINK, 1),
+            (12.0, 500, Direction.UPLINK, 1),
+            # gap 12 -> 14 is inside LTE_DEFAULT's tail; split here
+            (14.0, 800, Direction.DOWNLINK, 2),
+            (300.0, 400, Direction.UPLINK, 2),
+        ]
+    )
+    window = (0.0, 400.0)
+    expected, expected_idle = batch_per_packet(packets, window)
+    for policy in TailPolicy:
+        expected_p, expected_i = batch_per_packet(packets, window, policy)
+        got, got_idle = stream_per_packet(
+            [packets[:2], packets[2:]], window, policy
+        )
+        assert np.array_equal(got, expected_p)
+        assert got_idle == expected_i
+    got, got_idle = stream_per_packet([packets[:2], packets[2:]], window)
+    assert np.array_equal(got, expected)
+    assert got_idle == expected_idle
+
+
+def test_app_whose_only_packet_is_last_of_chunk():
+    """The chunk-final packet is pending when the chunk ends; its app
+    must still receive its full settled energy, bit-identically."""
+    packets = make_packets(
+        [
+            (5.0, 100, Direction.UPLINK, 1),
+            (50.0, 2000, Direction.DOWNLINK, 7),  # app 7, last of chunk 1
+            (400.0, 300, Direction.UPLINK, 1),
+        ]
+    )
+    window = (0.0, 500.0)
+    expected, expected_idle = batch_per_packet(packets, window)
+    got, got_idle = stream_per_packet([packets[:2], packets[2:]], window)
+    assert np.array_equal(got, expected)
+    assert got_idle == expected_idle
+    batch = attribute_energy(LTE_DEFAULT, packets, window=window)
+    sim = StreamingAttribution(
+        LTE_DEFAULT, TailPolicy.LAST_PACKET, window
+    )
+    from repro.core.accounting import PartialTotals
+
+    totals = PartialTotals()
+    for chunk in (packets[:2], packets[2:]):
+        settled = sim.feed(chunk)
+        totals.add(settled.apps, settled.per_packet)
+    settled, _ = sim.finish()
+    totals.add(settled.apps, settled.per_packet)
+    assert totals.as_dict() == batch.energy_by_app()
+
+
+def test_empty_chunk_is_noop():
+    packets = make_packets(
+        [
+            (10.0, 1000, Direction.DOWNLINK, 1),
+            (90.0, 500, Direction.UPLINK, 2),
+        ]
+    )
+    window = (0.0, 200.0)
+    expected, expected_idle = batch_per_packet(packets, window)
+    got, got_idle = stream_per_packet(
+        [packets[:1], packets[:0], packets[1:], packets[:0]], window
+    )
+    assert np.array_equal(got, expected)
+    assert got_idle == expected_idle
+
+
+def test_single_packet_and_empty_user():
+    one = make_packets([(25.0, 700, Direction.DOWNLINK, 3)])
+    window = (0.0, 100.0)
+    for policy in TailPolicy:
+        expected, expected_idle = batch_per_packet(one, window, policy)
+        got, got_idle = stream_per_packet([one], window, policy)
+        assert np.array_equal(got, expected)
+        assert got_idle == expected_idle
+    sim = StreamingAttribution(
+        LTE_DEFAULT, TailPolicy.LAST_PACKET, window
+    )
+    settled, idle = sim.finish()
+    assert len(settled) == 0
+    assert idle == (window[1] - window[0]) * LTE_DEFAULT.idle_power
+
+
+@pytest.mark.parametrize("chunk_size", [1, 2, 3, 7, 50, 10_000])
+@pytest.mark.parametrize("policy", list(TailPolicy))
+def test_per_packet_identity_any_chunking(chunk_size, policy):
+    rng = np.random.default_rng(4)
+    n = 400
+    ts = np.sort(rng.uniform(0.0, 5_000.0, n))
+    packets = make_packets(
+        [
+            (float(ts[i]), int(rng.integers(40, 1500)),
+             Direction.UPLINK if rng.integers(2) else Direction.DOWNLINK,
+             int(rng.integers(1, 9)))
+            for i in range(n)
+        ]
+    )
+    window = (0.0, 6_000.0)
+    expected, expected_idle = batch_per_packet(packets, window, policy)
+    chunks = [
+        packets[i : i + chunk_size] for i in range(0, n, chunk_size)
+    ]
+    got, got_idle = stream_per_packet(chunks, window, policy)
+    assert np.array_equal(got, expected)
+    assert got_idle == expected_idle
+
+
+def test_idle_blocked_sum_across_block_boundary():
+    """More inner gaps than SUM_BLOCK: the buffered flush must replay
+    blocked_sum's exact block alignment."""
+    rng = np.random.default_rng(11)
+    n = SUM_BLOCK + 500
+    # Wide gaps so most contribute idle time.
+    ts = np.cumsum(rng.uniform(30.0, 60.0, n))
+    packets = make_packets(
+        [(float(t), 100, Direction.UPLINK, 1) for t in ts]
+    )
+    window = (0.0, float(ts[-1]) + 100.0)
+    expected, expected_idle = batch_per_packet(packets, window)
+    got, got_idle = stream_per_packet(
+        [packets[i : i + 1000] for i in range(0, n, 1000)], window
+    )
+    assert np.array_equal(got, expected)
+    assert got_idle == expected_idle
+
+
+def test_blocked_sum_matches_manual_fold():
+    values = np.random.default_rng(3).uniform(size=3 * SUM_BLOCK + 17)
+    total = 0.0
+    for start in range(0, len(values), SUM_BLOCK):
+        total += float(values[start : start + SUM_BLOCK].sum())
+    assert blocked_sum(values) == total
+
+
+def test_feed_rejects_bad_chunks():
+    window = (0.0, 100.0)
+    sim = StreamingAttribution(LTE_DEFAULT, TailPolicy.LAST_PACKET, window)
+    sim.feed(make_packets([(50.0, 10, Direction.UPLINK, 1)]))
+    with pytest.raises(StreamError):
+        sim.feed(make_packets([(10.0, 10, Direction.UPLINK, 1)]))
+    with pytest.raises(TraceError):
+        sim.feed(make_packets([(500.0, 10, Direction.UPLINK, 1)]))
+    sim.finish()
+    with pytest.raises(StreamError):
+        sim.feed(make_packets([(60.0, 10, Direction.UPLINK, 1)]))
+    with pytest.raises(StreamError):
+        sim.finish()
+
+
+def test_radio_carry_payload_roundtrip():
+    window = (0.0, 1_000.0)
+    sim = StreamingAttribution(LTE_DEFAULT, TailPolicy.SPLIT_ADJACENT, window)
+    packets = make_packets(
+        [(float(t), 200, Direction.DOWNLINK, 2) for t in (5, 9, 40, 300)]
+    )
+    first = sim.feed(packets[:3])
+    restored = RadioCarry.from_payload(sim.carry.to_payload())
+    resumed = StreamingAttribution(
+        LTE_DEFAULT, TailPolicy.SPLIT_ADJACENT, window, restored
+    )
+    rest = resumed.feed(packets[3:])
+    final, idle = resumed.finish()
+    got = np.concatenate(
+        [first.per_packet, rest.per_packet, final.per_packet]
+    )
+    expected, expected_idle = batch_per_packet(
+        packets, window, TailPolicy.SPLIT_ADJACENT
+    )
+    assert np.array_equal(got, expected)
+    assert idle == expected_idle
+
+
+# ----------------------------------------------------------------------
+# Study-level identity: npz and CSV sources
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("chunk_size", [97, 4096])
+def test_npz_stream_identical_to_batch(saved_study, chunk_size):
+    path, study = saved_study
+    source = NpzStreamSource(path, chunk_size=chunk_size)
+    result = StreamIngestor(source).run()
+    assert_streams_equal_batch(result, study)
+
+
+def test_npz_stream_parallel_workers_identical(saved_study):
+    path, study = saved_study
+    source = NpzStreamSource(path, chunk_size=1500)
+    result = StreamIngestor(source, workers=3).run()
+    assert_streams_equal_batch(result, study)
+
+
+def test_split_policy_stream_identical(saved_study):
+    path, _ = saved_study
+    from repro.trace.dataset import Dataset
+
+    dataset = Dataset.load(path)
+    study = StudyEnergy(dataset, policy=TailPolicy.SPLIT_ADJACENT)
+    source = NpzStreamSource(path, chunk_size=333)
+    result = StreamIngestor(source, policy=TailPolicy.SPLIT_ADJACENT).run()
+    assert_streams_equal_batch(result, study)
+
+
+def test_csv_stream_identical_to_batch(tmp_path):
+    dataset = generate_study(StudyConfig(n_users=2, duration_days=4, seed=5))
+    pairs = []
+    for trace in dataset:
+        p = tmp_path / f"u{trace.user_id}_packets.csv"
+        e = tmp_path / f"u{trace.user_id}_events.csv"
+        write_packets_csv(p, trace.packets, dataset.registry)
+        write_events_csv(e, trace.events, dataset.registry)
+        pairs.append((p, e))
+    study = StudyEnergy(dataset_from_csv(pairs))
+    source = CsvStreamSource(pairs, chunk_size=189)
+    result = StreamIngestor(source).run()
+    assert_streams_equal_batch(result, study)
+    # The prepass must reproduce the batch reader's registry exactly.
+    batch_registry = dataset_from_csv(pairs).registry
+    assert source.registry.to_json() == batch_registry.to_json()
+
+
+def test_csv_source_rejects_unsorted(tmp_path):
+    path = tmp_path / "p.csv"
+    path.write_text(
+        "timestamp,size,direction,app\n"
+        "10.0,100,up,a.one\n"
+        "5.0,100,down,a.two\n"
+    )
+    with pytest.raises(StreamError, match="not time-sorted"):
+        CsvStreamSource([(path, None)])
+
+
+# ----------------------------------------------------------------------
+# Checkpoint / resume
+# ----------------------------------------------------------------------
+def test_kill_and_resume_identical(saved_study, tmp_path):
+    """Kill after a few chunks, resume with a different chunk size —
+    still bit-identical, with no packet attributed twice."""
+    path, study = saved_study
+    ckpt = tmp_path / "run.ckpt.npz"
+    killed = StreamIngestor(
+        NpzStreamSource(path, chunk_size=64), checkpoint_path=ckpt
+    ).run(max_chunks=3)
+    assert killed is None
+    assert ckpt.exists()
+    result = StreamIngestor(
+        NpzStreamSource(path, chunk_size=401), checkpoint_path=ckpt
+    ).run(resume=True)
+    assert_streams_equal_batch(result, study)
+
+
+def test_resume_mid_tail(saved_study, tmp_path):
+    """A checkpoint cut wherever max_chunks lands leaves a pending
+    packet whose tail is still open; resuming must settle it exactly."""
+    path, study = saved_study
+    for cut in (1, 2, 5):
+        ckpt = tmp_path / f"cut{cut}.ckpt.npz"
+        killed = StreamIngestor(
+            NpzStreamSource(path, chunk_size=33), checkpoint_path=ckpt
+        ).run(max_chunks=cut)
+        assert killed is None
+        checkpoint = StreamCheckpoint.load(ckpt)
+        running = [u for u in checkpoint.users if u.status == "running"]
+        assert running, "expected a user mid-stream with an open tail"
+        assert any(u.carry is not None for u in running)
+        result = StreamIngestor(
+            NpzStreamSource(path, chunk_size=33), checkpoint_path=ckpt
+        ).run(resume=True)
+        assert_streams_equal_batch(result, study)
+
+
+def test_periodic_checkpoints_and_metrics(saved_study, tmp_path):
+    from repro.metrics import RunMetrics
+
+    path, study = saved_study
+    ckpt = tmp_path / "periodic.ckpt.npz"
+    metrics = RunMetrics()
+    result = StreamIngestor(
+        NpzStreamSource(path, chunk_size=256),
+        checkpoint_path=ckpt,
+        checkpoint_every=4,
+        metrics=metrics,
+    ).run()
+    assert_streams_equal_batch(result, study)
+    report = metrics.as_dict()
+    assert report["counters"]["stream.checkpoints"] >= 2
+    assert report["counters"]["stream.chunks"] > 0
+    assert report["counters"]["stream.packets"] == sum(
+        len(t.packets) for t in study.dataset
+    )
+    assert report["counters"]["stream.users"] == len(study.dataset)
+    for stage in ("stream.read", "stream.attribute", "stream.checkpoint"):
+        assert stage in report["stages"]
+    assert "ingest_packets_per_s" in report["derived"]
+
+
+def test_resume_rejects_mismatched_run(saved_study, tmp_path):
+    path, _ = saved_study
+    ckpt = tmp_path / "guard.ckpt.npz"
+    StreamIngestor(
+        NpzStreamSource(path, chunk_size=64), checkpoint_path=ckpt
+    ).run(max_chunks=1)
+    # Different policy.
+    with pytest.raises(StreamError, match="policy"):
+        StreamIngestor(
+            NpzStreamSource(path, chunk_size=64),
+            policy=TailPolicy.SPLIT_ADJACENT,
+            checkpoint_path=ckpt,
+        ).run(resume=True)
+    # Different model.
+    from repro.radio.umts import UMTS_DEFAULT
+
+    with pytest.raises(StreamError, match="model"):
+        StreamIngestor(
+            NpzStreamSource(path, chunk_size=64),
+            model=UMTS_DEFAULT,
+            checkpoint_path=ckpt,
+        ).run(resume=True)
+    # Missing checkpoint path entirely.
+    with pytest.raises(StreamError):
+        StreamIngestor(NpzStreamSource(path, chunk_size=64)).run(resume=True)
+    with pytest.raises(StreamError):
+        StreamIngestor(NpzStreamSource(path, chunk_size=64)).run(max_chunks=1)
+
+
+def test_resume_after_completion_returns_same_result(saved_study, tmp_path):
+    path, study = saved_study
+    ckpt = tmp_path / "final.ckpt.npz"
+    StreamIngestor(
+        NpzStreamSource(path, chunk_size=512), checkpoint_path=ckpt
+    ).run()
+    # Everything is done in the checkpoint; resume re-reads nothing.
+    result = StreamIngestor(
+        NpzStreamSource(path, chunk_size=512), checkpoint_path=ckpt
+    ).run(resume=True)
+    assert_streams_equal_batch(result, study)

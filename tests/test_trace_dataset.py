@@ -142,3 +142,58 @@ def test_dataset_validate_checks_registry():
     dataset = Dataset(_registry(), [trace])
     with pytest.raises(TraceError):
         dataset.validate()
+
+
+def test_append_user_and_extend():
+    dataset = Dataset(_registry(), [_trace(1)])
+    dataset.append_user(_trace(2))
+    assert [t.user_id for t in dataset.users] == [1, 2]
+    dataset.extend([_trace(3), _trace(4)])
+    assert [t.user_id for t in dataset.users] == [1, 2, 3, 4]
+    dataset.validate()
+
+
+def test_append_user_rejects_duplicate_id():
+    dataset = Dataset(_registry(), [_trace(1)])
+    with pytest.raises(TraceError):
+        dataset.append_user(_trace(1))
+    with pytest.raises(TraceError):
+        dataset.extend([_trace(2), _trace(2)])
+
+
+def test_fingerprint_cached_and_invalidated_by_mutation():
+    dataset = Dataset(_registry(), [_trace(1)])
+    before = dataset.fingerprint()
+    # Cached: repeated calls return the same digest object state.
+    assert dataset.fingerprint() == before
+    dataset.append_user(_trace(2))
+    after = dataset.fingerprint()
+    assert after != before
+    dataset.extend([_trace(3)])
+    assert dataset.fingerprint() != after
+
+
+def test_label_states_invalidates_fingerprint():
+    dataset = Dataset(_registry(), [_trace(1)])
+    before = dataset.fingerprint()
+    dataset.label_states()
+    assert dataset.fingerprint() != before
+
+
+def test_stale_fingerprint_cannot_poison_cache_key():
+    """Regression: a mutated dataset must never reuse the pre-mutation
+    attribution cache key, or cached per-user payloads for the old
+    dataset would be served for the new one."""
+    from repro.core.cache import study_cache_key
+    from repro.radio.attribution import TailPolicy
+    from repro.radio.lte import LTE_DEFAULT
+
+    dataset = Dataset(_registry(), [_trace(1)])
+    key_before = study_cache_key(
+        dataset, LTE_DEFAULT, TailPolicy.LAST_PACKET
+    )
+    dataset.append_user(_trace(2))
+    key_after = study_cache_key(
+        dataset, LTE_DEFAULT, TailPolicy.LAST_PACKET
+    )
+    assert key_after != key_before

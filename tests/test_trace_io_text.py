@@ -141,3 +141,56 @@ def test_analysis_runs_on_imported_data(packets_file, events_file):
     dataset = dataset_from_csv([(packets_file, events_file)])
     study = StudyEnergy(dataset)
     assert study.attributed_energy > 0
+
+
+def test_malformed_packet_row_names_file_and_line(tmp_path):
+    path = tmp_path / "p.csv"
+    path.write_text(
+        "timestamp,size,direction,app\n"
+        "1.0,100,up,a.one\n"
+        "not-a-number,100,down,a.two\n"
+    )
+    with pytest.raises(TraceError, match=r"p\.csv:3:"):
+        read_packets_csv(path, AppRegistry())
+
+
+def test_malformed_packet_direction_names_file_and_line(tmp_path):
+    path = tmp_path / "p.csv"
+    path.write_text(
+        "timestamp,size,direction,app\n"
+        "1.0,100,up,a.one\n"
+        "2.0,100,down,a.two\n"
+        "3.0,50,sideways,a.one\n"
+    )
+    with pytest.raises(TraceError, match=r"p\.csv:4:"):
+        read_packets_csv(path, AppRegistry())
+
+
+def test_malformed_event_row_names_file_and_line(tmp_path):
+    path = tmp_path / "e.csv"
+    path.write_text(
+        "timestamp,kind,app,value\n"
+        "1.0,process,a.one,foreground\n"
+        "2.0,process,a.one,warp-speed\n"
+    )
+    with pytest.raises(TraceError, match=r"e\.csv:3:"):
+        read_events_csv(path, AppRegistry())
+
+
+def test_iterators_match_batch_readers(packets_file, events_file):
+    from repro.trace.io_text import iter_event_rows, iter_packet_rows
+
+    batch_registry = AppRegistry()
+    packets = read_packets_csv(packets_file, batch_registry)
+    iter_registry = AppRegistry()
+    rows = list(iter_packet_rows(packets_file, iter_registry))
+    assert len(rows) == len(packets)
+    # Same registration order, hence the same app ids per row.
+    assert iter_registry.to_json() == batch_registry.to_json()
+    assert [r[0] for r in rows] == packets.timestamps.tolist()
+    assert [r[1] for r in rows] == packets.sizes.tolist()
+    assert [r[3] for r in rows] == packets.apps.tolist()
+
+    read_events_csv(events_file, batch_registry)
+    n_events = sum(1 for _ in iter_event_rows(events_file, iter_registry))
+    assert n_events == 5
