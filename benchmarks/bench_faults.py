@@ -1,0 +1,122 @@
+"""Clean-path cost of the hardened execution layer.
+
+The fault-injection sites (:func:`repro.faults.fire`) and the
+:class:`~repro.parallel.TaskPool` failure policy (retry accounting,
+quarantine scaffolding, per-item exception handling) sit on the hot
+path of every run, faulted or not. This bench prices the fault-free
+case: the same pure task mapped through a fully-armed-*option* pool —
+retries, timeout, quarantine all enabled, but no plan installed — must
+stay within 5% of a bare Python loop over the uninstrumented task.
+
+Both sides are measured as a best-of-N to keep the comparison stable
+against scheduler noise, and the results are asserted identical first:
+a cheaper-but-different answer would not be an optimisation.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import RunMetrics, faults
+from repro.parallel import TaskPool
+
+from conftest import write_artifact
+
+#: Per-item work (~0.5 ms of numpy): heavy enough that the measurement
+#: is about the task, light enough that per-item framework overhead
+#: would still show at the 5% level.
+WORK_ELEMENTS = 200_000
+N_ITEMS = 300
+BEST_OF = 5
+
+#: The acceptance bar from the issue.
+MAX_OVERHEAD_FRACTION = 0.05
+
+
+def _plain_task(seed: int) -> float:
+    values = np.arange(1, WORK_ELEMENTS + seed % 7, dtype=np.float64)
+    return float(np.sqrt(values).sum())
+
+
+def _instrumented_task(seed: int) -> float:
+    # What every real library task looks like now: one (unarmed)
+    # fault-site check in front of the pure computation.
+    faults.fire("attribute.task")
+    return _plain_task(seed)
+
+
+def _baseline(items):
+    return [_plain_task(item) for item in items]
+
+
+def _hardened(items, metrics):
+    with TaskPool(
+        _instrumented_task,
+        workers=1,
+        retries=2,
+        task_timeout=30.0,
+        quarantine=True,
+        metrics=metrics,
+    ) as pool:
+        return pool.map(items)
+
+
+def _best_of(fn, rounds=BEST_OF):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def test_hardened_clean_path_overhead(output_dir, benchmark):
+    faults.uninstall()
+    items = list(range(N_ITEMS))
+    metrics = RunMetrics()
+
+    expected, baseline_s = _best_of(lambda: _baseline(items))
+    got, hardened_s = _best_of(lambda: _hardened(items, metrics))
+
+    # Identity before speed: same floats, nothing retried, nothing
+    # quarantined, no fault ever fired on the clean path.
+    assert got == expected
+    assert metrics.counter("faults.task_retries") == 0
+    assert metrics.counter("faults.tasks_quarantined") == 0
+    assert faults.fire_count("attribute.task") == 0
+
+    overhead = hardened_s / baseline_s - 1.0
+    assert overhead < MAX_OVERHEAD_FRACTION, (
+        f"hardened clean path is {overhead:.1%} slower than the bare "
+        f"loop (budget {MAX_OVERHEAD_FRACTION:.0%})"
+    )
+
+    benchmark.pedantic(
+        lambda: _hardened(items, metrics), rounds=3, iterations=1
+    )
+    benchmark.extra_info.update(
+        {
+            "items": N_ITEMS,
+            "baseline_best_s": round(baseline_s, 6),
+            "hardened_best_s": round(hardened_s, 6),
+            "overhead_fraction": round(overhead, 4),
+            "budget_fraction": MAX_OVERHEAD_FRACTION,
+        }
+    )
+    write_artifact(
+        output_dir,
+        "bench_faults.txt",
+        "\n".join(
+            [
+                "hardened TaskPool clean-path overhead",
+                f"  items              {N_ITEMS} x ~0.5ms numpy task",
+                f"  bare loop (best)   {baseline_s * 1e3:8.2f} ms",
+                f"  hardened (best)    {hardened_s * 1e3:8.2f} ms",
+                f"  overhead           {overhead:8.2%}  (budget "
+                f"{MAX_OVERHEAD_FRACTION:.0%})",
+            ]
+        ),
+    )

@@ -1,6 +1,14 @@
 #!/usr/bin/env sh
 # Tier-1 gate: the exact pytest line CI runs. Extra arguments are
 # passed through, e.g.  scripts/check_tier1.sh -k stream
+#
+# --chaos runs only the seeded fault-injection suite (fixed seeds are
+# baked into tests/test_chaos.py, so every invocation replays the same
+# fault schedule); see docs/ROBUSTNESS.md.
 set -e
 cd "$(dirname "$0")/.."
+if [ "$1" = "--chaos" ]; then
+    shift
+    set -- tests/test_chaos.py "$@"
+fi
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} exec python -m pytest -x -q "$@"

@@ -23,6 +23,8 @@ Quickstart::
 """
 
 from repro.core.accounting import StudyEnergy
+from repro.errors import TaskFailure
+from repro.faults import FaultPlan, FaultSpec
 from repro.metrics import RunMetrics
 from repro.radio import (
     LTE_DEFAULT,
@@ -50,6 +52,8 @@ __all__ = [
     "CsvStreamSource",
     "Dataset",
     "Direction",
+    "FaultPlan",
+    "FaultSpec",
     "LTE_DEFAULT",
     "NpzStreamSource",
     "Packet",
@@ -64,6 +68,7 @@ __all__ = [
     "StudyEnergy",
     "StudyGenerator",
     "TailPolicy",
+    "TaskFailure",
     "UMTS_DEFAULT",
     "WIFI_DEFAULT",
     "__version__",

@@ -347,7 +347,10 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             events = parts[1] if len(parts) > 1 and parts[1] else None
             pairs.append((parts[0], events))
         source = CsvStreamSource(
-            pairs, chunk_size=chunk_size, duration=args.duration
+            pairs,
+            chunk_size=chunk_size,
+            duration=args.duration,
+            quarantine_rows=args.quarantine,
         )
     else:
         print(
@@ -362,6 +365,9 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         metrics=metrics,
+        retries=args.retries,
+        task_timeout=args.task_timeout,
+        quarantine=args.quarantine,
     )
     result = ingestor.run(resume=args.resume, max_chunks=args.max_chunks)
     counters = metrics.as_dict()["counters"]
@@ -390,6 +396,13 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         f"{counters.get('stream.chunks', 0)}  checkpoints: "
         f"{counters.get('stream.checkpoints', 0)}"
     )
+    dropped_rows = counters.get("faults.rows_quarantined", 0)
+    if dropped_rows or result.failures:
+        print(
+            f"quarantined: {dropped_rows} malformed row(s), "
+            f"{len(result.failures)} user(s) "
+            "(see faults.* counters in --metrics-json)"
+        )
     print(
         f"attributed: {result.attributed_energy / 1e3:.1f} kJ  "
         f"idle: {result.idle_energy / 1e3:.1f} kJ  "
@@ -598,6 +611,27 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="chunk workers / users in flight (0 = one per CPU)",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry a failed/crashed chunk task N times before giving up",
+    )
+    p.add_argument(
+        "--task-timeout",
+        type=float,
+        metavar="SECONDS",
+        help="declare a chunk task hung after this long and rebuild the pool",
+    )
+    p.add_argument(
+        "--quarantine",
+        action="store_true",
+        help=(
+            "keep going past bad input: drop malformed CSV rows and "
+            "retry-exhausted users, reporting both via faults.* counters"
+        ),
     )
     p.add_argument("--top", type=int, default=15, help="apps to print")
     p.add_argument(

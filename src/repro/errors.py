@@ -35,4 +35,48 @@ class AnalysisError(ReproError):
 class StreamError(ReproError):
     """Invalid streaming-ingestion state (out-of-order chunks, a
     checkpoint that does not match the source or model, feeding a
-    finished stream)."""
+    finished stream, a torn or truncated checkpoint file)."""
+
+
+class FaultInjected(ReproError):
+    """An error thrown on purpose by :mod:`repro.faults` at an armed
+    fault site. Only ever raised while a :class:`~repro.faults.FaultPlan`
+    is installed — seeing one outside a chaos test is itself a bug."""
+
+
+class TaskFailure(ReproError):
+    """A task that exhausted its retry budget in the hardened pool.
+
+    Carries everything needed to triage the poison task: the item's
+    position and repr, how many attempts were made, the failure ``kind``
+    (``"error"``, ``"crash"``, or ``"timeout"``) and the stringified
+    cause. In quarantine mode these appear as result slots / in
+    ``TaskPool.failures`` instead of aborting the run.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        item_repr: str,
+        attempts: int,
+        kind: str,
+        cause: str,
+    ) -> None:
+        self.index = index
+        self.item_repr = item_repr
+        self.attempts = attempts
+        self.kind = kind
+        self.cause = cause
+        super().__init__(
+            f"task {index} ({item_repr}) failed after {attempts} "
+            f"attempt(s) [{kind}]: {cause}"
+        )
+
+    def __reduce__(self):
+        # Exception pickling calls __init__ with .args by default, which
+        # does not match this signature; failures must survive the trip
+        # back through a result pipe.
+        return (
+            TaskFailure,
+            (self.index, self.item_repr, self.attempts, self.kind, self.cause),
+        )

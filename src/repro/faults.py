@@ -1,0 +1,306 @@
+"""Deterministic, seedable fault injection (the chaos layer).
+
+A 22-month ingestion job fails mid-run as the common case, not the
+exception: workers crash, tasks hang, input rows arrive malformed,
+checkpoint writes get torn by a power cut. Nothing in the library can
+be *proven* robust against those unless the failures themselves are
+reproducible — so this module makes them first-class, deterministic
+inputs.
+
+Library code declares **fault sites**: named points where a fault could
+strike (:data:`SITES`). Each call to :func:`fire` at a site increments
+a per-process, per-site counter and consults the armed
+:class:`FaultPlan`; with no plan armed it is a no-op costing one
+attribute load. A matching :class:`FaultSpec` then either acts directly
+(``crash`` exits the process, ``hang`` sleeps, ``raise`` throws
+:class:`~repro.errors.FaultInjected`) or is returned to the site, which
+applies the data-mangling actions (``corrupt`` a CSV row, ``truncate``
+an archive stream, ``torn``-write a checkpoint file).
+
+Activation crosses process boundaries through an env hook:
+:func:`install` arms the plan in-process **and** exports it as JSON in
+``os.environ[ENV_VAR]``. ``fork`` pool workers inherit the armed module
+state copy-on-write; ``spawn`` workers import this module fresh and
+pick the plan up from the environment on their first :func:`fire`. The
+hardened :class:`~repro.parallel.TaskPool` is therefore testable under
+both start methods with the same plan.
+
+Plans are seeded and serialisable (:meth:`FaultPlan.random`,
+:meth:`FaultPlan.to_json`), so a chaos run is reproducible from one
+integer — the contract ``tests/test_chaos.py`` is built on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from dataclasses import asdict, dataclass
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.errors import FaultInjected
+
+#: Environment variable carrying the armed plan as JSON — the hook that
+#: lets injected faults reach ``fork``/``spawn`` pool workers.
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+#: Fault sites compiled into the library. ``fire(site)`` is a no-op at
+#: every one of them until a plan is armed.
+SITES = (
+    "parallel.worker",  # pool worker, just before the task runs
+    "attribute.task",  # per-user batch attribution task
+    "io.packet_row",  # streamed CSV packet row (action: corrupt)
+    "npz.member",  # streamed .npz packet member (action: truncate)
+    "checkpoint.save",  # checkpoint write (action: torn)
+)
+
+#: Which actions make sense at which sites. ``crash``/``hang``/``raise``
+#: are applied by :func:`fire` itself; ``corrupt``/``truncate``/``torn``
+#: are handed back to the site, which mangles its own data.
+SITE_ACTIONS: Dict[str, Sequence[str]] = {
+    "parallel.worker": ("crash", "hang", "raise"),
+    "attribute.task": ("raise",),
+    "io.packet_row": ("corrupt",),
+    "npz.member": ("truncate",),
+    "checkpoint.save": ("torn",),
+}
+
+#: Exit code of an injected ``crash`` — distinctive in worker logs.
+CRASH_EXIT_CODE = 173
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: *what* happens *where*, on *which* hit.
+
+    ``hit`` is the 1-based ordinal of the :func:`fire` call (per
+    process, per site) the fault strikes on; ``None`` strikes on every
+    call — the poison-task shape. ``arg`` parameterises the action:
+    sleep seconds for ``hang``, surviving byte budget for ``truncate``,
+    surviving size fraction for ``torn``.
+    """
+
+    site: str
+    action: str
+    hit: Optional[int] = 1
+    arg: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ValueError(f"unknown fault site {self.site!r}")
+        if self.action not in SITE_ACTIONS[self.site]:
+            raise ValueError(
+                f"action {self.action!r} not valid at site {self.site!r} "
+                f"(valid: {SITE_ACTIONS[self.site]})"
+            )
+
+    def matches(self, n: int) -> bool:
+        """Does this spec strike on the ``n``-th hit of its site?"""
+        return self.hit is None or self.hit == n
+
+
+class FaultPlan:
+    """An ordered set of :class:`FaultSpec`\\ s, optionally seeded.
+
+    The first spec matching ``(site, hit)`` wins. Plans serialise to
+    JSON (:meth:`to_json`/:meth:`from_json`) so they survive the env
+    hook into ``spawn`` workers byte-for-byte.
+    """
+
+    def __init__(
+        self, specs: Sequence[FaultSpec], seed: Optional[int] = None
+    ) -> None:
+        self.specs: List[FaultSpec] = list(specs)
+        self.seed = seed
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        n_faults: Optional[int] = None,
+        sites: Sequence[str] = SITES,
+    ) -> "FaultPlan":
+        """A deterministic plan drawn from ``seed``.
+
+        Sites come from ``sites``, actions from :data:`SITE_ACTIONS`,
+        hits from 1..8. The same seed always yields the same plan.
+        """
+        rng = random.Random(seed)
+        count = n_faults if n_faults is not None else rng.randint(1, 3)
+        specs = []
+        for _ in range(count):
+            site = rng.choice(list(sites))
+            action = rng.choice(list(SITE_ACTIONS[site]))
+            arg = {
+                "hang": 30.0,
+                "truncate": float(rng.randint(0, 4096)),
+                "torn": rng.uniform(0.2, 0.9),
+            }.get(action, 0.0)
+            specs.append(FaultSpec(site, action, rng.randint(1, 8), arg))
+        return cls(specs, seed=seed)
+
+    def match(self, site: str, n: int) -> Optional[FaultSpec]:
+        """The first spec striking on the ``n``-th hit of ``site``."""
+        for spec in self.specs:
+            if spec.site == site and spec.matches(n):
+                return spec
+        return None
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"seed": self.seed, "specs": [asdict(s) for s in self.specs]}
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "FaultPlan":
+        data = json.loads(payload)
+        return cls(
+            [FaultSpec(**entry) for entry in data["specs"]],
+            seed=data.get("seed"),
+        )
+
+    def __repr__(self) -> str:
+        return f"FaultPlan(seed={self.seed}, specs={self.specs})"
+
+
+# ----------------------------------------------------------------------
+# Per-process armed state
+# ----------------------------------------------------------------------
+_PLAN: Optional[FaultPlan] = None
+_COUNTS: Dict[str, int] = {}
+_ENV_CHECKED = False
+
+
+def install(plan: FaultPlan) -> None:
+    """Arm ``plan`` in this process and export it through the env hook.
+
+    ``fork`` workers created afterwards inherit the armed state;
+    ``spawn`` workers read ``os.environ[ENV_VAR]`` on their first
+    :func:`fire`. Site counters restart from zero.
+    """
+    global _PLAN
+    _PLAN = plan
+    _COUNTS.clear()
+    os.environ[ENV_VAR] = plan.to_json()
+
+
+def uninstall() -> None:
+    """Disarm: clear the plan, the counters and the env hook."""
+    global _PLAN, _ENV_CHECKED
+    _PLAN = None
+    _ENV_CHECKED = False
+    _COUNTS.clear()
+    os.environ.pop(ENV_VAR, None)
+
+
+@contextmanager
+def installed(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """``with installed(plan): ...`` — arm, then always disarm."""
+    install(plan)
+    try:
+        yield plan
+    finally:
+        uninstall()
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The armed plan, loading it from the env hook on first call."""
+    global _PLAN, _ENV_CHECKED
+    if _PLAN is None and not _ENV_CHECKED:
+        _ENV_CHECKED = True
+        payload = os.environ.get(ENV_VAR)
+        if payload:
+            _PLAN = FaultPlan.from_json(payload)
+    return _PLAN
+
+
+def fire_count(site: str) -> int:
+    """How many times ``site`` has fired in this process."""
+    return _COUNTS.get(site, 0)
+
+
+def fire(
+    site: str, path: Optional[Union[str, Path]] = None
+) -> Optional[FaultSpec]:
+    """Declare one pass through a fault site.
+
+    Returns ``None`` (the overwhelmingly common case: no plan, or no
+    spec striking this hit). A striking ``crash``/``hang``/``raise``
+    spec is applied here; the data-mangling actions are returned for
+    the site to apply — except ``torn``, which truncates ``path``
+    in place when the caller provides it.
+    """
+    plan = active_plan()
+    if plan is None:
+        return None
+    n = _COUNTS.get(site, 0) + 1
+    _COUNTS[site] = n
+    spec = plan.match(site, n)
+    if spec is None:
+        return None
+    if spec.action == "crash":
+        os._exit(CRASH_EXIT_CODE)
+    if spec.action == "hang":
+        # Overslept well past any sane task timeout; the parent kills
+        # the worker long before this returns.
+        time.sleep(spec.arg or 3600.0)
+        return None
+    if spec.action == "raise":
+        raise FaultInjected(f"injected fault at {site} (hit {n})")
+    if spec.action == "torn" and path is not None:
+        _truncate_file(path, spec.arg or 0.5)
+    return spec
+
+
+def corrupt_row(row: Dict[str, str]) -> Dict[str, str]:
+    """The ``corrupt`` action: mangle one raw CSV row dict.
+
+    The size field turns to garbage *before* any token is parsed or any
+    app name registered, so a quarantining reader drops the row with no
+    side effects on the registry.
+    """
+    bad = dict(row)
+    bad["size"] = "###corrupt###"
+    return bad
+
+
+class TruncatedStream:
+    """The ``truncate`` action: a read stream that ends early.
+
+    Wraps a readable handle so at most ``budget`` bytes come out, then
+    ``b""`` forever — exactly what a truncated archive member looks
+    like to :func:`repro.stream.chunks._read_exactly`.
+    """
+
+    def __init__(self, handle, budget: int) -> None:
+        self._handle = handle
+        self._budget = max(int(budget), 0)
+
+    def read(self, n: int = -1) -> bytes:
+        if self._budget <= 0:
+            return b""
+        if n is None or n < 0:
+            n = self._budget
+        piece = self._handle.read(min(n, self._budget))
+        self._budget -= len(piece)
+        return piece
+
+
+def maybe_truncate_stream(site: str, handle):
+    """Fire ``site``; wrap ``handle`` if a ``truncate`` spec strikes."""
+    spec = fire(site)
+    if spec is not None and spec.action == "truncate":
+        return TruncatedStream(handle, int(spec.arg))
+    return handle
+
+
+def _truncate_file(path: Union[str, Path], fraction: float) -> None:
+    """The ``torn`` action: keep only the leading ``fraction`` bytes."""
+    path = Path(path)
+    size = path.stat().st_size
+    keep = max(int(size * min(max(fraction, 0.0), 1.0)), 0)
+    with open(path, "r+b") as handle:
+        handle.truncate(keep)

@@ -26,7 +26,7 @@ import json
 import time
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Union
+from typing import Dict, Iterator, List, Optional, Union
 
 #: (rate name, counter, stage) triples materialised by :meth:`RunMetrics.as_dict`.
 DERIVED_RATES = (
@@ -44,6 +44,7 @@ class RunMetrics:
         self._stage_seconds: Dict[str, float] = {}
         self._stage_calls: Dict[str, int] = {}
         self._counters: Dict[str, int] = {}
+        self._samples: Dict[str, List[str]] = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -63,6 +64,17 @@ class RunMetrics:
         """Add ``n`` to the counter ``name``."""
         self._counters[name] = self._counters.get(name, 0) + n
 
+    def sample(self, name: str, value: str, limit: int = 5) -> None:
+        """Keep the first ``limit`` example strings under ``name``.
+
+        For rare events worth quoting, not counting — e.g. the first few
+        quarantined trace rows. Values past ``limit`` are dropped; pair
+        with :meth:`count` for the full tally.
+        """
+        bucket = self._samples.setdefault(name, [])
+        if len(bucket) < limit:
+            bucket.append(str(value))
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
@@ -78,6 +90,10 @@ class RunMetrics:
     def counter(self, name: str) -> int:
         """Current value of counter ``name`` (0 if never counted)."""
         return self._counters.get(name, 0)
+
+    def samples(self, name: str) -> List[str]:
+        """The example strings kept under ``name`` (empty if none)."""
+        return list(self._samples.get(name, []))
 
     def rate(self, counter: str, stage: str) -> Optional[float]:
         """``counter / stage`` as events per second, if both were recorded."""
@@ -104,6 +120,10 @@ class RunMetrics:
                 for name, seconds in sorted(self._stage_seconds.items())
             },
             "counters": dict(sorted(self._counters.items())),
+            "samples": {
+                name: list(values)
+                for name, values in sorted(self._samples.items())
+            },
             "derived": derived,
         }
 

@@ -1,9 +1,24 @@
-"""Shared multiprocessing helpers.
+"""Shared multiprocessing helpers, hardened against worker failure.
 
 Both the workload generator and the energy-attribution engine fan
-per-user work out over a process pool. The selection logic (how many
-workers make sense, which start method to use, when a pool is not worth
-its overhead) is identical for both, so it lives here once.
+per-user work out over a process pool; the streaming ingestor fans the
+same chunk task out once per round for hours. The selection logic (how
+many workers make sense, which start method to use, when a pool is not
+worth its overhead) lives here once — and so does the failure handling,
+because on a 22-month ingestion job workers *do* die, tasks *do* hang
+and inputs *do* arrive poisoned.
+
+:class:`TaskPool` runs on :class:`concurrent.futures.
+ProcessPoolExecutor` rather than ``multiprocessing.Pool``: when a
+worker dies mid-task the executor marks the pool broken and fails the
+pending futures promptly, where ``Pool.map`` blocks forever. On top of
+that the pool adds per-task timeouts, bounded retry with exponential
+backoff, poison-task quarantine and a clean pool rebuild after a
+worker death — every failure surfacing as a structured
+:class:`~repro.errors.TaskFailure` instead of a hung run. Retried tasks
+must be pure functions of their item (every task in this library is),
+so a retry changes nothing but wall time: grouped totals stay
+bit-identical.
 
 Tasks handed to :func:`map_tasks` must be picklable callables (see
 ``workload.generator._GenerateUserTask`` and
@@ -17,10 +32,20 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Callable, List, Optional, Sequence, TypeVar
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar, Union
+
+from repro import faults
+from repro.errors import TaskFailure
+from repro.metrics import RunMetrics
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Cap on one exponential-backoff sleep; retries are for transient
+#: glitches, not for outwaiting a broken environment.
+MAX_BACKOFF_S = 1.0
 
 
 def available_cpus() -> int:
@@ -55,10 +80,10 @@ def preferred_start_method() -> str:
     return "spawn"
 
 
-#: Task shared with pool workers. Set in the parent before the pool is
-#: created: ``fork`` children inherit it copy-on-write (zero pickling,
-#: however large the task's state); ``spawn`` workers receive it once
-#: each via the pool initializer instead of once per map chunk.
+#: Task shared with pool workers. Set once per worker by the pool
+#: initializer: inherited by reference under ``fork`` (zero pickling,
+#: however large the task's state), shipped once per worker under
+#: ``spawn`` — never once per map chunk.
 _POOL_TASK: Optional[Callable] = None
 
 
@@ -68,44 +93,22 @@ def _set_pool_task(task: Callable) -> None:
 
 
 def _call_pool_task(item):
+    # The fault site lives here, in the worker, not in the serial path:
+    # an injected "crash" must kill a child, never the parent run.
+    faults.fire("parallel.worker")
     return _POOL_TASK(item)
 
 
-def map_tasks(
-    task: Callable[[T], R],
-    items: Sequence[T],
-    workers: Optional[int] = 1,
-) -> List[R]:
-    """``[task(item) for item in items]``, optionally across processes.
-
-    Order is preserved. With ``workers`` resolved to 1 — or fewer than
-    two items, where a pool can only add overhead — the map runs in
-    process, so callers need no serial/parallel branch of their own.
-
-    Put the bulky shared state (packet arrays, configs) on the *task*
-    and keep ``items`` small (ids): the task crosses into workers once
-    per pool — for free under ``fork`` — while every item crosses a
-    pipe per call.
-    """
-    workers = resolve_workers(workers)
-    items = list(items)
-    if workers <= 1 or len(items) < 2:
-        return [task(item) for item in items]
-    context = multiprocessing.get_context(preferred_start_method())
-    _set_pool_task(task)
-    try:
-        with context.Pool(
-            min(workers, len(items)),
-            initializer=_set_pool_task,
-            initargs=(task,),
-        ) as pool:
-            return pool.map(_call_pool_task, items)
-    finally:
-        _set_pool_task(None)
+def _short_repr(item, limit: int = 120) -> str:
+    text = repr(item)
+    if len(text) > limit:
+        text = text[: limit - 3] + "..."
+    return text
 
 
 class TaskPool:
-    """A process pool that survives many :meth:`map` rounds.
+    """A process pool that survives many :meth:`map` rounds — and its
+    own workers' failures.
 
     :func:`map_tasks` pays pool startup on every call, which is fine
     for one batch fan-out but not for a streaming ingestor that fans
@@ -116,40 +119,316 @@ class TaskPool:
     as items. With ``workers`` resolved to 1 the pool is never created
     and every map runs in process.
 
-    Use as a context manager, or call :meth:`close` explicitly.
+    Failure policy, applied per item:
+
+    * a task raising an exception is retried up to ``retries`` times
+      with exponential backoff (``backoff * 2**(attempt-1)`` seconds,
+      capped at :data:`MAX_BACKOFF_S`);
+    * a worker death (segfault, ``os._exit``, OOM kill) fails the item
+      being waited on, kills and rebuilds the pool, and resubmits every
+      unfinished item — surviving items are unaffected;
+    * with ``task_timeout`` set, waiting longer than that on one item
+      counts as a failure of that item and also rebuilds the pool (the
+      hung worker cannot be recovered, only killed);
+    * an item that exhausts its attempts becomes a
+      :class:`~repro.errors.TaskFailure`. With ``quarantine=False``
+      (default) it aborts the map — re-raising the task's own exception
+      where one exists, raising the ``TaskFailure`` for crashes and
+      timeouts. With ``quarantine=True`` the failure is appended to
+      :attr:`failures`, returned in the result slot, and the map
+      completes.
+
+    Because tasks are pure, none of this changes results: a map that
+    completes is bit-identical to one that never saw a failure.
+
+    Use as a context manager, or call :meth:`close` explicitly;
+    ``close()`` is also safe from ``__del__`` even when ``__init__``
+    itself raised.
     """
 
-    def __init__(self, task: Callable[[T], R], workers: Optional[int] = 1) -> None:
+    #: Class-level fallback so :meth:`close` (and ``__del__``) are safe
+    #: even when ``__init__`` raised before any attribute was assigned.
+    _exec: Optional[ProcessPoolExecutor] = None
+
+    def __init__(
+        self,
+        task: Callable[[T], R],
+        workers: Optional[int] = 1,
+        *,
+        retries: int = 0,
+        task_timeout: Optional[float] = None,
+        backoff: float = 0.05,
+        quarantine: bool = False,
+        metrics: Optional[RunMetrics] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        self._exec = None  # first, so close() works however far we get
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0: {retries}")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(f"task_timeout must be > 0: {task_timeout}")
         self.task = task
         self.workers = resolve_workers(workers)
-        self._pool = None
+        self.retries = retries
+        self.task_timeout = task_timeout
+        self.backoff = backoff
+        self.quarantine = quarantine
+        self.metrics = metrics
+        self.start_method = start_method or preferred_start_method()
+        #: Quarantined failures, in the order they were sealed,
+        #: accumulated across :meth:`map` rounds.
+        self.failures: List[TaskFailure] = []
 
-    def _ensure_pool(self):
-        if self._pool is None:
-            context = multiprocessing.get_context(preferred_start_method())
-            self._pool = context.Pool(
-                self.workers,
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._exec is None:
+            self._exec = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context(self.start_method),
                 initializer=_set_pool_task,
                 initargs=(self.task,),
             )
-        return self._pool
+        return self._exec
 
-    def map(self, items: Sequence[T]) -> List[R]:
-        """``[task(item) for item in items]``, order-preserving."""
-        items = list(items)
-        if self.workers <= 1 or len(items) < 2:
-            return [self.task(item) for item in items]
-        return self._ensure_pool().map(_call_pool_task, items)
+    def _kill_pool(self) -> None:
+        """Tear the pool down hard: hung or dying workers get SIGKILL.
+
+        A plain ``shutdown`` would join workers that will never return;
+        after this the next :meth:`map` round rebuilds a fresh pool.
+        """
+        executor, self._exec = self._exec, None
+        if executor is None:
+            return
+        for process in list((executor._processes or {}).values()):
+            process.kill()
+        executor.shutdown(wait=False, cancel_futures=True)
+        self._count("faults.pool_rebuilds")
 
     def close(self) -> None:
-        """Shut the workers down (idempotent)."""
-        if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
-            self._pool = None
+        """Shut the workers down (idempotent, ``__del__``-safe)."""
+        executor = getattr(self, "_exec", None)
+        self._exec = None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
 
     def __enter__(self) -> "TaskPool":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    def __del__(self) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Mapping
+    # ------------------------------------------------------------------
+    def map(self, items: Sequence[T]) -> List[Union[R, TaskFailure]]:
+        """``[task(item) for item in items]``, order-preserving.
+
+        Failed items follow the pool's retry/quarantine policy; in
+        quarantine mode a failed slot holds its :class:`TaskFailure`.
+        """
+        items = list(items)
+        if self.workers <= 1 or len(items) < 2:
+            return self._map_serial(items)
+        return self._map_pool(items)
+
+    def _map_serial(self, items: Sequence[T]) -> List[Union[R, TaskFailure]]:
+        results: List[Union[R, TaskFailure]] = []
+        for index, item in enumerate(items):
+            attempts = 0
+            while True:
+                try:
+                    results.append(self.task(item))
+                    break
+                except Exception as exc:
+                    attempts += 1
+                    if self._should_retry(attempts):
+                        continue
+                    failure = TaskFailure(
+                        index, _short_repr(item), attempts, "error", repr(exc)
+                    )
+                    if self.quarantine:
+                        self._quarantine(failure)
+                        results.append(failure)
+                        break
+                    raise
+        return results
+
+    def _map_pool(self, items: Sequence[T]) -> List[Union[R, TaskFailure]]:
+        results: List[Union[R, TaskFailure]] = [None] * len(items)
+        attempts = [0] * len(items)
+        pending = set(range(len(items)))
+        while pending:
+            executor = self._ensure_pool()
+            order = sorted(pending)
+            try:
+                futures = {
+                    index: executor.submit(_call_pool_task, items[index])
+                    for index in order
+                }
+            except BrokenExecutor as exc:
+                # A worker died between rounds (or mid-submission), so
+                # the pool refused the submit. Nothing from this round
+                # completed; blame the first pending item — like the
+                # wait-time crash below, the blame is arbitrary but
+                # bounded: under retry it is recomputed, and repeated
+                # submit-time deaths seal it instead of looping forever.
+                self._count("faults.worker_deaths")
+                self._kill_pool()
+                sealed = self._fail(
+                    order[0],
+                    items[order[0]],
+                    attempts,
+                    "crash",
+                    f"worker died before the round started ({exc!r})",
+                    original=None,
+                )
+                if sealed is not None:
+                    results[order[0]] = sealed
+                    pending.discard(order[0])
+                continue
+            rebuilt = False
+            for index in order:
+                try:
+                    value = futures[index].result(timeout=self.task_timeout)
+                except TimeoutError:
+                    self._count("faults.task_timeouts")
+                    # Kill before judging the failure: the worker is
+                    # wedged whatever the verdict, and if _fail raises
+                    # (no quarantine) a later close() must not block
+                    # joining a worker that will never return.
+                    self._kill_pool()
+                    rebuilt = True
+                    sealed = self._fail(
+                        index,
+                        items[index],
+                        attempts,
+                        "timeout",
+                        f"no result within {self.task_timeout}s",
+                        original=None,
+                    )
+                except BrokenExecutor as exc:
+                    # A worker died. The executor cannot say on which
+                    # item, so blame the one being waited on: under
+                    # retry it is recomputed anyway, and a true poison
+                    # item keeps getting blamed until sealed. Kill
+                    # first, for the same reason as the timeout branch.
+                    self._count("faults.worker_deaths")
+                    self._kill_pool()
+                    rebuilt = True
+                    sealed = self._fail(
+                        index,
+                        items[index],
+                        attempts,
+                        "crash",
+                        f"worker died ({exc!r})",
+                        original=None,
+                    )
+                except Exception as exc:
+                    sealed = self._fail(
+                        index,
+                        items[index],
+                        attempts,
+                        "error",
+                        repr(exc),
+                        original=exc,
+                    )
+                else:
+                    results[index] = value
+                    pending.discard(index)
+                    continue
+                if sealed is not None:
+                    results[index] = sealed
+                    pending.discard(index)
+                if rebuilt:
+                    # This round's remaining futures died with the
+                    # pool; the while loop resubmits what's pending.
+                    break
+        return results
+
+    # ------------------------------------------------------------------
+    # Failure policy
+    # ------------------------------------------------------------------
+    def _should_retry(self, attempts: int) -> bool:
+        if attempts > self.retries:
+            return False
+        self._count("faults.task_retries")
+        time.sleep(min(self.backoff * 2 ** (attempts - 1), MAX_BACKOFF_S))
+        return True
+
+    def _fail(
+        self,
+        index: int,
+        item: T,
+        attempts: List[int],
+        kind: str,
+        cause: str,
+        original: Optional[BaseException],
+    ) -> Optional[TaskFailure]:
+        """One failed attempt at ``items[index]``.
+
+        Returns ``None`` to keep the item pending (a retry is owed), or
+        the sealed quarantined :class:`TaskFailure` to store in its
+        slot. Raises when the budget is spent and quarantine is off.
+        """
+        attempts[index] += 1
+        if self._should_retry(attempts[index]):
+            return None
+        failure = TaskFailure(
+            index, _short_repr(item), attempts[index], kind, cause
+        )
+        if self.quarantine:
+            self._quarantine(failure)
+            return failure
+        if original is not None:
+            raise original
+        raise failure
+
+    def _quarantine(self, failure: TaskFailure) -> None:
+        self.failures.append(failure)
+        self._count("faults.tasks_quarantined")
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.count(name)
+
+
+def map_tasks(
+    task: Callable[[T], R],
+    items: Sequence[T],
+    workers: Optional[int] = 1,
+    *,
+    retries: int = 0,
+    task_timeout: Optional[float] = None,
+    quarantine: bool = False,
+    metrics: Optional[RunMetrics] = None,
+) -> List[Union[R, TaskFailure]]:
+    """``[task(item) for item in items]``, optionally across processes.
+
+    Order is preserved. With ``workers`` resolved to 1 — or fewer than
+    two items, where a pool can only add overhead — the map runs in
+    process, so callers need no serial/parallel branch of their own.
+    The keyword options carry the :class:`TaskPool` failure policy
+    (bounded retry, per-task timeout, poison-task quarantine) for a
+    one-shot fan-out.
+
+    Put the bulky shared state (packet arrays, configs) on the *task*
+    and keep ``items`` small (ids): the task crosses into workers once
+    per pool — for free under ``fork`` — while every item crosses a
+    pipe per call.
+    """
+    resolved = resolve_workers(workers)
+    items = list(items)
+    with TaskPool(
+        task,
+        min(resolved, max(len(items), 1)),
+        retries=retries,
+        task_timeout=task_timeout,
+        quarantine=quarantine,
+        metrics=metrics,
+    ) as pool:
+        return pool.map(items)

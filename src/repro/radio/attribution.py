@@ -18,6 +18,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro import faults
 from repro.radio.base import RadioModel
 from repro.radio.vectorized import (
     PacketEnergy,
@@ -200,6 +201,9 @@ class AttributionTask:
         self.traces = traces
 
     def __call__(self, user_id: int) -> Tuple[int, Dict[str, object]]:
+        # Fault site for chaos tests: attribution is pure, so a retried
+        # call lands on identical numbers.
+        faults.fire("attribute.task")
         packets, window = self.traces[user_id]
         result = attribute_energy(
             self.model, packets, window=window, policy=self.policy

@@ -28,6 +28,7 @@ from repro.stream.chunks import (
     DEFAULT_CHUNK_SIZE,
     CsvStreamSource,
     NpzStreamSource,
+    RowQuarantine,
 )
 from repro.stream.ingest import (
     StreamChunkTask,
@@ -41,6 +42,7 @@ __all__ = [
     "CsvStreamSource",
     "DEFAULT_CHUNK_SIZE",
     "NpzStreamSource",
+    "RowQuarantine",
     "StreamChunkTask",
     "StreamCheckpoint",
     "StreamIngestor",

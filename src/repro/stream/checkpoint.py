@@ -16,22 +16,51 @@ The file is one ``.npz`` with a JSON header member (the idiom of
 checkpoint to its source (:meth:`CsvStreamSource.signature`), model and
 policy; loading against anything else raises
 :class:`~repro.errors.StreamError` rather than silently mixing runs.
+
+Torn writes are the failure rename alone cannot cover (a power cut can
+leave a short but well-formed-looking file, and a checkpoint that loads
+*wrong* is worse than one that fails). Two defences: every save embeds
+a content checksum over all members, verified on load; and each save
+rotates the previous good file to ``<name>.prev``, which :meth:`load`
+falls back to when the current file fails verification
+(``loaded_from_fallback`` tells the caller it happened).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from repro import faults
 from repro.errors import StreamError
 from repro.radio.attribution import TailPolicy
 from repro.radio.base import RadioModel
 
 PathLike = Union[str, Path]
+
+
+def previous_path(path: PathLike) -> Path:
+    """Where :meth:`StreamCheckpoint.save` rotates the prior good file."""
+    path = Path(path)
+    return path.with_name(path.name + ".prev")
+
+
+def _content_digest(arrays: Dict[str, np.ndarray]) -> str:
+    """Checksum over every member's name, dtype, shape and bytes."""
+    digest = hashlib.blake2b(digest_size=16)
+    for name in sorted(arrays):
+        arr = np.asarray(arrays[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(arr.dtype).encode("utf-8"))
+        digest.update(str(arr.shape).encode("utf-8"))
+        digest.update(np.ascontiguousarray(arr).tobytes())
+    return digest.hexdigest()
 
 
 @dataclass
@@ -72,6 +101,10 @@ class UserCheckpoint:
 
 class StreamCheckpoint:
     """Snapshot of a streaming run, bound to (source, model, policy)."""
+
+    #: Set by :meth:`load`: True when the current file failed checksum
+    #: verification and this object came from the ``.prev`` rotation.
+    loaded_from_fallback: bool = False
 
     def __init__(
         self,
@@ -124,28 +157,69 @@ class StreamCheckpoint:
         arrays["header"] = np.frombuffer(
             json.dumps(header).encode("utf-8"), dtype=np.uint8
         )
+        arrays["checksum"] = np.frombuffer(
+            _content_digest(arrays).encode("ascii"), dtype=np.uint8
+        )
         tmp = path.with_suffix(".tmp.npz")
         np.savez(tmp, **arrays)
+        faults.fire("checkpoint.save", path=tmp)
+        if path.exists():
+            # Keep one known-good generation: if the rename below lands
+            # a torn file, load() falls back to this one.
+            os.replace(path, previous_path(path))
         tmp.replace(path)
         return path
 
     @classmethod
-    def load(cls, path: PathLike) -> "StreamCheckpoint":
-        """Read a checkpoint written by :meth:`save`."""
+    def load(cls, path: PathLike, fallback: bool = True) -> "StreamCheckpoint":
+        """Read a checkpoint written by :meth:`save`.
+
+        A file that fails to parse or whose content checksum does not
+        match raises :class:`~repro.errors.StreamError` — never a
+        silently wrong checkpoint. With ``fallback=True`` (default) a
+        torn current file falls back to the ``.prev`` rotation when one
+        exists; the returned object then has ``loaded_from_fallback``
+        set so callers can count the event.
+        """
         path = Path(path)
         if not path.exists():
             raise StreamError(f"no checkpoint at {path}")
-        with np.load(path) as archive:
-            header = json.loads(bytes(archive["header"]).decode("utf-8"))
+        try:
+            checkpoint = cls._load_verified(path)
+        except StreamError:
+            prev = previous_path(path)
+            if not (fallback and prev.exists()):
+                raise
+            checkpoint = cls._load_verified(prev)
+            checkpoint.loaded_from_fallback = True
+        return checkpoint
+
+    @classmethod
+    def _load_verified(cls, path: Path) -> "StreamCheckpoint":
+        """Parse + checksum-verify one file; any defect → StreamError."""
+        try:
+            with np.load(path) as archive:
+                members = {name: archive[name] for name in archive.files}
+            stored = members.pop("checksum", None)
+            if stored is None:
+                raise StreamError(
+                    f"checkpoint {path} has no content checksum"
+                )
+            if bytes(stored).decode("ascii") != _content_digest(members):
+                raise StreamError(
+                    f"checkpoint {path} failed checksum verification "
+                    "(torn or corrupt write)"
+                )
+            header = json.loads(bytes(members["header"]).decode("utf-8"))
             users = []
             for entry in header["users"]:
                 uid = int(entry["user_id"])
                 carry = None
                 if entry["has_carry"]:
                     carry = {
-                        "floats": archive[f"carry_floats_{uid}"],
-                        "ints": archive[f"carry_ints_{uid}"],
-                        "idle_buffer": archive[f"carry_idle_buffer_{uid}"],
+                        "floats": members[f"carry_floats_{uid}"],
+                        "ints": members[f"carry_ints_{uid}"],
+                        "idle_buffer": members[f"carry_idle_buffer_{uid}"],
                     }
                 users.append(
                     UserCheckpoint(
@@ -153,21 +227,31 @@ class StreamCheckpoint:
                         status=str(entry["status"]),
                         rows_consumed=int(entry["rows_consumed"]),
                         carry=carry,
-                        energy_keys=archive[f"energy_keys_{uid}"],
-                        energy_values=archive[f"energy_values_{uid}"],
-                        state_keys=archive[f"state_keys_{uid}"],
-                        state_values=archive[f"state_values_{uid}"],
-                        bytes_keys=archive[f"bytes_keys_{uid}"],
-                        bytes_values=archive[f"bytes_values_{uid}"],
-                        idle_energy=float(archive[f"idle_{uid}"]),
+                        energy_keys=members[f"energy_keys_{uid}"],
+                        energy_values=members[f"energy_values_{uid}"],
+                        state_keys=members[f"state_keys_{uid}"],
+                        state_values=members[f"state_values_{uid}"],
+                        bytes_keys=members[f"bytes_keys_{uid}"],
+                        bytes_values=members[f"bytes_values_{uid}"],
+                        idle_energy=float(members[f"idle_{uid}"]),
                     )
                 )
+        except StreamError:
+            raise
+        except Exception as exc:
+            # A torn zip fails in whatever layer the cut lands on
+            # (zipfile, zlib, the npy header parser, json, a missing
+            # member); all of them mean the same one thing here.
+            raise StreamError(
+                f"torn or corrupt checkpoint at {path}: {exc!r}"
+            ) from exc
         checkpoint = cls.__new__(cls)
         checkpoint.signature = header["signature"]
         checkpoint.model_repr = header["model"]
         checkpoint.policy_value = header["policy"]
         checkpoint.users = users
         checkpoint.chunks_done = int(header["chunks_done"])
+        checkpoint.loaded_from_fallback = False
         return checkpoint
 
     # ------------------------------------------------------------------

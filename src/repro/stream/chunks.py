@@ -28,7 +28,8 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.errors import StreamError
+from repro import faults
+from repro.errors import StreamError, TraceError
 from repro.trace.arrays import PACKET_DTYPE, PacketArray
 from repro.trace.dataset import AppRegistry
 from repro.trace.events import EventLog
@@ -43,6 +44,41 @@ from repro.trace.io_text import (
 #: packet table is a few hundred kilobytes, large enough to amortise the
 #: per-chunk numpy overhead.
 DEFAULT_CHUNK_SIZE = 65536
+
+
+class RowQuarantine:
+    """Tally of malformed input rows a source dropped instead of raising.
+
+    Real collection logs contain garbage lines; with
+    ``quarantine_rows=True`` a :class:`CsvStreamSource` records each one
+    here — a count plus the first few error messages — and the run
+    continues bit-identical on the surviving rows.
+    :meth:`flush_to` reports the tally into a
+    :class:`~repro.metrics.RunMetrics` exactly once.
+    """
+
+    #: How many example messages are kept.
+    SAMPLE_LIMIT = 5
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.samples: List[str] = []
+        self._flushed = False
+
+    def record(self, error: Exception) -> None:
+        """Count one dropped row, keeping the first few messages."""
+        self.count += 1
+        if len(self.samples) < self.SAMPLE_LIMIT:
+            self.samples.append(str(error))
+
+    def flush_to(self, metrics) -> None:
+        """Report count + samples into ``metrics`` (idempotent)."""
+        if self._flushed or not self.count:
+            return
+        self._flushed = True
+        metrics.count("faults.rows_quarantined", self.count)
+        for sample in self.samples:
+            metrics.sample("faults.rows_quarantined", sample)
 
 
 class CsvStreamSource:
@@ -67,6 +103,9 @@ class CsvStreamSource:
         duration: Observation window length; defaults to the latest
             packet/event time across users rounded up to a whole day
             (the batch reader's rule).
+        quarantine_rows: Drop malformed packet rows instead of raising,
+            recording each into :attr:`quarantine`; the run's numbers
+            stay bit-identical to a batch run over the surviving rows.
     """
 
     def __init__(
@@ -74,6 +113,7 @@ class CsvStreamSource:
         user_files: Sequence[Tuple[PathLike, Optional[PathLike]]],
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         duration: Optional[float] = None,
+        quarantine_rows: bool = False,
     ) -> None:
         if not user_files:
             raise StreamError("at least one user is required")
@@ -85,6 +125,11 @@ class CsvStreamSource:
             for p, e in user_files
         ]
         self.registry = AppRegistry()
+        self.quarantine = RowQuarantine()
+        self._quarantine_rows = bool(quarantine_rows)
+        #: The prepass records dropped rows; re-iteration must skip the
+        #: same rows without counting them twice.
+        on_bad = self.quarantine.record if self._quarantine_rows else None
         self._events: Dict[int, EventLog] = {}
         self._counts: Dict[int, int] = {}
         horizon = 0.0
@@ -93,7 +138,7 @@ class CsvStreamSource:
         ):
             count = 0
             last_ts = None
-            for row in iter_packet_rows(packets_path, self.registry):
+            for row in self._packet_rows(packets_path, on_bad_row=on_bad):
                 count += 1
                 if last_ts is not None and row[0] < last_ts:
                     raise StreamError(
@@ -137,19 +182,42 @@ class CsvStreamSource:
         """One user's full event log (loaded in the prepass)."""
         return self._events[user_id]
 
+    def _packet_rows(
+        self, packets_path: Path, on_bad_row=None, inject: bool = False
+    ) -> Iterator[Tuple[float, int, int, int, int]]:
+        """One file's rows with trace defects surfaced as StreamError."""
+        try:
+            yield from iter_packet_rows(
+                packets_path,
+                self.registry,
+                on_bad_row=on_bad_row,
+                inject=inject,
+            )
+        except TraceError as exc:
+            raise StreamError(f"malformed packet row: {exc}") from exc
+
+    @staticmethod
+    def _drop_silently(error: Exception) -> None:
+        """Re-iteration skip hook: the prepass already recorded the row."""
+
     def iter_chunks(
         self, user_id: int, skip: int = 0
     ) -> Iterator[PacketArray]:
         """Yield one user's packets as state-labelled, bounded chunks.
 
-        ``skip`` drops that many leading rows — how a resumed run seeks
-        past packets its checkpoint already accounted for (the rows are
-        re-read but nothing is recomputed).
+        ``skip`` drops that many leading (surviving) rows — how a
+        resumed run seeks past packets its checkpoint already accounted
+        for (the rows are re-read but nothing is recomputed). This is
+        the one CSV iteration wired to the ``io.packet_row`` fault
+        site.
         """
         packets_path, _ = self._files[user_id - 1]
         events = self._events[user_id]
+        on_bad = self._drop_silently if self._quarantine_rows else None
         rows: List[Tuple[float, int, int, int, int]] = []
-        for i, row in enumerate(iter_packet_rows(packets_path, self.registry)):
+        for i, row in enumerate(
+            self._packet_rows(packets_path, on_bad_row=on_bad, inject=True)
+        ):
             if i < skip:
                 continue
             rows.append(row)
@@ -214,6 +282,10 @@ class NpzStreamSource:
             raise StreamError(f"chunk_size must be >= 1: {chunk_size}")
         self.path = Path(path)
         self.chunk_size = int(chunk_size)
+        #: Always empty for archives (binary members are all-or-nothing,
+        #: there is no row-level quarantine); present so ingest can
+        #: flush any source's quarantine uniformly.
+        self.quarantine = RowQuarantine()
         with zipfile.ZipFile(self.path) as archive:
             with archive.open("header.npy") as handle:
                 header_bytes = _read_npy_stream_fully(handle)
@@ -253,10 +325,15 @@ class NpzStreamSource:
         """Yield one user's packets in bounded chunks, decompressing
         ``chunk_size`` records at a time straight off the archive."""
         with zipfile.ZipFile(self.path) as archive:
-            with archive.open(f"packets_{user_id}.npy") as handle:
+            with archive.open(f"packets_{user_id}.npy") as raw:
                 shape, dtype = _read_npy_header(
-                    handle, f"packets_{user_id}"
+                    raw, f"packets_{user_id}"
                 )
+                # The npz.member fault site: an injected "truncate"
+                # makes this stream end early, exactly like a cut-short
+                # archive; _read_exactly below turns that into
+                # StreamError, never a silently short chunk.
+                handle = faults.maybe_truncate_stream("npz.member", raw)
                 total = int(shape[0])
                 itemsize = dtype.itemsize
                 _discard_exactly(handle, skip * itemsize)

@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.core.accounting import PartialTotals, merge_keyed_totals
-from repro.errors import StreamError
+from repro.errors import ReproError, StreamError, TaskFailure
 from repro.metrics import RunMetrics
 from repro.parallel import TaskPool, resolve_workers
 from repro.radio.attribution import TailPolicy
@@ -215,9 +215,17 @@ class StreamResult:
     per-app totals.
     """
 
-    def __init__(self, users: List[UserStreamResult]) -> None:
+    def __init__(
+        self,
+        users: List[UserStreamResult],
+        failures: Optional[Dict[int, TaskFailure]] = None,
+    ) -> None:
         self.users = users
         self._by_id = {u.user_id: u for u in users}
+        #: Quarantined users: ``{user_id: TaskFailure}``. Only populated
+        #: when the ingestor ran with ``quarantine=True``; these users'
+        #: partial totals are *excluded* from every reduction below.
+        self.failures: Dict[int, TaskFailure] = dict(failures or {})
 
     @property
     def user_ids(self) -> List[int]:
@@ -318,6 +326,15 @@ class StreamIngestor:
             (``0`` disables periodic snapshots).
         metrics: A shared :class:`~repro.metrics.RunMetrics`; a private
             one is created when omitted.
+        retries: Retry a failed/crashed/timed-out chunk task this many
+            times (exponential backoff) before giving up on it. Chunk
+            tasks are pure, so a retried run stays bit-identical.
+        task_timeout: Seconds to wait for one chunk task before
+            declaring its worker hung and rebuilding the pool.
+        quarantine: When a chunk task exhausts its retries, quarantine
+            that *user* (drop them from the result, record the
+            :class:`~repro.errors.TaskFailure` in
+            :attr:`StreamResult.failures`) instead of aborting the run.
     """
 
     def __init__(
@@ -330,6 +347,9 @@ class StreamIngestor:
         checkpoint_path: Optional[Union[str, Path]] = None,
         checkpoint_every: int = 0,
         metrics: Optional[RunMetrics] = None,
+        retries: int = 0,
+        task_timeout: Optional[float] = None,
+        quarantine: bool = False,
     ) -> None:
         self.source = source
         self.model = model
@@ -340,6 +360,9 @@ class StreamIngestor:
         )
         self.checkpoint_every = int(checkpoint_every)
         self.metrics = metrics if metrics is not None else RunMetrics()
+        self.retries = int(retries)
+        self.task_timeout = task_timeout
+        self.quarantine = bool(quarantine)
         if self.checkpoint_every and self.checkpoint_path is None:
             raise StreamError("checkpoint_every needs a checkpoint_path")
 
@@ -356,70 +379,113 @@ class StreamIngestor:
         radio carry back up mid-tail. ``max_chunks`` stops the run
         after that many chunks, writes a checkpoint and returns
         ``None`` (the bounded-slice / kill-simulation mode).
+
+        On an aborting :class:`~repro.errors.ReproError` (a poison
+        task out of retries, a malformed row without quarantine, a
+        truncated archive member) the accumulators are still consistent
+        at the last completed round, so when a ``checkpoint_path`` is
+        set a final checkpoint is written before the error propagates —
+        the failed run costs one chunk round, not the whole ingestion.
         """
         if max_chunks is not None and self.checkpoint_path is None:
             raise StreamError("max_chunks needs a checkpoint_path")
         accs = self._initial_accumulators(resume)
         order = self.source.user_ids
         active = [uid for uid in order if not accs[uid].done]
+        failed: Dict[int, TaskFailure] = {}
         iterators = {}
         chunks_this_run = 0
         since_checkpoint = 0
         task = StreamChunkTask(self.model, self.policy)
-        with TaskPool(task, self.workers) as pool:
-            while active:
-                items = []
-                chunk_rows = []
-                exhausted = []
-                with self.metrics.stage("stream.read"):
-                    for uid in list(active):
-                        if len(items) >= self.workers:
-                            break
-                        iterator = iterators.get(uid)
-                        if iterator is None:
-                            iterator = self.source.iter_chunks(
-                                uid, skip=accs[uid].rows_consumed
-                            )
-                            iterators[uid] = iterator
-                        chunk = next(iterator, None)
-                        if chunk is None:
-                            exhausted.append(uid)
-                        else:
-                            acc = accs[uid]
-                            items.append(
-                                (uid, acc.window, acc.carry, chunk.data)
-                            )
-                            chunk_rows.append(len(chunk))
-                with self.metrics.stage("stream.attribute"):
-                    for uid in exhausted:
-                        accs[uid].finish(self.model, self.policy)
-                        active.remove(uid)
-                        self.metrics.count("stream.users")
-                    if items:
-                        results = pool.map(items)
-                        for (uid, settled, carry), rows in zip(
-                            results, chunk_rows
-                        ):
-                            accs[uid].adopt(settled, carry)
-                            accs[uid].rows_consumed += rows
-                            self.metrics.count("stream.chunks")
-                            self.metrics.count("stream.packets", rows)
-                        chunks_this_run += len(items)
-                        since_checkpoint += len(items)
-                if max_chunks is not None and chunks_this_run >= max_chunks:
-                    if active:
+        self.source.quarantine.flush_to(self.metrics)
+        try:
+            with TaskPool(
+                task,
+                self.workers,
+                retries=self.retries,
+                task_timeout=self.task_timeout,
+                quarantine=self.quarantine,
+                metrics=self.metrics,
+            ) as pool:
+                while active:
+                    items = []
+                    chunk_rows = []
+                    exhausted = []
+                    with self.metrics.stage("stream.read"):
+                        for uid in list(active):
+                            if len(items) >= self.workers:
+                                break
+                            iterator = iterators.get(uid)
+                            if iterator is None:
+                                iterator = self.source.iter_chunks(
+                                    uid, skip=accs[uid].rows_consumed
+                                )
+                                iterators[uid] = iterator
+                            chunk = next(iterator, None)
+                            if chunk is None:
+                                exhausted.append(uid)
+                            else:
+                                acc = accs[uid]
+                                items.append(
+                                    (uid, acc.window, acc.carry, chunk.data)
+                                )
+                                chunk_rows.append(len(chunk))
+                    with self.metrics.stage("stream.attribute"):
+                        for uid in exhausted:
+                            accs[uid].finish(self.model, self.policy)
+                            active.remove(uid)
+                            self.metrics.count("stream.users")
+                        if items:
+                            results = pool.map(items)
+                            for item, result, rows in zip(
+                                items, results, chunk_rows
+                            ):
+                                uid = item[0]
+                                if isinstance(result, TaskFailure):
+                                    # This user's chunk is poison even
+                                    # after retries: drop the user, keep
+                                    # the run (their checkpointed state
+                                    # stays "running" for a later fix +
+                                    # resume).
+                                    active.remove(uid)
+                                    failed[uid] = result
+                                    self.metrics.count(
+                                        "faults.users_quarantined"
+                                    )
+                                    continue
+                                _, settled, carry = result
+                                accs[uid].adopt(settled, carry)
+                                accs[uid].rows_consumed += rows
+                                self.metrics.count("stream.chunks")
+                                self.metrics.count("stream.packets", rows)
+                            chunks_this_run += len(items)
+                            since_checkpoint += len(items)
+                    if (
+                        max_chunks is not None
+                        and chunks_this_run >= max_chunks
+                    ):
+                        if active:
+                            self._save_checkpoint(accs, order)
+                            return None
+                        break
+                    if (
+                        self.checkpoint_every
+                        and since_checkpoint >= self.checkpoint_every
+                        and active
+                    ):
                         self._save_checkpoint(accs, order)
-                        return None
-                    break
-                if (
-                    self.checkpoint_every
-                    and since_checkpoint >= self.checkpoint_every
-                    and active
-                ):
-                    self._save_checkpoint(accs, order)
-                    since_checkpoint = 0
+                        since_checkpoint = 0
+        except ReproError:
+            if self.checkpoint_path is not None:
+                self._save_checkpoint(accs, order)
+            raise
         result = StreamResult(
-            [UserStreamResult(accs[uid]) for uid in order]
+            [
+                UserStreamResult(accs[uid])
+                for uid in order
+                if uid not in failed
+            ],
+            failures=failed,
         )
         if self.checkpoint_path is not None:
             self._save_checkpoint(accs, order)
@@ -440,6 +506,8 @@ class StreamIngestor:
         if self.checkpoint_path is None:
             raise StreamError("resume needs a checkpoint_path")
         checkpoint = StreamCheckpoint.load(self.checkpoint_path)
+        if checkpoint.loaded_from_fallback:
+            self.metrics.count("faults.checkpoint_fallback")
         checkpoint.verify(
             self.source.signature(), self.model, self.policy
         )

@@ -27,10 +27,11 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import faults
 from repro.errors import TraceError
 from repro.trace.arrays import PacketArray
 from repro.trace.dataset import AppRegistry, Dataset
@@ -77,7 +78,10 @@ PacketRow = Tuple[float, int, int, int, int]
 
 
 def iter_packet_rows(
-    path: PathLike, registry: AppRegistry
+    path: PathLike,
+    registry: AppRegistry,
+    on_bad_row: Optional[Callable[[TraceError], None]] = None,
+    inject: bool = False,
 ) -> Iterator[PacketRow]:
     """Lazily parse a packets CSV, one row at a time.
 
@@ -86,7 +90,15 @@ def iter_packet_rows(
     (:class:`repro.stream.CsvStreamSource`) consumes bounded slices —
     both see identical rows and register unseen app names in identical
     (file) order. Malformed rows raise :class:`TraceError` naming the
-    file and line number.
+    file and line number — unless ``on_bad_row`` is given, which
+    receives that error and the iterator moves on (the row-quarantine
+    hook). Timestamp, size and direction parse before the app name
+    registers, so a row quarantined on those fields leaves the registry
+    untouched and surviving rows get identical app ids.
+
+    ``inject`` opts this iteration into the ``io.packet_row`` fault
+    site (:mod:`repro.faults`); batch reads never inject, so the
+    fault-free reference numbers cannot be perturbed by an armed plan.
     """
     path = Path(path)
     with open(path, newline="") as handle:
@@ -98,6 +110,10 @@ def iter_packet_rows(
                 f"{sorted(required)}, got {reader.fieldnames}"
             )
         for row in reader:
+            if inject:
+                spec = faults.fire("io.packet_row")
+                if spec is not None and spec.action == "corrupt":
+                    row = faults.corrupt_row(row)
             try:
                 yield (
                     float(row["timestamp"]),
@@ -107,9 +123,11 @@ def iter_packet_rows(
                     int(row.get("conn") or 0),
                 )
             except (TraceError, ValueError, TypeError) as exc:
-                raise TraceError(
-                    f"{path.name}:{reader.line_num}: {exc}"
-                ) from None
+                error = TraceError(f"{path.name}:{reader.line_num}: {exc}")
+                if on_bad_row is not None:
+                    on_bad_row(error)
+                    continue
+                raise error from None
 
 
 def read_packets_csv(path: PathLike, registry: AppRegistry) -> PacketArray:

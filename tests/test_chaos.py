@@ -1,0 +1,259 @@
+"""Chaos suite: seeded fault plans against the streaming pipeline.
+
+Every test arms a deterministic :class:`~repro.faults.FaultPlan` —
+worker crashes, task hangs, corrupted CSV rows, torn checkpoint writes
+— and runs a real ingestion through it. The contract under test is the
+acceptance bar from the issue: each plan must end either in a
+structured failure (:class:`~repro.errors.TaskFailure` or
+:class:`~repro.errors.StreamError`) with on-disk state intact enough to
+recover from, or in a completed run — and in *both* cases the final
+grouped totals must be ``array_equal`` to the fault-free batch
+reference. Faults may cost retries, rebuilds and resumes; they may
+never cost correctness.
+
+Seeds are fixed so ``scripts/check_tier1.sh --chaos`` replays the
+exact same fault schedule every time.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import StudyConfig, StudyEnergy, generate_study
+from repro.errors import StreamError, TaskFailure
+from repro.faults import FaultPlan, FaultSpec
+from repro import faults
+from repro.metrics import RunMetrics
+from repro.stream import CsvStreamSource, NpzStreamSource, StreamIngestor
+from repro.trace.io_text import (
+    dataset_from_csv,
+    write_events_csv,
+    write_packets_csv,
+)
+
+from test_stream import assert_streams_equal_batch
+
+# Fixed seed partitions — 30 plans total, ≥20 required by the issue.
+CRASH_SEEDS = [0, 4, 8, 12, 16, 20]
+HANG_SEEDS = [1, 5, 9, 13, 17, 21]
+CORRUPT_SEEDS = [2, 6, 10, 14, 18, 22]
+TORN_SEEDS = [3, 7, 11, 15, 19, 23]
+RANDOM_SEEDS = [100, 101, 102, 103, 104, 105]
+
+CHUNK = 2048
+
+
+@pytest.fixture(autouse=True)
+def disarm():
+    faults.uninstall()
+    yield
+    faults.uninstall()
+
+
+@pytest.fixture(scope="module")
+def npz_study(tmp_path_factory):
+    """A 3-user study on disk (~42k packets) plus its batch reference."""
+    dataset = generate_study(
+        StudyConfig(n_users=3, duration_days=3.0, seed=17)
+    )
+    path = tmp_path_factory.mktemp("chaos") / "study.npz"
+    dataset.save(path)
+    return path, StudyEnergy(dataset)
+
+
+@pytest.fixture(scope="module")
+def csv_study(tmp_path_factory):
+    """Per-user CSV pairs (~20k rows) plus the batch-from-CSV reference."""
+    dataset = generate_study(
+        StudyConfig(n_users=2, duration_days=2.0, seed=23)
+    )
+    root = tmp_path_factory.mktemp("chaos_csv")
+    pairs = []
+    for trace in dataset:
+        p = root / f"u{trace.user_id}_packets.csv"
+        e = root / f"u{trace.user_id}_events.csv"
+        write_packets_csv(p, trace.packets, dataset.registry)
+        write_events_csv(e, trace.events, dataset.registry)
+        pairs.append((p, e))
+    return pairs, StudyEnergy(dataset_from_csv(pairs))
+
+
+def run_with_recovery(plan, make_ingestor, max_chunks=None):
+    """The chaos harness: armed run, then the documented recovery path.
+
+    Phase 1 runs under the plan and is allowed exactly two outcomes —
+    completion, or a structured ``TaskFailure``/``StreamError`` abort
+    (anything else, a hang included, fails the test). Phase 2 recovers
+    disarmed: resume from the checkpoint the abort left behind, falling
+    back to a fresh run when the checkpoint itself was the casualty.
+    """
+    with faults.installed(plan):
+        try:
+            result = make_ingestor().run(max_chunks=max_chunks)
+        except (TaskFailure, StreamError):
+            result = None
+    if result is None:
+        try:
+            result = make_ingestor().run(resume=True)
+        except StreamError:
+            result = make_ingestor().run()
+    assert result is not None
+    assert not result.failures
+    return result
+
+
+def test_seed_census():
+    """The suite ships the promised number of deterministic plans."""
+    seeds = (
+        CRASH_SEEDS + HANG_SEEDS + CORRUPT_SEEDS + TORN_SEEDS + RANDOM_SEEDS
+    )
+    assert len(seeds) == len(set(seeds)) == 30 >= 20
+
+
+# ----------------------------------------------------------------------
+# Worker crashes (os._exit from inside a fork pool worker)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", CRASH_SEEDS)
+def test_crash_plans(seed, npz_study, tmp_path):
+    path, study = npz_study
+    rng = random.Random(seed)
+    plan = FaultPlan(
+        [FaultSpec("parallel.worker", "crash", hit=1 + seed % 3)], seed=seed
+    )
+    ckpt = tmp_path / "run.ckpt.npz"
+    retries = rng.randint(0, 2)
+
+    def make_ingestor():
+        return StreamIngestor(
+            NpzStreamSource(path, chunk_size=CHUNK),
+            workers=2,
+            retries=retries,
+            checkpoint_path=ckpt,
+        )
+
+    result = run_with_recovery(plan, make_ingestor)
+    assert_streams_equal_batch(result, study)
+
+
+# ----------------------------------------------------------------------
+# Hung tasks (worker sleeps far past the per-task timeout)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", HANG_SEEDS)
+def test_hang_plans(seed, npz_study, tmp_path):
+    path, study = npz_study
+    rng = random.Random(seed)
+    plan = FaultPlan(
+        [FaultSpec("parallel.worker", "hang", hit=1, arg=30.0)], seed=seed
+    )
+    ckpt = tmp_path / "run.ckpt.npz"
+    retries = rng.randint(0, 1)
+
+    def make_ingestor():
+        return StreamIngestor(
+            NpzStreamSource(path, chunk_size=CHUNK),
+            workers=2,
+            retries=retries,
+            task_timeout=0.75,
+            checkpoint_path=ckpt,
+        )
+
+    result = run_with_recovery(plan, make_ingestor)
+    assert_streams_equal_batch(result, study)
+
+
+# ----------------------------------------------------------------------
+# Corrupted CSV rows (unparseable size field injected mid-stream)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", CORRUPT_SEEDS)
+def test_corrupt_row_plans(seed, csv_study, tmp_path):
+    """Without quarantine a corrupted row is a hard, typed abort — and
+    the checkpoint written on the way out makes the retry cheap."""
+    pairs, study = csv_study
+    rng = random.Random(seed)
+    plan = FaultPlan(
+        [FaultSpec("io.packet_row", "corrupt", hit=rng.randint(1, 15000))],
+        seed=seed,
+    )
+    ckpt = tmp_path / "run.ckpt.npz"
+
+    def make_ingestor():
+        return StreamIngestor(
+            CsvStreamSource(pairs, chunk_size=CHUNK),
+            checkpoint_path=ckpt,
+        )
+
+    with faults.installed(plan):
+        with pytest.raises(StreamError, match="malformed packet row"):
+            make_ingestor().run()
+    assert ckpt.exists()
+    result = make_ingestor().run(resume=True)
+    assert_streams_equal_batch(result, study)
+
+
+# ----------------------------------------------------------------------
+# Torn checkpoint writes (truncated mid-write, before the rename)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", TORN_SEEDS)
+def test_torn_checkpoint_plans(seed, npz_study, tmp_path):
+    path, study = npz_study
+    rng = random.Random(seed)
+    fraction = rng.uniform(0.2, 0.8)
+    ckpt = tmp_path / "run.ckpt.npz"
+
+    def make_ingestor(metrics=None):
+        return StreamIngestor(
+            NpzStreamSource(path, chunk_size=CHUNK),
+            checkpoint_path=ckpt,
+            checkpoint_every=2 if seed % 2 else 0,
+            metrics=metrics,
+        )
+
+    if seed % 2 == 0:
+        # Only save is the kill-point save, and it tears: the checksum
+        # must reject it and the recovery is a fresh, full run.
+        plan = FaultPlan(
+            [FaultSpec("checkpoint.save", "torn", hit=1, arg=fraction)],
+            seed=seed,
+        )
+        with faults.installed(plan):
+            assert make_ingestor().run(max_chunks=4) is None
+        with pytest.raises(StreamError):
+            make_ingestor().run(resume=True)
+        result = make_ingestor().run()
+    else:
+        # The second save tears; the first survives as ``.prev`` and
+        # resume silently falls back to it.
+        plan = FaultPlan(
+            [FaultSpec("checkpoint.save", "torn", hit=2, arg=fraction)],
+            seed=seed,
+        )
+        with faults.installed(plan):
+            assert make_ingestor().run(max_chunks=4) is None
+        metrics = RunMetrics()
+        result = make_ingestor(metrics).run(resume=True)
+        assert metrics.counter("faults.checkpoint_fallback") == 1
+    assert_streams_equal_batch(result, study)
+
+
+# ----------------------------------------------------------------------
+# Randomised plans (multiple faults, sites and hit counts per seed)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", RANDOM_SEEDS)
+def test_random_plans(seed, npz_study, tmp_path):
+    path, study = npz_study
+    plan = FaultPlan.random(seed)
+    ckpt = tmp_path / "run.ckpt.npz"
+
+    def make_ingestor():
+        return StreamIngestor(
+            NpzStreamSource(path, chunk_size=CHUNK),
+            workers=2,
+            retries=3,
+            task_timeout=1.0,
+            checkpoint_path=ckpt,
+        )
+
+    result = run_with_recovery(plan, make_ingestor)
+    assert_streams_equal_batch(result, study)

@@ -1,10 +1,18 @@
-"""Guard: repro.core analyses must use the TraceIndex, not raw scans.
+"""Guards: no raw scans in the analysis layer, no swallowed errors in
+the fault-handling layer.
 
 Every figure/table analysis used to rediscover per-app and per-state
 groups with full-array boolean masks. Those all moved behind the shared
 :class:`~repro.trace.index.TraceIndex`; this test greps the analysis
 layer for the tell-tale patterns so a future edit cannot quietly
 reintroduce an O(apps x packets) scan.
+
+The second guard covers the hardened failure paths (``repro.faults``,
+``repro.parallel``, ``repro.stream``, the CSV reader): error handling
+there must count, quarantine, wrap or re-raise — a bare
+``except ...: pass`` would turn a structured failure back into silent
+data loss, which is exactly what the fault-injection work exists to
+rule out.
 """
 
 from __future__ import annotations
@@ -67,6 +75,56 @@ def test_no_raw_scans_in_core(path):
         "raw per-app/per-state scans in repro.core — route these through "
         "TraceIndex (trace.index() / study.index_for()):\n"
         + "\n".join(offending)
+    )
+
+
+SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+#: Files on the hardened failure paths: everything that catches an
+#: exception here must surface it (count, quarantine, wrap, re-raise).
+FAULT_PATH_SOURCES = (
+    SRC / "faults.py",
+    SRC / "parallel.py",
+    SRC / "trace" / "io_text.py",
+    SRC / "stream" / "checkpoint.py",
+    SRC / "stream" / "chunks.py",
+    SRC / "stream" / "ingest.py",
+)
+
+#: ``except <anything>:`` followed by nothing but ``pass`` (comments
+#: allowed in between) — the swallow idiom.
+_EXCEPT_LINE = re.compile(r"^\s*except\b[^:]*:\s*(#.*)?$")
+_EXCEPT_INLINE_PASS = re.compile(r"^\s*except\b[^:]*:\s*pass\b")
+
+
+def _swallows(path):
+    lines = path.read_text().splitlines()
+    offending = []
+    for lineno, line in enumerate(lines, start=1):
+        if _EXCEPT_INLINE_PASS.match(line):
+            offending.append(f"{path.name}:{lineno}: {line.strip()}")
+            continue
+        if not _EXCEPT_LINE.match(line):
+            continue
+        for follower in lines[lineno:]:
+            body = follower.strip()
+            if not body or body.startswith("#"):
+                continue
+            if body == "pass":
+                offending.append(f"{path.name}:{lineno}: {line.strip()}")
+            break
+    return offending
+
+
+@pytest.mark.parametrize(
+    "path", FAULT_PATH_SOURCES, ids=lambda p: p.name
+)
+def test_no_swallowed_errors_on_fault_paths(path):
+    assert path.exists(), f"hardened source moved or deleted: {path}"
+    offending = _swallows(path)
+    assert not offending, (
+        "bare `except ...: pass` on a hardened failure path — count it, "
+        "quarantine it, wrap it or re-raise it:\n" + "\n".join(offending)
     )
 
 

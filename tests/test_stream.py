@@ -419,3 +419,149 @@ def test_resume_after_completion_returns_same_result(saved_study, tmp_path):
         NpzStreamSource(path, chunk_size=512), checkpoint_path=ckpt
     ).run(resume=True)
     assert_streams_equal_batch(result, study)
+
+
+# ----------------------------------------------------------------------
+# Torn-write durability (repro.faults satellite work)
+# ----------------------------------------------------------------------
+def _tiny_checkpoint():
+    from repro.stream import UserCheckpoint
+
+    users = [
+        UserCheckpoint(
+            user_id=1,
+            status="running",
+            rows_consumed=7,
+            energy_keys=np.array([3, 5], dtype=np.int64),
+            energy_values=np.array([1.5, 2.5]),
+        ),
+        UserCheckpoint(user_id=2, status="done", idle_energy=4.25),
+    ]
+    return StreamCheckpoint(
+        "sig:test", LTE_DEFAULT, TailPolicy.LAST_PACKET, users, chunks_done=3
+    )
+
+
+def _assert_checkpoints_equal(a, b):
+    assert a.signature == b.signature
+    assert a.model_repr == b.model_repr
+    assert a.policy_value == b.policy_value
+    assert a.chunks_done == b.chunks_done
+    assert len(a.users) == len(b.users)
+    for ua, ub in zip(a.users, b.users):
+        assert (ua.user_id, ua.status, ua.rows_consumed) == (
+            ub.user_id,
+            ub.status,
+            ub.rows_consumed,
+        )
+        assert ua.idle_energy == ub.idle_energy
+        assert np.array_equal(ua.energy_keys, ub.energy_keys)
+        assert np.array_equal(ua.energy_values, ub.energy_values)
+        assert np.array_equal(ua.bytes_keys, ub.bytes_keys)
+        assert np.array_equal(ua.bytes_values, ub.bytes_values)
+
+
+def test_checkpoint_truncated_at_every_byte(tmp_path):
+    """The durability property: a checkpoint file cut at ANY byte
+    boundary either loads bit-identically or raises ``StreamError`` —
+    never a stray exception, never silently wrong contents."""
+    original = _tiny_checkpoint()
+    path = tmp_path / "full.ckpt.npz"
+    original.save(path)
+    payload = path.read_bytes()
+    target = tmp_path / "cut.ckpt.npz"
+    outcomes = {"ok": 0, "rejected": 0}
+    for cut in range(len(payload)):
+        target.write_bytes(payload[:cut])
+        try:
+            loaded = StreamCheckpoint.load(target, fallback=False)
+        except StreamError:
+            outcomes["rejected"] += 1
+        else:
+            outcomes["ok"] += 1
+            _assert_checkpoints_equal(loaded, original)
+    # Every strict prefix must have been rejected (a zip's central
+    # directory lives at the end, so no cut can stay parseable *and*
+    # checksum-clean), and the intact file must load.
+    assert outcomes == {"ok": 0, "rejected": len(payload)}
+    target.write_bytes(payload)
+    _assert_checkpoints_equal(
+        StreamCheckpoint.load(target, fallback=False), original
+    )
+
+
+def test_torn_checkpoint_falls_back_to_previous(tmp_path):
+    from repro.stream.checkpoint import previous_path
+
+    path = tmp_path / "run.ckpt.npz"
+    first = _tiny_checkpoint()
+    first.save(path)
+    second = _tiny_checkpoint()
+    second.chunks_done = 9
+    second.save(path)
+    assert previous_path(path).exists()
+    # Tear the current generation after the fact.
+    payload = path.read_bytes()
+    path.write_bytes(payload[: len(payload) // 2])
+    with pytest.raises(StreamError):
+        StreamCheckpoint.load(path, fallback=False)
+    recovered = StreamCheckpoint.load(path)
+    assert recovered.loaded_from_fallback
+    _assert_checkpoints_equal(recovered, first)
+    # An intact current generation never reports a fallback.
+    second.save(path)
+    assert not StreamCheckpoint.load(path).loaded_from_fallback
+    # A checkpoint from before the checksum era is rejected, not trusted.
+    legacy = {"header": np.frombuffer(b'{"users": []}', dtype=np.uint8)}
+    np.savez(tmp_path / "legacy.npz", **legacy)
+    with pytest.raises(StreamError, match="no content checksum"):
+        StreamCheckpoint.load(tmp_path / "legacy.npz", fallback=False)
+
+
+# ----------------------------------------------------------------------
+# Row quarantine (malformed CSV rows dropped, counted, sampled)
+# ----------------------------------------------------------------------
+def test_csv_row_quarantine_identity(tmp_path):
+    """With ``quarantine_rows=True`` malformed rows are dropped and the
+    streamed totals stay bit-identical to a batch run over the clean
+    file; without it the prepass aborts with a typed error."""
+    from repro.metrics import RunMetrics
+
+    dataset = generate_study(StudyConfig(n_users=2, duration_days=2, seed=31))
+    pairs = []
+    for trace in dataset:
+        p = tmp_path / f"u{trace.user_id}_packets.csv"
+        e = tmp_path / f"u{trace.user_id}_events.csv"
+        write_packets_csv(p, trace.packets, dataset.registry)
+        write_events_csv(e, trace.events, dataset.registry)
+        pairs.append((p, e))
+    study = StudyEnergy(dataset_from_csv(pairs))
+    clean_registry = dataset_from_csv(pairs).registry
+
+    # Dirty one user's packet file: three rows that parse as CSV but
+    # fail field validation (bad timestamp, bad size, bad direction).
+    dirty = tmp_path / "dirty_packets.csv"
+    lines = pairs[0][0].read_text().splitlines()
+    lines.insert(2, "not-a-time,100,up,zz.bogus")
+    lines.insert(30, f"{5.0},###corrupt###,down,zz.bogus")
+    lines.append("9999999.0,10,sideways,zz.bogus")
+    dirty.write_text("\n".join(lines) + "\n")
+    dirty_pairs = [(dirty, pairs[0][1])] + pairs[1:]
+
+    with pytest.raises(StreamError, match="malformed packet row"):
+        CsvStreamSource(dirty_pairs, chunk_size=97)
+
+    source = CsvStreamSource(dirty_pairs, chunk_size=97, quarantine_rows=True)
+    assert source.quarantine.count == 3
+    assert len(source.quarantine.samples) == 3
+    assert any("not-a-time" in s for s in source.quarantine.samples)
+    # Rows quarantined before the app field parses must not have
+    # registered their app name.
+    assert source.registry.to_json() == clean_registry.to_json()
+
+    metrics = RunMetrics()
+    result = StreamIngestor(source, metrics=metrics).run()
+    assert_streams_equal_batch(result, study)
+    assert metrics.counter("faults.rows_quarantined") == 3
+    assert len(metrics.samples("faults.rows_quarantined")) == 3
+    assert "faults.rows_quarantined" in metrics.as_dict()["samples"]
