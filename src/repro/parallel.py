@@ -34,6 +34,7 @@ import multiprocessing
 import os
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import Callable, List, Optional, Sequence, TypeVar, Union
 
 from repro import faults
@@ -117,7 +118,10 @@ class TaskPool:
     data must ride on the **items** (the task is shipped once, at pool
     creation), so streaming callers pass ``(uid, carry, chunk)`` tuples
     as items. With ``workers`` resolved to 1 the pool is never created
-    and every map runs in process.
+    and every map runs in process — where ``task_timeout`` cannot be
+    enforced and a crash is the caller's crash, since both protections
+    need a process boundary; with ``workers > 1`` every round, even a
+    one-item round, goes through the pool so the policy always holds.
 
     Failure policy, applied per item:
 
@@ -201,8 +205,17 @@ class TaskPool:
         executor, self._exec = self._exec, None
         if executor is None:
             return
-        for process in list((executor._processes or {}).values()):
-            process.kill()
+        # ``_processes`` is ProcessPoolExecutor private API (stable
+        # across supported CPythons, but it can be None or mutate while
+        # the pool is breaking), so read it defensively; a kill() that
+        # loses the race just means the worker is already dead, which
+        # is the goal.
+        processes = getattr(executor, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.kill()
+            except (OSError, ValueError):
+                continue
         executor.shutdown(wait=False, cancel_futures=True)
         self._count("faults.pool_rebuilds")
 
@@ -232,8 +245,11 @@ class TaskPool:
         quarantine mode a failed slot holds its :class:`TaskFailure`.
         """
         items = list(items)
-        if self.workers <= 1 or len(items) < 2:
+        if self.workers <= 1:
             return self._map_serial(items)
+        # Even a one-item round goes through the pool: the failure
+        # policy (task_timeout, crash isolation) must hold on the final
+        # rounds of a streaming run, where one user is left active.
         return self._map_pool(items)
 
     def _map_serial(self, items: Sequence[T]) -> List[Union[R, TaskFailure]]:
@@ -295,7 +311,11 @@ class TaskPool:
             for index in order:
                 try:
                     value = futures[index].result(timeout=self.task_timeout)
-                except TimeoutError:
+                except (TimeoutError, FuturesTimeoutError):
+                    # Future.result raises concurrent.futures.TimeoutError,
+                    # which is the builtin only since 3.11; catch both so
+                    # 3.9/3.10 timeouts don't fall into the error branch
+                    # (which would leave the hung worker alive).
                     self._count("faults.task_timeouts")
                     # Kill before judging the failure: the worker is
                     # wedged whatever the verdict, and if _fail raises
@@ -414,7 +434,10 @@ def map_tasks(
     process, so callers need no serial/parallel branch of their own.
     The keyword options carry the :class:`TaskPool` failure policy
     (bounded retry, per-task timeout, poison-task quarantine) for a
-    one-shot fan-out.
+    one-shot fan-out. Requesting ``task_timeout`` disables the
+    small-round shortcut: a timeout is only enforceable across a
+    process boundary, so even a single item then runs in a pool when
+    ``workers`` allows one.
 
     Put the bulky shared state (packet arrays, configs) on the *task*
     and keep ``items`` small (ids): the task crosses into workers once
@@ -423,9 +446,11 @@ def map_tasks(
     """
     resolved = resolve_workers(workers)
     items = list(items)
+    if task_timeout is None:
+        resolved = min(resolved, max(len(items), 1))
     with TaskPool(
         task,
-        min(resolved, max(len(items), 1)),
+        resolved,
         retries=retries,
         task_timeout=task_timeout,
         quarantine=quarantine,

@@ -177,12 +177,21 @@ class StreamCheckpoint:
         A file that fails to parse or whose content checksum does not
         match raises :class:`~repro.errors.StreamError` — never a
         silently wrong checkpoint. With ``fallback=True`` (default) a
-        torn current file falls back to the ``.prev`` rotation when one
-        exists; the returned object then has ``loaded_from_fallback``
-        set so callers can count the event.
+        torn — or missing, as after a crash between :meth:`save`'s two
+        renames — current file falls back to the ``.prev`` rotation
+        when one exists; the returned object then has
+        ``loaded_from_fallback`` set so callers can count the event.
         """
         path = Path(path)
         if not path.exists():
+            prev = previous_path(path)
+            if fallback and prev.exists():
+                # A crash between save()'s rotation and its final
+                # rename leaves only the rotated generation; losing the
+                # run over that would defeat the rotation's purpose.
+                checkpoint = cls._load_verified(prev)
+                checkpoint.loaded_from_fallback = True
+                return checkpoint
             raise StreamError(f"no checkpoint at {path}")
         try:
             checkpoint = cls._load_verified(path)

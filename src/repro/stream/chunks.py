@@ -90,7 +90,7 @@ class CsvStreamSource:
     :func:`~repro.trace.io_text.dataset_from_csv` over the same files
     exactly. Packet CSVs must already be time-sorted (the batch path
     sorts in RAM; a bounded-memory reader cannot), which is checked
-    during iteration and reported with file name and row number.
+    during iteration and reported with file name and line number.
 
     Event CSVs are read whole in the prepass (event streams are tiny
     next to packet tables) and used to state-label each chunk; only
@@ -138,12 +138,17 @@ class CsvStreamSource:
         ):
             count = 0
             last_ts = None
-            for row in self._packet_rows(packets_path, on_bad_row=on_bad):
+            # Line numbers, not surviving-row ordinals: with quarantine
+            # dropping rows the two diverge, and "sort the file" advice
+            # must point at the actual offending file line.
+            for line_num, row in self._packet_rows(
+                packets_path, on_bad_row=on_bad, with_line_numbers=True
+            ):
                 count += 1
                 if last_ts is not None and row[0] < last_ts:
                     raise StreamError(
-                        f"{packets_path.name}: packets not time-sorted at "
-                        f"row {count} (t={row[0]} after t={last_ts}); "
+                        f"{packets_path.name}:{line_num}: packets not "
+                        f"time-sorted (t={row[0]} after t={last_ts}); "
                         "sort the file before streaming it"
                     )
                 last_ts = row[0]
@@ -183,7 +188,11 @@ class CsvStreamSource:
         return self._events[user_id]
 
     def _packet_rows(
-        self, packets_path: Path, on_bad_row=None, inject: bool = False
+        self,
+        packets_path: Path,
+        on_bad_row=None,
+        inject: bool = False,
+        with_line_numbers: bool = False,
     ) -> Iterator[Tuple[float, int, int, int, int]]:
         """One file's rows with trace defects surfaced as StreamError."""
         try:
@@ -192,6 +201,7 @@ class CsvStreamSource:
                 self.registry,
                 on_bad_row=on_bad_row,
                 inject=inject,
+                with_line_numbers=with_line_numbers,
             )
         except TraceError as exc:
             raise StreamError(f"malformed packet row: {exc}") from exc

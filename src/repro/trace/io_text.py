@@ -82,6 +82,7 @@ def iter_packet_rows(
     registry: AppRegistry,
     on_bad_row: Optional[Callable[[TraceError], None]] = None,
     inject: bool = False,
+    with_line_numbers: bool = False,
 ) -> Iterator[PacketRow]:
     """Lazily parse a packets CSV, one row at a time.
 
@@ -99,6 +100,11 @@ def iter_packet_rows(
     ``inject`` opts this iteration into the ``io.packet_row`` fault
     site (:mod:`repro.faults`); batch reads never inject, so the
     fault-free reference numbers cannot be perturbed by an armed plan.
+
+    ``with_line_numbers`` yields ``(line_number, row)`` pairs instead
+    of bare rows, so a caller diagnosing a defect *between* rows (e.g.
+    an out-of-order timestamp) can point at the actual file line even
+    when quarantined rows were dropped along the way.
     """
     path = Path(path)
     with open(path, newline="") as handle:
@@ -115,7 +121,7 @@ def iter_packet_rows(
                 if spec is not None and spec.action == "corrupt":
                     row = faults.corrupt_row(row)
             try:
-                yield (
+                parsed = (
                     float(row["timestamp"]),
                     int(row["size"]),
                     int(_parse_direction(row["direction"])),
@@ -128,6 +134,7 @@ def iter_packet_rows(
                     on_bad_row(error)
                     continue
                 raise error from None
+            yield (reader.line_num, parsed) if with_line_numbers else parsed
 
 
 def read_packets_csv(path: PathLike, registry: AppRegistry) -> PacketArray:

@@ -262,6 +262,33 @@ def test_hung_task_times_out_and_fails():
     assert metrics.counter("faults.task_timeouts") >= 1
 
 
+def test_single_item_round_still_enforces_timeout():
+    """Review regression: a one-item round must go through the pool
+    whenever workers allow one — a streaming run's final rounds have a
+    single active user, and a hang there used to bypass the timeout by
+    taking the serial in-process path."""
+    plan = FaultPlan([FaultSpec("parallel.worker", "hang", hit=1, arg=60.0)])
+    started = time.monotonic()
+    with faults.installed(plan):
+        with TaskPool(_double, workers=2, task_timeout=0.75) as pool:
+            with pytest.raises(TaskFailure) as excinfo:
+                pool.map([7])
+    assert time.monotonic() - started < 20.0
+    assert excinfo.value.kind == "timeout"
+
+
+def test_map_tasks_single_item_still_enforces_timeout():
+    """Same carve-out for the one-shot helper: requesting a timeout
+    disables the small-round serial shortcut."""
+    plan = FaultPlan([FaultSpec("parallel.worker", "hang", hit=1, arg=60.0)])
+    started = time.monotonic()
+    with faults.installed(plan):
+        with pytest.raises(TaskFailure) as excinfo:
+            map_tasks(_double, [7], workers=2, task_timeout=0.75)
+    assert time.monotonic() - started < 20.0
+    assert excinfo.value.kind == "timeout"
+
+
 def test_env_hook_reaches_spawn_workers():
     """The plan must cross into workers that share no memory with this
     process — JSON via the environment, read on first fire."""

@@ -315,6 +315,23 @@ def test_csv_source_rejects_unsorted(tmp_path):
         CsvStreamSource([(path, None)])
 
 
+def test_csv_source_unsorted_error_reports_file_line(tmp_path):
+    """With quarantine dropping rows before the defect, the error must
+    name the actual file line of the out-of-order row — a surviving-row
+    ordinal would misdirect whoever is told to sort the file."""
+    path = tmp_path / "p.csv"
+    path.write_text(
+        "timestamp,size,direction,app\n"  # line 1: header
+        "1.0,garbage,up,a.one\n"  # line 2: quarantined
+        "10.0,100,up,a.one\n"  # line 3
+        "5.0,100,down,a.two\n"  # line 4: out of order
+    )
+    with pytest.raises(
+        StreamError, match=r"p\.csv:4: packets not time-sorted"
+    ):
+        CsvStreamSource([(path, None)], quarantine_rows=True)
+
+
 # ----------------------------------------------------------------------
 # Checkpoint / resume
 # ----------------------------------------------------------------------
@@ -516,6 +533,31 @@ def test_torn_checkpoint_falls_back_to_previous(tmp_path):
     np.savez(tmp_path / "legacy.npz", **legacy)
     with pytest.raises(StreamError, match="no content checksum"):
         StreamCheckpoint.load(tmp_path / "legacy.npz", fallback=False)
+
+
+def test_missing_current_falls_back_to_previous(tmp_path):
+    """A crash between save()'s two renames (rotation done, final
+    rename not) leaves no current file but a known-good ``.prev``;
+    load() must recover that generation rather than lose the run."""
+    from repro.stream.checkpoint import previous_path
+
+    path = tmp_path / "run.ckpt.npz"
+    first = _tiny_checkpoint()
+    first.save(path)
+    second = _tiny_checkpoint()
+    second.chunks_done = 9
+    second.save(path)
+    path.unlink()  # the crash window between the two renames
+    recovered = StreamCheckpoint.load(path)
+    assert recovered.loaded_from_fallback
+    _assert_checkpoints_equal(recovered, first)
+    # Opting out of fallback keeps the strict behaviour.
+    with pytest.raises(StreamError, match="no checkpoint"):
+        StreamCheckpoint.load(path, fallback=False)
+    # With no generation at all there is nothing to recover.
+    previous_path(path).unlink()
+    with pytest.raises(StreamError, match="no checkpoint"):
+        StreamCheckpoint.load(path)
 
 
 # ----------------------------------------------------------------------
