@@ -1,0 +1,124 @@
+"""Checkpoint-driven figures: skip the packet replay, keep the bytes.
+
+The :mod:`repro.core.readout` contract says a finished ingest
+checkpoint renders the totals-tier figures and tables byte-identically
+to a full batch rebuild. This bench quantifies what that buys: the
+batch path reloads every packet row and re-runs attribution before it
+can draw Figure 3 or Table 1; the checkpoint path loads a few keyed
+arrays per user. Both pipelines are measured with :mod:`tracemalloc`
+and wall time, and the rendered text is asserted equal character for
+character — the speedup is only interesting because the output is the
+same.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+
+from repro import StudyConfig, StudyEnergy, generate_study
+from repro.core.casestudies import case_study_table
+from repro.core.report import render_fig3, render_table1
+from repro.core.statefrac import state_energy_fractions
+from repro.core.readout import readout_from_checkpoint
+from repro.stream import NpzStreamSource, StreamIngestor
+from repro.trace.dataset import Dataset
+
+from conftest import write_artifact
+
+#: Chunk size for the one-off ingest that produces the checkpoint.
+CHUNK_SIZE = 8192
+
+
+def _traced(fn):
+    """(result, seconds, peak traced bytes) for one cold call."""
+    tracemalloc.start()
+    start = time.perf_counter()
+    result = fn()
+    seconds = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return result, seconds, peak
+
+
+def _render(readout):
+    """The totals-tier outputs the paper's report leads with."""
+    fig3 = render_fig3(state_energy_fractions(readout))
+    table1 = render_table1(case_study_table(readout))
+    return fig3 + "\n" + table1
+
+
+def _batch_pipeline(path):
+    dataset = Dataset.load(path)
+    return _render(StudyEnergy(dataset))
+
+
+def _checkpoint_pipeline(ck):
+    return _render(readout_from_checkpoint(ck))
+
+
+def test_checkpoint_readout_vs_batch_rebuild(
+    tmp_path_factory, output_dir, benchmark
+):
+    from repro.trace.arrays import PACKET_DTYPE
+
+    dataset = generate_study(
+        StudyConfig(n_users=8, duration_days=28.0, seed=42)
+    )
+    root = tmp_path_factory.mktemp("readout_bench")
+    path = root / "study.npz"
+    ck = root / "ck.npz"
+    dataset.save(path)
+    n_packets = dataset.total_packets
+    trace_bytes = n_packets * PACKET_DTYPE.itemsize
+    del dataset
+
+    # One-off ingest: the cost paid once, after which every figure run
+    # reads the checkpoint instead of the packets.
+    ingest_start = time.perf_counter()
+    StreamIngestor(
+        NpzStreamSource(path, chunk_size=CHUNK_SIZE), checkpoint_path=ck
+    ).run()
+    ingest_s = time.perf_counter() - ingest_start
+
+    batch_text, batch_s, batch_peak = _traced(lambda: _batch_pipeline(path))
+    ck_text, ck_s, ck_peak = _traced(lambda: _checkpoint_pipeline(ck))
+
+    assert ck_text == batch_text, (
+        "checkpoint-rendered figures drifted from the batch output"
+    )
+    assert ck_peak < batch_peak, (
+        "loading keyed totals should allocate less than a packet replay"
+    )
+
+    # Steady-state rate for the benchmark table: render from checkpoint.
+    benchmark.pedantic(
+        lambda: _checkpoint_pipeline(ck), rounds=5, iterations=1
+    )
+
+    lines = [
+        "figure pipeline from checkpoint vs full batch rebuild — "
+        f"{n_packets:,} packets",
+        f"  trace size         {trace_bytes / 1e6:9.1f} MB on disk (packet rows)",
+        f"  checkpoint size    {ck.stat().st_size / 1e6:9.1f} MB on disk",
+        f"  one-off ingest     {ingest_s:9.2f} s (amortised across runs)",
+        f"  batch   peak RSS   {batch_peak / 1e6:9.1f} MB  wall {batch_s:6.2f} s",
+        f"  readout peak RSS   {ck_peak / 1e6:9.1f} MB  wall {ck_s:6.2f} s",
+        f"  peak ratio         {batch_peak / ck_peak:9.1f}x smaller from checkpoint",
+        f"  wall ratio         {batch_s / ck_s:9.1f}x faster from checkpoint",
+        "  fig3 + table1      byte-identical",
+    ]
+    write_artifact(output_dir, "bench_readout.txt", "\n".join(lines))
+
+    benchmark.extra_info.update(
+        {
+            "packets": n_packets,
+            "checkpoint_bytes": ck.stat().st_size,
+            "batch_peak_mb": round(batch_peak / 1e6, 2),
+            "readout_peak_mb": round(ck_peak / 1e6, 2),
+            "peak_ratio": round(batch_peak / ck_peak, 1),
+            "batch_wall_s": round(batch_s, 3),
+            "readout_wall_s": round(ck_s, 3),
+            "identical": True,
+        }
+    )

@@ -16,6 +16,17 @@ case the study is generated on the fly. All of them also take
 ``--cache-dir DIR`` (reuse attribution across runs over the same
 dataset) and ``--metrics-json FILE`` (timings, throughput and cache
 counters; ``-`` for stdout).
+
+``figure``, ``table``, ``report`` and ``headlines`` additionally take
+``--from-checkpoint CK.npz``: the totals-tier analyses (Figs 1-3,
+Table 1, the background headlines) then run from a finished
+``repro ingest`` checkpoint — byte-identical output, no packet arrays
+ever loaded. Analyses that replay packets (Figs 4-6, Table 2, the
+what-ifs) exit with a typed error naming the batch command to run
+instead::
+
+    repro ingest --dataset study.npz --checkpoint ck.npz
+    repro figure fig3 --from-checkpoint ck.npz
 """
 
 from __future__ import annotations
@@ -25,7 +36,8 @@ import sys
 from typing import List, Optional
 
 from repro import RunMetrics, StudyConfig, StudyEnergy, generate_study
-from repro.errors import AnalysisError
+from repro.core.readout import readout_from_checkpoint, require_packet_detail
+from repro.errors import AnalysisError, NeedsPacketDetail, ReproError
 from repro.core import (
     background_energy_fraction,
     bytes_since_foreground,
@@ -43,7 +55,7 @@ from repro.core import report
 from repro.core.transitions import fraction_of_apps_above
 from repro.core.whatif import savings_on_affected_days
 from repro.core.appreport import app_report, render_app_report
-from repro.core.headlines import headline_stats
+from repro.core.headlines import headline_stats, totals_headline_stats
 from repro.units import battery_fraction
 from repro.core.longitudinal import weekly_background_energy, improved_apps
 from repro.core.recommend import recommendation_report
@@ -113,6 +125,17 @@ def _add_study_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_checkpoint_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--from-checkpoint",
+        metavar="CK.npz",
+        help=(
+            "run the totals-tier analyses from a finished `repro ingest` "
+            "checkpoint instead of loading or generating a study"
+        ),
+    )
+
+
 def _metrics(args: argparse.Namespace) -> RunMetrics:
     return getattr(args, "_run_metrics", None) or RunMetrics()
 
@@ -158,9 +181,55 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _figure_number(value: str) -> int:
+    """Accept ``3`` and ``fig3`` alike."""
+    number = value[3:] if value.lower().startswith("fig") else value
+    try:
+        parsed = int(number)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a figure: {value!r}")
+    if parsed not in range(1, 7):
+        raise argparse.ArgumentTypeError(f"unknown figure {value!r} (1-6)")
+    return parsed
+
+
+def _table_number(value: str) -> int:
+    """Accept ``1`` and ``table1`` alike."""
+    number = value[5:] if value.lower().startswith("table") else value
+    try:
+        parsed = int(number)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a table: {value!r}")
+    if parsed not in (1, 2):
+        raise argparse.ArgumentTypeError(f"unknown table {value!r} (1-2)")
+    return parsed
+
+
+def _checkpoint_readout(args: argparse.Namespace):
+    """The totals-tier readout of ``--from-checkpoint``, timed."""
+    with _metrics(args).stage("load"):
+        return readout_from_checkpoint(args.from_checkpoint)
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
-    dataset = _load_dataset(args)
     number = args.number
+    if args.from_checkpoint:
+        readout = _checkpoint_readout(args)
+        if number == 1:
+            print(report.render_fig1(top10_appearance_counts(readout)))
+        elif number == 2:
+            print(
+                report.render_fig2(
+                    top_consumers(readout, by="energy"),
+                    top_consumers(readout, by="data"),
+                )
+            )
+        elif number == 3:
+            print(report.render_fig3(state_energy_fractions(readout)))
+        else:
+            require_packet_detail(readout, f"figure {number}")
+        return 0
+    dataset = _load_dataset(args)
     if number in (2, 3):
         study = _study(args, dataset)
     if number == 1:
@@ -187,6 +256,13 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
+    if args.from_checkpoint:
+        readout = _checkpoint_readout(args)
+        if args.number == 1:
+            print(report.render_table1(case_study_table(readout)))
+        else:
+            require_packet_detail(readout, f"table {args.number}")
+        return 0
     dataset = _load_dataset(args)
     study = _study(args, dataset)
     if args.number == 1:
@@ -200,15 +276,52 @@ def _cmd_table(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_headlines(headlines) -> str:
+    return report.render_headlines(
+        {
+            f"{h.description} (paper: {h.paper_value:g})": round(h.measured, 3)
+            for h in headlines
+        }
+    )
+
+
+def _cmd_headlines(args: argparse.Namespace) -> int:
+    if args.from_checkpoint:
+        readout = _checkpoint_readout(args)
+        print(_render_headlines(totals_headline_stats(readout)))
+        return 0
+    study = _study(args)
+    print(_render_headlines(headline_stats(study)))
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.from_checkpoint:
+        readout = _checkpoint_readout(args)
+        print(_render_headlines(totals_headline_stats(readout)))
+        print()
+        print(report.render_fig1(top10_appearance_counts(readout)))
+        print()
+        print(
+            report.render_fig2(
+                top_consumers(readout, by="energy"),
+                top_consumers(readout, by="data"),
+            )
+        )
+        print()
+        print(report.render_fig3(state_energy_fractions(readout)))
+        print()
+        print(report.render_table1(case_study_table(readout)))
+        print(
+            "\n(totals-tier report from checkpoint; Figs 4-6, Table 2 and "
+            "the remaining headlines replay packets — run `repro report` "
+            "on the full study for those)"
+        )
+        return 0
     dataset = _load_dataset(args)
     study = _study(args, dataset)
     study.prepare_indexes()
-    headlines = {
-        f"{h.description} (paper: {h.paper_value:g})": round(h.measured, 3)
-        for h in headline_stats(study)
-    }
-    print(report.render_headlines(headlines))
+    print(_render_headlines(headline_stats(study)))
     print()
     print(report.render_fig1(top10_appearance_counts(dataset)))
     print()
@@ -368,6 +481,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         retries=args.retries,
         task_timeout=args.task_timeout,
         quarantine=args.quarantine,
+        cadence=not args.no_cadence,
     )
     result = ingestor.run(resume=args.resume, max_chunks=args.max_chunks)
     counters = metrics.as_dict()["counters"]
@@ -516,19 +630,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_generate)
 
     p = sub.add_parser("figure", help="reproduce one figure")
-    p.add_argument("number", type=int, choices=range(1, 7))
+    p.add_argument(
+        "number", type=_figure_number, help="1-6, 'fig3' also accepted"
+    )
     p.add_argument("--app", default="com.android.chrome")
     _add_study_args(p)
+    _add_checkpoint_arg(p)
     p.set_defaults(func=_cmd_figure)
 
     p = sub.add_parser("table", help="reproduce one table")
-    p.add_argument("number", type=int, choices=(1, 2))
+    p.add_argument(
+        "number", type=_table_number, help="1-2, 'table1' also accepted"
+    )
     _add_study_args(p)
+    _add_checkpoint_arg(p)
     p.set_defaults(func=_cmd_table)
 
     p = sub.add_parser("report", help="full report: headlines + all figures/tables")
     _add_study_args(p)
+    _add_checkpoint_arg(p)
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser(
+        "headlines", help="the paper's single-number findings"
+    )
+    _add_study_args(p)
+    _add_checkpoint_arg(p)
+    p.set_defaults(func=_cmd_headlines)
 
     p = sub.add_parser("whatif", help="kill-idle-app policy for one app")
     p.add_argument("--app", required=True)
@@ -633,6 +761,14 @@ def build_parser() -> argparse.ArgumentParser:
             "retry-exhausted users, reporting both via faults.* counters"
         ),
     )
+    p.add_argument(
+        "--no-cadence",
+        action="store_true",
+        help=(
+            "skip background flow/burst cadence tracking (Table 1 then "
+            "needs the batch pipeline; Figs 1-3 are unaffected)"
+        ),
+    )
     p.add_argument("--top", type=int, default=15, help="apps to print")
     p.add_argument(
         "--metrics-json",
@@ -668,8 +804,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     metrics = RunMetrics()
     args._run_metrics = metrics
-    with metrics.stage("command"):
-        rc = args.func(args)
+    try:
+        with metrics.stage("command"):
+            rc = args.func(args)
+    except NeedsPacketDetail as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
     out = getattr(args, "metrics_json", None)
     if out:
         metrics.write_json(out)

@@ -2,6 +2,10 @@
 
 One module per result:
 
+* :mod:`repro.core.readout`     -- the tiered :class:`EnergyReadout`
+  protocol: keyed totals both engines share, the totals-only
+  :class:`TotalsReadout` (checkpoint-loaded analyses) and the
+  ``require_packet_detail`` guard.
 * :mod:`repro.core.accounting`  -- study-wide energy accounting (the
   substrate every analysis shares).
 * :mod:`repro.core.popularity`  -- Fig 1 (top-10 appearance counts) and
@@ -21,7 +25,18 @@ One module per result:
   and table.
 """
 
-from repro.core.accounting import PartialTotals, StudyEnergy, merge_keyed_totals
+from repro.core.accounting import StudyEnergy
+from repro.core.readout import (
+    AppCadence,
+    EnergyReadout,
+    KeyedTotals,
+    TotalsReadout,
+    UserCadence,
+    UserTotalsView,
+    merge_keyed_totals,
+    readout_from_checkpoint,
+    require_packet_detail,
+)
 from repro.core.popularity import (
     category_energy,
     top10_appearance_counts,
@@ -50,6 +65,7 @@ from repro.core.headlines import (
     SweepResult,
     headline_stats,
     seed_sweep,
+    totals_headline_stats,
 )
 from repro.core.longitudinal import (
     EraComparison,
@@ -103,7 +119,15 @@ __all__ = [
     "weekly_background_energy",
     "ConsumerRow",
     "KillPolicyResult",
-    "PartialTotals",
+    "AppCadence",
+    "EnergyReadout",
+    "KeyedTotals",
+    "TotalsReadout",
+    "UserCadence",
+    "UserTotalsView",
+    "readout_from_checkpoint",
+    "require_packet_detail",
+    "totals_headline_stats",
     "StudyEnergy",
     "merge_keyed_totals",
     "TransitionStats",

@@ -37,6 +37,21 @@ from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core.readout import (
+    DEFAULT_FLOW_GAP,
+    AppCadence,
+    KeyedTotals,
+    UserCadence,
+    UserTotalsView,
+    combine_app_state,
+    combined_app_state_keys,
+    merge_keyed_totals,
+)
+from repro.core.periodicity import (
+    DEFAULT_BURST_GAP,
+    burst_starts,
+    inter_burst_intervals,
+)
 from repro.errors import AnalysisError
 from repro.metrics import RunMetrics
 from repro.parallel import map_tasks, resolve_workers
@@ -50,84 +65,10 @@ from repro.radio.base import RadioModel
 from repro.radio.lte import LTE_DEFAULT
 from repro.core.cache import AttributionCache
 from repro.trace.dataset import Dataset
+from repro.trace.flow import reconstruct_flows
 from repro.trace.index import IndexTask, TraceIndex
 from repro.trace.trace import UserTrace
 from repro.units import DAY
-
-
-def merge_keyed_totals(parts, zero=0.0):
-    """Fold per-user keyed totals into one dict, order-preserving.
-
-    ``parts`` yields mappings (one per user, in a fixed order); each
-    mapping's items are folded with ``totals[k] = totals.get(k, zero) + v``
-    in that mapping's own iteration order. This is the exact addition
-    sequence :class:`StudyEnergy` has always used for its study-wide
-    roll-ups — extracting it lets the streaming engine
-    (:class:`repro.stream.StreamIngestor`) replay the identical float
-    additions and land on bit-identical study totals.
-    """
-    totals = {}
-    for part in parts:
-        for key, value in part.items():
-            totals[key] = totals.get(key, zero) + value
-    return totals
-
-
-class PartialTotals:
-    """Streaming per-key accumulator with batch-identical float sums.
-
-    ``np.bincount`` accumulates its weights sequentially in input-array
-    order, and the batch path's per-key sums are exactly one bincount
-    over the whole trace (:meth:`AttributionResult._group_sum`). Adding
-    the running totals as *leading pseudo-entries* of the next chunk's
-    bincount therefore replays the whole-trace addition sequence
-    exactly: each key's partial enters first, then its chunk values in
-    order, and ``0.0 + x == x`` keeps the very first chunk unperturbed.
-    That makes the accumulated totals bit-identical to the batch result
-    for any chunk sizes.
-    """
-
-    def __init__(
-        self,
-        keys: Optional[np.ndarray] = None,
-        values: Optional[np.ndarray] = None,
-    ) -> None:
-        self._keys = (
-            np.empty(0, dtype=np.int64)
-            if keys is None
-            else np.asarray(keys, dtype=np.int64)
-        )
-        self._values = (
-            np.empty(0, dtype=np.float64)
-            if values is None
-            else np.asarray(values, dtype=np.float64)
-        )
-
-    def add(self, keys: np.ndarray, weights: np.ndarray) -> None:
-        """Accumulate ``weights`` grouped by ``keys`` (one chunk)."""
-        if len(keys) == 0:
-            return
-        all_keys = np.concatenate([self._keys, np.asarray(keys, np.int64)])
-        all_weights = np.concatenate(
-            [self._values, np.asarray(weights, np.float64)]
-        )
-        uniq, inverse = np.unique(all_keys, return_inverse=True)
-        sums = np.bincount(inverse, weights=all_weights, minlength=len(uniq))
-        self._keys = uniq
-        self._values = sums
-
-    def as_dict(self) -> Dict[int, float]:
-        """Totals keyed by int, in sorted-key order (the batch order)."""
-        return {
-            int(k): float(v) for k, v in zip(self._keys, self._values)
-        }
-
-    def payload(self) -> Tuple[np.ndarray, np.ndarray]:
-        """(keys, values) arrays for checkpoint serialisation."""
-        return self._keys.copy(), self._values.copy()
-
-    def __len__(self) -> int:
-        return len(self._keys)
 
 
 class StudyEnergy:
@@ -145,6 +86,11 @@ class StudyEnergy:
         metrics: A shared :class:`RunMetrics` to record into; a private
             one is created when omitted.
     """
+
+    #: This readout holds the full per-packet arrays — every analysis
+    #: tier works, including the ones gated by
+    #: :func:`~repro.core.readout.require_packet_detail`.
+    has_packet_detail = True
 
     def __init__(
         self,
@@ -168,6 +114,7 @@ class StudyEnergy:
         self._energy_by_app: Optional[Dict[int, float]] = None
         self._bytes_by_app: Optional[Dict[int, int]] = None
         self._energy_by_app_state: Optional[Dict[Tuple[int, int], float]] = None
+        self._user_totals: Dict[int, UserTotalsView] = {}
         self._cache: Optional[AttributionCache] = (
             AttributionCache.for_study(cache_dir, dataset, model, policy)
             if cache_dir is not None
@@ -317,6 +264,83 @@ class StudyEnergy:
     def app_id(self, app: str) -> int:
         """Resolve an app name through the dataset registry."""
         return self.dataset.registry.id_of(app)
+
+    def app_name(self, app_id: int) -> str:
+        """Resolve a numeric app id through the dataset registry."""
+        return self.dataset.registry.name_of(app_id)
+
+    def app_category(self, app_id: int) -> str:
+        """Category of the app with id ``app_id``."""
+        return self.dataset.registry.by_id(app_id).category
+
+    def duration_days(self, user_id: int) -> float:
+        """One user's observation window length in days."""
+        trace = self._traces.get(user_id)
+        if trace is None:
+            raise AnalysisError(f"unknown user id {user_id}")
+        return trace.duration_days
+
+    def user_totals(self, user_id: int) -> UserTotalsView:
+        """One user's totals-tier view (memoized).
+
+        The same keyed dicts a totals-only readout carries: per-app and
+        per-(app, state) joules straight from the attribution bincounts
+        and exact per-(app, state) byte integers. Analyses that fold
+        over these perform identical float additions on every readout.
+        """
+        view = self._user_totals.get(user_id)
+        if view is not None:
+            return view
+        result = self.user_result(user_id)
+        packets = self._traces[user_id].packets
+        app_state = {
+            combine_app_state(a, s): v
+            for (a, s), v in result.energy_by_app_state().items()
+        }
+        bytes_state = KeyedTotals(dtype=np.int64)
+        bytes_state.add(
+            combined_app_state_keys(packets.apps, packets.states),
+            packets.sizes.astype(np.int64),
+        )
+        view = UserTotalsView(
+            user_id,
+            result.energy_by_app(),
+            app_state,
+            bytes_state.as_dict(),
+            result.energy.idle_energy,
+        )
+        self._user_totals[user_id] = view
+        return view
+
+    def background_cadence(
+        self,
+        app_id: int,
+        flow_gap: float = DEFAULT_FLOW_GAP,
+        burst_gap: float = DEFAULT_BURST_GAP,
+    ) -> AppCadence:
+        """One app's background flow/burst cadence across all users.
+
+        Computed from the packet arrays, so — unlike a totals-only
+        readout's stored cadence — any ``flow_gap``/``burst_gap`` works.
+        Users without background traffic for the app are absent, the
+        batch inclusion rule Table 1 has always used.
+        """
+        per_user = []
+        for uid in self._order:
+            index = self.index_for(uid)
+            if len(index.app_background_indices(app_id)) == 0:
+                continue
+            subset = index.app_background_packets(app_id)
+            timestamps = subset.timestamps
+            per_user.append(
+                UserCadence(
+                    uid,
+                    len(reconstruct_flows(subset, gap_timeout=flow_gap)),
+                    len(burst_starts(timestamps, burst_gap)),
+                    inter_burst_intervals(timestamps, burst_gap),
+                )
+            )
+        return AppCadence(app_id, flow_gap, burst_gap, tuple(per_user))
 
     # ------------------------------------------------------------------
     # Totals

@@ -21,6 +21,7 @@ from repro.core.periodicity import UpdateFrequency
 from repro.core.recommend import Recommendation, recommend
 from repro.core.statefrac import background_energy_fraction
 from repro.core.transitions import TransitionStats, persistence_durations
+from repro.core.readout import require_packet_detail
 from repro.errors import AnalysisError
 from repro.trace.events import ProcessState
 from repro.units import DAY, MB, battery_fraction
@@ -61,6 +62,7 @@ class AppReport:
 
 def hourly_energy_profile(study: StudyEnergy, app: str) -> Tuple[float, ...]:
     """The app's attributed joules per hour of day, summed over users."""
+    require_packet_detail(study, "hourly_energy_profile")
     app_id = study.dataset.registry.id_of(app)
     bins = np.zeros(HOUR_BINS)
     for trace in study.dataset:
@@ -80,6 +82,7 @@ def hourly_energy_profile(study: StudyEnergy, app: str) -> Tuple[float, ...]:
 
 def app_report(study: StudyEnergy, app: str) -> AppReport:
     """Assemble the full single-app report."""
+    require_packet_detail(study, "app_report")
     registry = study.dataset.registry
     info = registry.by_name(app)
     totals = study.energy_by_app()

@@ -14,15 +14,12 @@ the paper notes "one flow may not correspond to one periodic update".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
-import numpy as np
-
-from repro.core.accounting import StudyEnergy
-from repro.core.periodicity import UpdateFrequency, estimate_update_frequency
-from repro.errors import AnalysisError
-from repro.trace.flow import reconstruct_flows
-from repro.units import DAY, MB
+from repro.core.periodicity import UpdateFrequency
+from repro.core.readout import DEFAULT_FLOW_GAP, EnergyReadout
+from repro.errors import AnalysisError, NeedsPacketDetail
+from repro.units import MB
 
 #: Table 1's app classes and members, in the paper's order.
 CASE_STUDY_CLASSES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
@@ -57,8 +54,9 @@ CASE_STUDY_CLASSES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("Podcasts", ("au.com.shiftyjelly.pocketcasts", "com.bambuna.podcastaddict")),
 )
 
-#: Default flow idle timeout for case studies (seconds).
-CASE_STUDY_FLOW_GAP = 3600.0
+#: Default flow idle timeout for case studies (seconds) — the cadence
+#: tier's default, so totals-only readouts can render the table.
+CASE_STUDY_FLOW_GAP = DEFAULT_FLOW_GAP
 
 
 @dataclass(frozen=True)
@@ -79,35 +77,34 @@ class CaseStudyRow:
 
 
 def case_study_row(
-    study: StudyEnergy,
+    study: EnergyReadout,
     app: str,
     app_class: str = "",
     flow_gap: float = CASE_STUDY_FLOW_GAP,
 ) -> CaseStudyRow:
-    """Compute one app's Table 1 metrics across all users."""
-    app_id = study.dataset.registry.id_of(app)
+    """Compute one app's Table 1 metrics across all users.
+
+    Totals-tier throughout: energy and bytes fold each included user's
+    per-(app, state) background totals (the identical float additions
+    on every readout), flows and update frequency come from the cadence
+    tier. Works on a :class:`~repro.core.accounting.StudyEnergy` and on
+    a totals-only readout alike — the latter at the default gaps only.
+    """
+    app_id = study.app_id(app)
+    cadence = study.background_cadence(app_id, flow_gap=flow_gap)
+    if cadence.n_users == 0:
+        raise AnalysisError(f"no user has background traffic for {app!r}")
     total_energy = 0.0
     total_bytes = 0
-    n_flows = 0
     user_days = 0.0
-    users = 0
-    time_groups: List[np.ndarray] = []
-    for trace in study.dataset:
-        index = study.index_for(trace.user_id)
-        idx = index.app_background_indices(app_id)
-        if len(idx) == 0:
-            continue
-        users += 1
-        user_days += trace.duration_days
-        result = study.user_result(trace.user_id)
-        total_energy += float(result.per_packet[idx].sum())
-        subset = index.app_background_packets(app_id)
-        total_bytes += subset.total_bytes
-        n_flows += len(reconstruct_flows(subset, gap_timeout=flow_gap))
-        time_groups.append(subset.timestamps)
-    if users == 0:
-        raise AnalysisError(f"no user has background traffic for {app!r}")
-    frequency = estimate_update_frequency(time_groups)
+    for entry in cadence.per_user:
+        totals = study.user_totals(entry.user_id)
+        total_energy += totals.background_energy(app_id)
+        total_bytes += totals.background_bytes(app_id)
+        user_days += study.duration_days(entry.user_id)
+    users = cadence.n_users
+    n_flows = cadence.n_flows
+    frequency = cadence.update_frequency()
     return CaseStudyRow(
         app=app,
         app_class=app_class,
@@ -124,7 +121,7 @@ def case_study_row(
 
 
 def case_study_table(
-    study: StudyEnergy,
+    study: EnergyReadout,
     classes: Sequence[Tuple[str, Tuple[str, ...]]] = CASE_STUDY_CLASSES,
     flow_gap: float = CASE_STUDY_FLOW_GAP,
     skip_missing: bool = True,
@@ -141,6 +138,10 @@ def case_study_table(
         for app in apps:
             try:
                 rows.append(case_study_row(study, app, app_class, flow_gap))
+            except NeedsPacketDetail:
+                # Not a missing app — the readout can't serve the table
+                # at all; the typed error must reach the caller.
+                raise
             except AnalysisError:
                 if not skip_missing:
                     raise

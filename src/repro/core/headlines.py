@@ -14,6 +14,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.accounting import StudyEnergy
+from repro.core.readout import EnergyReadout, require_packet_detail
 from repro.core.statefrac import background_energy_fraction
 from repro.core.transitions import (
     first_minute_fractions,
@@ -33,23 +34,37 @@ class Headline:
     measured: float
 
 
-def headline_stats(study: StudyEnergy) -> List[Headline]:
-    """The paper's headline numbers, measured on ``study``."""
-    dataset = study.dataset
-    fractions = first_minute_fractions(dataset)
-    headlines = [
+def totals_headline_stats(readout: EnergyReadout) -> List[Headline]:
+    """The totals-tier headlines — computable from any readout.
+
+    The 84%-background split and Chrome's ~30% need only per-(app,
+    state) energy totals, so a checkpoint-loaded ingest renders them
+    byte-identically to the batch engine. The remaining headlines
+    (first-minute criterion, what-if savings) replay packets;
+    :func:`headline_stats` appends those.
+    """
+    return [
         Headline(
             "background_fraction",
             "fraction of network energy in background states",
             0.84,
-            background_energy_fraction(study),
+            background_energy_fraction(readout),
         ),
         Headline(
             "chrome_background_fraction",
             "fraction of Chrome's energy in background states",
             0.30,
-            background_energy_fraction(study, "com.android.chrome"),
+            background_energy_fraction(readout, "com.android.chrome"),
         ),
+    ]
+
+
+def headline_stats(study: StudyEnergy) -> List[Headline]:
+    """The paper's headline numbers, measured on ``study``."""
+    require_packet_detail(study, "headline_stats")
+    dataset = study.dataset
+    fractions = first_minute_fractions(dataset)
+    headlines = totals_headline_stats(study) + [
         Headline(
             "first_minute_apps",
             "fraction of apps with >=80% of bg bytes in the first minute",

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.accounting import StudyEnergy
 from repro.core.periodicity import UpdateFrequency, estimate_update_frequency
+from repro.core.readout import require_packet_detail
 from repro.errors import AnalysisError
 from repro.units import DAY
 
@@ -68,6 +69,7 @@ def weekly_background_energy(
     study: StudyEnergy, complete_weeks_only: bool = True
 ) -> WeeklySeries:
     """Background-state energy per study week, summed over users."""
+    require_packet_detail(study, "weekly_background_energy")
     longest = max((t.end - t.start) for t in study.dataset)
     n_weeks = int(np.ceil(longest / WEEK))
     totals = np.zeros(n_weeks)
@@ -146,6 +148,7 @@ def era_comparison(
             default splits it in half, matching the catalog's evolution
             schedules.
     """
+    require_packet_detail(study, "era_comparison")
     if len(boundaries) < 2 or sorted(boundaries) != list(boundaries):
         raise AnalysisError(f"boundaries must be ascending fractions: {boundaries}")
     app_id = study.dataset.registry.id_of(app)
@@ -193,6 +196,7 @@ def improved_apps(
     joules attributed) and returns the comparisons flagged as improved —
     the paper's Facebook/Pandora/Go Weather pattern.
     """
+    require_packet_detail(study, "improved_apps")
     registry = study.dataset.registry
     if apps is None:
         totals = study.energy_by_app()

@@ -75,6 +75,37 @@ def inter_burst_intervals(
     return np.diff(starts)
 
 
+def frequency_from_intervals(
+    interval_groups: Iterable[np.ndarray],
+    n_bursts: int,
+    max_interval: Optional[float] = 24 * 3600.0,
+) -> UpdateFrequency:
+    """Summarise pre-computed inter-burst intervals into a cadence.
+
+    The reduction half of :func:`estimate_update_frequency`, split out
+    so callers that already hold interval arrays — the streaming
+    cadence tier, which never sees whole timestamp groups — land on the
+    identical :class:`UpdateFrequency`. An *empty* ``interval_groups``
+    means no group contained a packet at all; a group that is an empty
+    array means one burst with no successor, which still counts toward
+    ``n_bursts``.
+    """
+    pooled_groups = list(interval_groups)
+    if not pooled_groups:
+        return UpdateFrequency(0.0, 0.0, 0.0, 0)
+    pooled = np.concatenate(pooled_groups)
+    if max_interval is not None:
+        pooled = pooled[pooled <= max_interval]
+    if len(pooled) == 0:
+        return UpdateFrequency(0.0, 0.0, 0.0, n_bursts)
+    return UpdateFrequency(
+        median_interval=float(np.median(pooled)),
+        p25=float(np.percentile(pooled, 25)),
+        p75=float(np.percentile(pooled, 75)),
+        n_bursts=n_bursts,
+    )
+
+
 def estimate_update_frequency(
     timestamp_groups: Iterable[np.ndarray],
     burst_gap: float = DEFAULT_BURST_GAP,
@@ -94,16 +125,4 @@ def estimate_update_frequency(
             continue
         n_bursts += len(burst_starts(timestamps, burst_gap))
         intervals.append(inter_burst_intervals(timestamps, burst_gap))
-    if not intervals:
-        return UpdateFrequency(0.0, 0.0, 0.0, 0)
-    pooled = np.concatenate(intervals)
-    if max_interval is not None:
-        pooled = pooled[pooled <= max_interval]
-    if len(pooled) == 0:
-        return UpdateFrequency(0.0, 0.0, 0.0, n_bursts)
-    return UpdateFrequency(
-        median_interval=float(np.median(pooled)),
-        p25=float(np.percentile(pooled, 25)),
-        p75=float(np.percentile(pooled, 75)),
-        n_bursts=n_bursts,
-    )
+    return frequency_from_intervals(intervals, n_bursts, max_interval)

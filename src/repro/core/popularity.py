@@ -11,28 +11,40 @@ from bytes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Union
 
-from repro.core.accounting import StudyEnergy
+from repro.core.readout import EnergyReadout
 from repro.trace.dataset import Dataset
 from repro.units import joules_per_megabyte
 
 
 def top10_appearance_counts(
-    dataset: Dataset, top_n: int = 10, min_users: int = 2
+    source: Union[Dataset, EnergyReadout], top_n: int = 10, min_users: int = 2
 ) -> Dict[str, int]:
     """Fig 1: app name -> number of users with it in their top-N by bytes.
 
     Only apps appearing in at least ``min_users`` users' lists are
     returned (the paper's Fig 1 plots apps in >= 2 lists), sorted by
-    count descending then name.
+    count descending then name. Byte totals are exact integers, so a
+    raw :class:`~repro.trace.dataset.Dataset` and any
+    :class:`~repro.core.readout.EnergyReadout` produce the identical
+    ranking.
     """
     counts: Dict[str, int] = {}
-    for trace in dataset:
-        by_app = trace.index().bytes_by_app()
+    if hasattr(source, "user_totals"):
+        per_user = (
+            (source.user_totals(uid).bytes_by_app(), source.app_name)
+            for uid in source.user_ids
+        )
+    else:
+        per_user = (
+            (trace.index().bytes_by_app(), source.registry.name_of)
+            for trace in source
+        )
+    for by_app, name_of in per_user:
         ranked = sorted(by_app, key=lambda app: by_app[app], reverse=True)[:top_n]
         for app_id in ranked:
-            name = dataset.registry.name_of(app_id)
+            name = name_of(app_id)
             counts[name] = counts.get(name, 0) + 1
     filtered = {name: c for name, c in counts.items() if c >= min_users}
     return dict(sorted(filtered.items(), key=lambda kv: (-kv[1], kv[0])))
@@ -54,7 +66,7 @@ class ConsumerRow:
 
 
 def top_consumers(
-    study: StudyEnergy, n: int = 12, by: str = "energy"
+    study: EnergyReadout, n: int = 12, by: str = "energy"
 ) -> List[ConsumerRow]:
     """Fig 2: the top-``n`` apps by ``by`` in {"energy", "data"}.
 
@@ -66,11 +78,10 @@ def top_consumers(
         raise ValueError(f"by must be 'energy' or 'data', got {by!r}")
     energy = study.energy_by_app()
     volume = study.bytes_by_app()
-    registry = study.dataset.registry
     rows = [
         ConsumerRow(
-            app=registry.name_of(app_id),
-            category=registry.by_id(app_id).category,
+            app=study.app_name(app_id),
+            category=study.app_category(app_id),
             total_bytes=volume.get(app_id, 0),
             total_energy=energy.get(app_id, 0.0),
         )
@@ -81,15 +92,14 @@ def top_consumers(
     return rows[:n]
 
 
-def category_energy(study: StudyEnergy) -> Dict[str, float]:
+def category_energy(study: EnergyReadout) -> Dict[str, float]:
     """Joules per app category, summed over apps and users.
 
     The category roll-up of Fig 2: which *kinds* of apps drain the
     radio (services and social apps dominate; media moves the bytes).
     """
-    registry = study.dataset.registry
     totals: Dict[str, float] = {}
     for app_id, joules in study.energy_by_app().items():
-        category = registry.by_id(app_id).category
+        category = study.app_category(app_id)
         totals[category] = totals.get(category, 0.0) + joules
     return dict(sorted(totals.items(), key=lambda kv: -kv[1]))

@@ -1,0 +1,622 @@
+"""The tiered energy-readout abstraction.
+
+Every headline figure and table of the paper (Figs 1-3, Table 1, the
+84%-background split) is a reduction over *keyed totals*: joules per
+app, per (app, state), bytes per app, idle floors. Both engines
+produce those totals — the in-memory batch
+:class:`~repro.core.accounting.StudyEnergy` and the bounded-memory
+:class:`~repro.stream.StreamIngestor` — with bit-identical float
+arithmetic (the carry-first bincount replay). This module gives the
+analyses one surface over both:
+
+* :class:`EnergyReadout` — the totals-tier protocol. Implemented by
+  ``StudyEnergy`` (which additionally has per-packet arrays) and by
+  :class:`TotalsReadout` (which does not).
+* :class:`TotalsReadout` — a concrete totals-only readout built from
+  per-user :class:`UserTotalsView` dicts; the base class of
+  :class:`~repro.stream.StreamResult` and the object
+  :func:`readout_from_checkpoint` returns for a finished
+  ``repro ingest`` checkpoint. Its ``has_packet_detail`` is ``False``.
+* :func:`require_packet_detail` — the guard per-packet analyses
+  (transitions, timelines, what-if replay, Figs 4-6) call first, so a
+  totals-only readout fails fast with a typed, actionable
+  :class:`~repro.errors.NeedsPacketDetail` instead of an
+  ``AttributeError`` three reductions deep.
+* :class:`KeyedTotals` — the one keyed accumulator both engines share
+  (float64 carry-first bincount; int64 exact addition), and
+  :func:`merge_keyed_totals`, the one study-wide fold.
+
+Table 1 needs more than totals (flows per app, burst intervals); that
+is the *cadence* tier: :class:`AppCadence` summaries that the batch
+engine computes from packets on demand and the streaming engine tracks
+incrementally at the paper's default gaps (see
+:class:`repro.stream.ingest.CadenceTracker`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
+
+import numpy as np
+
+from repro import units
+from repro.core.periodicity import (
+    DEFAULT_BURST_GAP,
+    UpdateFrequency,
+    frequency_from_intervals,
+)
+from repro.errors import NeedsPacketDetail, StreamError
+from repro.trace.dataset import AppRegistry
+from repro.trace.events import background_state_values
+
+#: Default flow idle timeout for the cadence tier (Table 1's 1 h gap:
+#: the case-study apps hold connections across several updates).
+DEFAULT_FLOW_GAP = 3600.0
+
+#: App-state keys are combined as ``app * _STATE_BASE + state``.
+_STATE_BASE = 256
+
+_BG_VALUES = frozenset(int(v) for v in background_state_values())
+
+
+def combined_app_state_keys(
+    apps: np.ndarray, states: np.ndarray
+) -> np.ndarray:
+    """Combine app/state arrays into the shared ``app*256+state`` keys."""
+    return np.asarray(apps, np.int64) * _STATE_BASE + np.asarray(
+        states, np.int64
+    )
+
+
+def combine_app_state(app_id: int, state: int) -> int:
+    """Combine one (app id, state) pair into its shared scalar key."""
+    return int(app_id) * _STATE_BASE + int(state)
+
+
+def merge_keyed_totals(parts, zero=0.0):
+    """Fold per-user keyed totals into one dict, order-preserving.
+
+    ``parts`` yields mappings (one per user, in a fixed order); each
+    mapping's items are folded with ``totals[k] = totals.get(k, zero) + v``
+    in that mapping's own iteration order. This is the exact addition
+    sequence :class:`~repro.core.accounting.StudyEnergy` has always
+    used for its study-wide roll-ups — every readout replays it, so
+    batch, streaming and checkpoint-loaded totals land on bit-identical
+    study-wide floats.
+    """
+    totals = {}
+    for part in parts:
+        for key, value in part.items():
+            totals[key] = totals.get(key, zero) + value
+    return totals
+
+
+class KeyedTotals:
+    """The shared streaming per-key accumulator, float or int.
+
+    **float64** (default): ``np.bincount`` accumulates its weights
+    sequentially in input-array order, and the batch path's per-key
+    sums are exactly one bincount over the whole trace
+    (:meth:`~repro.radio.attribution.AttributionResult._group_sum`).
+    Adding the running totals as *leading pseudo-entries* of the next
+    chunk's bincount therefore replays the whole-trace addition
+    sequence exactly: each key's partial enters first, then its chunk
+    values in order, and ``0.0 + x == x`` keeps the very first chunk
+    unperturbed. That makes the accumulated totals bit-identical to
+    the batch result for any chunk sizes.
+
+    **int64**: integer addition is associative, so no ordering trick is
+    needed — any chunking lands on the identical integers the batch
+    :meth:`~repro.trace.index.TraceIndex.bytes_by_app` reduction
+    computes. ``np.add.at`` keeps repeated keys within a chunk exact
+    (bincount weights would detour through float64).
+    """
+
+    def __init__(
+        self,
+        keys: Optional[np.ndarray] = None,
+        values: Optional[np.ndarray] = None,
+        dtype=np.float64,
+    ) -> None:
+        self.dtype = np.dtype(dtype)
+        if self.dtype not in (np.dtype(np.float64), np.dtype(np.int64)):
+            raise ValueError(f"KeyedTotals supports float64/int64, got {dtype}")
+        self._keys = (
+            np.empty(0, dtype=np.int64)
+            if keys is None
+            else np.asarray(keys, dtype=np.int64)
+        )
+        self._values = (
+            np.empty(0, dtype=self.dtype)
+            if values is None
+            else np.asarray(values, dtype=self.dtype)
+        )
+
+    def add(self, keys: np.ndarray, amounts: np.ndarray) -> None:
+        """Accumulate ``amounts`` grouped by ``keys`` (one chunk)."""
+        if len(keys) == 0:
+            return
+        all_keys = np.concatenate([self._keys, np.asarray(keys, np.int64)])
+        all_amounts = np.concatenate(
+            [self._values, np.asarray(amounts, self.dtype)]
+        )
+        uniq, inverse = np.unique(all_keys, return_inverse=True)
+        if self.dtype == np.dtype(np.float64):
+            sums = np.bincount(
+                inverse, weights=all_amounts, minlength=len(uniq)
+            )
+        else:
+            sums = np.zeros(len(uniq), dtype=np.int64)
+            np.add.at(sums, inverse, all_amounts)
+        self._keys = uniq
+        self._values = sums
+
+    def as_dict(self) -> Dict[int, float]:
+        """Totals keyed by int, in sorted-key order (the batch order)."""
+        cast = float if self.dtype == np.dtype(np.float64) else int
+        return {int(k): cast(v) for k, v in zip(self._keys, self._values)}
+
+    def payload(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(keys, values) arrays for checkpoint serialisation."""
+        return self._keys.copy(), self._values.copy()
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+
+def require_packet_detail(source, analysis: str):
+    """Assert ``source`` carries per-packet arrays; return it.
+
+    Per-packet analyses call this on entry. Objects that do not declare
+    ``has_packet_detail`` (a :class:`~repro.trace.dataset.Dataset`, a
+    :class:`~repro.core.accounting.StudyEnergy`) pass through; a
+    totals-only readout raises :class:`~repro.errors.NeedsPacketDetail`
+    naming the analysis and the fix.
+    """
+    if getattr(source, "has_packet_detail", True):
+        return source
+    raise NeedsPacketDetail(
+        analysis, f"input is a totals-only {type(source).__name__}"
+    )
+
+
+class UserTotalsView:
+    """One user's totals-tier readout (keyed dicts, no packets).
+
+    Energy dicts iterate in sorted-combined-key order — the order
+    :meth:`~repro.radio.attribution.AttributionResult._group_sum`
+    produces and :class:`KeyedTotals` preserves — so any sequential
+    fold over them performs the same float additions on every readout.
+    """
+
+    def __init__(
+        self,
+        user_id: int,
+        energy: Dict[int, float],
+        app_state: Dict[int, float],
+        bytes_state: Dict[int, int],
+        idle_energy: float,
+    ) -> None:
+        self.user_id = user_id
+        self.idle_energy = idle_energy
+        self._energy = energy
+        #: combined ``app * 256 + state`` -> joules
+        self._app_state = app_state
+        #: combined ``app * 256 + state`` -> bytes
+        self._bytes_state = bytes_state
+
+    def energy_by_app(self) -> Dict[int, float]:
+        """Joules per app id."""
+        return dict(self._energy)
+
+    def energy_by_app_state(self) -> Dict[Tuple[int, int], float]:
+        """Joules per (app id, process state)."""
+        return {
+            (k // _STATE_BASE, k % _STATE_BASE): v
+            for k, v in self._app_state.items()
+        }
+
+    def bytes_by_app_state(self) -> Dict[Tuple[int, int], int]:
+        """Traffic bytes per (app id, process state), exact integers."""
+        return {
+            (k // _STATE_BASE, k % _STATE_BASE): v
+            for k, v in self._bytes_state.items()
+        }
+
+    def bytes_by_app(self) -> Dict[int, int]:
+        """Traffic bytes per app id (exact integers)."""
+        totals: Dict[int, int] = {}
+        for k, v in self._bytes_state.items():
+            app = k // _STATE_BASE
+            totals[app] = totals.get(app, 0) + v
+        return totals
+
+    def background_energy(self, app_id: int) -> float:
+        """Joules of one app in background states, folded in key order."""
+        total = 0.0
+        for k, v in self._app_state.items():
+            if k // _STATE_BASE == app_id and k % _STATE_BASE in _BG_VALUES:
+                total += v
+        return total
+
+    def background_bytes(self, app_id: int) -> int:
+        """Bytes of one app in background states (exact integer)."""
+        total = 0
+        for k, v in self._bytes_state.items():
+            if k // _STATE_BASE == app_id and k % _STATE_BASE in _BG_VALUES:
+                total += v
+        return total
+
+
+@dataclass(frozen=True)
+class UserCadence:
+    """One user's background cadence for one app.
+
+    Present only for users with at least one background packet of the
+    app (the batch inclusion rule). ``intervals`` are the inter-burst
+    intervals in chronological order; an empty array means a single
+    burst with no successor.
+    """
+
+    user_id: int
+    n_flows: int
+    n_bursts: int
+    intervals: np.ndarray
+
+
+@dataclass(frozen=True)
+class AppCadence:
+    """Background flow/burst cadence of one app across all users.
+
+    The per-packet-free inputs of Table 1's J/flow, MB/flow and
+    update-frequency columns. ``per_user`` is in readout order.
+    """
+
+    app_id: int
+    flow_gap: float
+    burst_gap: float
+    per_user: Tuple[UserCadence, ...]
+
+    @property
+    def n_users(self) -> int:
+        """Users with background traffic for the app."""
+        return len(self.per_user)
+
+    @property
+    def n_flows(self) -> int:
+        """Background flows over all users (``flow_gap`` idle split)."""
+        return sum(u.n_flows for u in self.per_user)
+
+    def update_frequency(
+        self, max_interval: Optional[float] = 24 * 3600.0
+    ) -> UpdateFrequency:
+        """Pooled cadence summary, identical to the batch estimator."""
+        return frequency_from_intervals(
+            (u.intervals for u in self.per_user),
+            sum(u.n_bursts for u in self.per_user),
+            max_interval,
+        )
+
+
+@runtime_checkable
+class EnergyReadout(Protocol):
+    """The totals-tier analysis surface both engines implement.
+
+    ``StudyEnergy`` (batch; ``has_packet_detail=True``) and
+    :class:`TotalsReadout` (streaming result / loaded checkpoint;
+    ``has_packet_detail=False``) both satisfy this protocol, and every
+    totals-tier analysis in :mod:`repro.core` is typed against it.
+    """
+
+    has_packet_detail: bool
+
+    @property
+    def user_ids(self) -> List[int]: ...
+
+    @property
+    def total_energy(self) -> float: ...
+
+    @property
+    def attributed_energy(self) -> float: ...
+
+    @property
+    def idle_energy(self) -> float: ...
+
+    def energy_by_app(self) -> Dict[int, float]: ...
+
+    def bytes_by_app(self) -> Dict[int, int]: ...
+
+    def energy_by_app_state(self) -> Dict[Tuple[int, int], float]: ...
+
+    def energy_by_state(self) -> Dict[int, float]: ...
+
+    def app_id(self, app: str) -> int: ...
+
+    def app_name(self, app_id: int) -> str: ...
+
+    def app_category(self, app_id: int) -> str: ...
+
+    def duration_days(self, user_id: int) -> float: ...
+
+    def user_totals(self, user_id: int) -> UserTotalsView: ...
+
+    def background_cadence(
+        self,
+        app_id: int,
+        flow_gap: float = DEFAULT_FLOW_GAP,
+        burst_gap: float = DEFAULT_BURST_GAP,
+    ) -> AppCadence: ...
+
+
+class TotalsReadout:
+    """Concrete totals-only :class:`EnergyReadout`.
+
+    Base class of :class:`~repro.stream.StreamResult` and the object a
+    loaded checkpoint becomes. Study-wide reductions replay the exact
+    fold :class:`~repro.core.accounting.StudyEnergy` performs — users
+    in readout order through :func:`merge_keyed_totals`, idle via a
+    sequential ``sum`` — so each is bit-identical to its batch
+    counterpart. ``attributed_energy`` is the one exception: the batch
+    scalar sums per-packet arrays whole, an association no totals
+    readout can replay, so here it is defined as the fold of the
+    (bit-identical) per-app totals.
+    """
+
+    has_packet_detail = False
+
+    def __init__(
+        self,
+        totals: Iterable[UserTotalsView],
+        *,
+        registry: Optional[AppRegistry] = None,
+        windows: Optional[Dict[int, Tuple[float, float]]] = None,
+        cadences: Optional[
+            Dict[int, Dict[int, Tuple[int, int, np.ndarray]]]
+        ] = None,
+        flow_gap: float = DEFAULT_FLOW_GAP,
+        burst_gap: float = DEFAULT_BURST_GAP,
+    ) -> None:
+        self._totals = list(totals)
+        self._totals_by_id = {t.user_id: t for t in self._totals}
+        self._registry = registry
+        self._windows = dict(windows) if windows is not None else {}
+        self._cadences = cadences
+        self._flow_gap = float(flow_gap)
+        self._burst_gap = float(burst_gap)
+
+    # ------------------------------------------------------------------
+    # Users
+    # ------------------------------------------------------------------
+    @property
+    def user_ids(self) -> List[int]:
+        """User ids in readout (ingestion) order."""
+        return [t.user_id for t in self._totals]
+
+    def user_totals(self, user_id: int) -> UserTotalsView:
+        """One user's totals-tier view."""
+        try:
+            return self._totals_by_id[user_id]
+        except KeyError:
+            raise StreamError(f"unknown user id {user_id}") from None
+
+    def duration_days(self, user_id: int) -> float:
+        """Observation window length in days."""
+        window = self._windows.get(user_id)
+        if window is None:
+            raise StreamError(
+                f"readout has no observation window for user {user_id}"
+            )
+        start, end = window
+        return units.days(end - start)
+
+    # ------------------------------------------------------------------
+    # App registry
+    # ------------------------------------------------------------------
+    @property
+    def registry(self) -> AppRegistry:
+        """The study's app registry."""
+        if self._registry is None:
+            raise StreamError("readout carries no app registry")
+        return self._registry
+
+    def app_id(self, app: str) -> int:
+        """Resolve an app name to its numeric id."""
+        return self.registry.id_of(app)
+
+    def app_name(self, app_id: int) -> str:
+        """Resolve a numeric app id to its name."""
+        return self.registry.name_of(app_id)
+
+    def app_category(self, app_id: int) -> str:
+        """Category of the app with id ``app_id``."""
+        return self.registry.by_id(app_id).category
+
+    # ------------------------------------------------------------------
+    # Totals
+    # ------------------------------------------------------------------
+    def energy_by_app(self) -> Dict[int, float]:
+        """Joules per app id, summed over users."""
+        return merge_keyed_totals(t.energy_by_app() for t in self._totals)
+
+    def energy_by_app_state(self) -> Dict[Tuple[int, int], float]:
+        """Joules per (app id, process state), summed over users."""
+        return merge_keyed_totals(
+            t.energy_by_app_state() for t in self._totals
+        )
+
+    def energy_by_state(self) -> Dict[int, float]:
+        """Joules per process state, summed over apps and users."""
+        return merge_keyed_totals(
+            {state: joules}
+            for (_, state), joules in self.energy_by_app_state().items()
+        )
+
+    def bytes_by_app(self) -> Dict[int, int]:
+        """Traffic bytes per app id, summed over users."""
+        return merge_keyed_totals(
+            (t.bytes_by_app() for t in self._totals), zero=0
+        )
+
+    @property
+    def idle_energy(self) -> float:
+        """Unattributed idle-floor energy over all users, joules."""
+        return sum(t.idle_energy for t in self._totals)
+
+    @property
+    def attributed_energy(self) -> float:
+        """Energy attributed to apps (fold of the per-app totals)."""
+        return sum(self.energy_by_app().values())
+
+    @property
+    def total_energy(self) -> float:
+        """Attributed plus idle energy, joules."""
+        return self.attributed_energy + self.idle_energy
+
+    # ------------------------------------------------------------------
+    # Cadence tier
+    # ------------------------------------------------------------------
+    def background_cadence(
+        self,
+        app_id: int,
+        flow_gap: float = DEFAULT_FLOW_GAP,
+        burst_gap: float = DEFAULT_BURST_GAP,
+    ) -> AppCadence:
+        """One app's stored background cadence (default gaps only).
+
+        The streaming engine tracks flows and bursts at the paper's
+        default gaps while packets go by; asking for other gaps — or
+        for cadence an ingest ran without — needs the packets back.
+        """
+        if self._cadences is None:
+            raise NeedsPacketDetail(
+                f"background_cadence(app={app_id})",
+                "the ingest ran with cadence tracking disabled",
+            )
+        if flow_gap != self._flow_gap or burst_gap != self._burst_gap:
+            raise NeedsPacketDetail(
+                f"background_cadence(app={app_id}, flow_gap={flow_gap}, "
+                f"burst_gap={burst_gap})",
+                f"cadence was tracked at flow_gap={self._flow_gap}, "
+                f"burst_gap={self._burst_gap}",
+            )
+        per_user = []
+        for totals in self._totals:
+            entry = self._cadences.get(totals.user_id, {}).get(app_id)
+            if entry is not None:
+                n_flows, n_bursts, intervals = entry
+                per_user.append(
+                    UserCadence(totals.user_id, n_flows, n_bursts, intervals)
+                )
+        return AppCadence(app_id, flow_gap, burst_gap, tuple(per_user))
+
+
+def readout_from_checkpoint(path) -> TotalsReadout:
+    """Load a finished ingest checkpoint as a totals-tier readout.
+
+    The whole point of the protocol: a completed (or resumed-to-
+    completion) ``repro ingest --checkpoint ck.npz`` run becomes a
+    first-class analysis input — ``repro figure fig3 --from-checkpoint
+    ck.npz`` — without ever materialising a packet array. Checkpoints
+    whose users are not all ``done`` raise
+    :class:`~repro.errors.StreamError` with the resume hint; files
+    older than checkpoint format 2 (no registry/window/cadence members)
+    must be re-ingested.
+    """
+    # Imported here, not at module top: repro.stream.ingest imports this
+    # module for KeyedTotals, and importing the stream package from here
+    # at import time would close that cycle.
+    from repro.stream.checkpoint import StreamCheckpoint
+
+    checkpoint = StreamCheckpoint.load(path)
+    return readout_from_loaded_checkpoint(checkpoint)
+
+
+def readout_from_loaded_checkpoint(checkpoint) -> TotalsReadout:
+    """Build the readout from an already-loaded ``StreamCheckpoint``."""
+    if checkpoint.registry_json is None:
+        raise StreamError(
+            "checkpoint predates format 2 (no app registry); re-run "
+            "`repro ingest` to write an analysable checkpoint"
+        )
+    not_done = [u.user_id for u in checkpoint.users if u.status != "done"]
+    if not_done:
+        raise StreamError(
+            f"checkpoint is mid-run ({len(checkpoint.users) - len(not_done)}"
+            f" of {len(checkpoint.users)} users done); finish the ingest "
+            "with `repro ingest --resume` before analysing it"
+        )
+    registry = AppRegistry.from_json(checkpoint.registry_json)
+    totals = []
+    windows: Dict[int, Tuple[float, float]] = {}
+    cadences: Optional[Dict[int, Dict[int, Tuple[int, int, np.ndarray]]]]
+    cadences = {} if checkpoint.has_cadence else None
+    for user in checkpoint.users:
+        uid = user.user_id
+        if user.window is None:
+            raise StreamError(
+                f"checkpoint has no observation window for user {uid}; "
+                "re-run `repro ingest` to write an analysable checkpoint"
+            )
+        windows[uid] = (float(user.window[0]), float(user.window[1]))
+        energy = KeyedTotals(user.energy_keys, user.energy_values)
+        app_state = KeyedTotals(user.state_keys, user.state_values)
+        bytes_state = KeyedTotals(
+            user.bytes_keys, user.bytes_values, dtype=np.int64
+        )
+        totals.append(
+            UserTotalsView(
+                uid,
+                energy.as_dict(),
+                app_state.as_dict(),
+                bytes_state.as_dict(),
+                float(user.idle_energy),
+            )
+        )
+        if cadences is not None:
+            per_app: Dict[int, Tuple[int, int, np.ndarray]] = {}
+            cad = user.cadence or {}
+            apps = np.asarray(
+                cad.get("burst_apps", np.empty(0, np.int64)), np.int64
+            )
+            counts = np.asarray(
+                cad.get("burst_counts", np.empty(0, np.int64)), np.int64
+            )
+            flow_counts = {
+                int(a): int(c)
+                for a, c in zip(
+                    cad.get("flow_count_apps", np.empty(0, np.int64)),
+                    cad.get("flow_counts", np.empty(0, np.int64)),
+                )
+            }
+            offsets = np.asarray(
+                cad.get("interval_offsets", np.zeros(1, np.int64)), np.int64
+            )
+            intervals = np.asarray(
+                cad.get("intervals", np.empty(0, np.float64)), np.float64
+            )
+            for i, app in enumerate(apps):
+                app = int(app)
+                lo, hi = int(offsets[i]), int(offsets[i + 1])
+                per_app[app] = (
+                    int(flow_counts.get(app, 0)),
+                    int(counts[i]),
+                    intervals[lo:hi].copy(),
+                )
+            cadences[uid] = per_app
+    return TotalsReadout(
+        totals,
+        registry=registry,
+        windows=windows,
+        cadences=cadences,
+        flow_gap=checkpoint.cadence_flow_gap,
+        burst_gap=checkpoint.cadence_burst_gap,
+    )

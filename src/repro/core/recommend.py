@@ -26,6 +26,7 @@ from repro.core.accounting import StudyEnergy
 from repro.core.periodicity import estimate_update_frequency
 from repro.core.transitions import persistence_durations
 from repro.core.whatif import batching_savings, kill_policy_savings
+from repro.core.readout import require_packet_detail
 from repro.errors import AnalysisError
 from repro.units import HOUR, MINUTE
 
@@ -104,6 +105,7 @@ def recommend(
     idle_days: int = 3,
 ) -> Recommendation:
     """Diagnose one app and price the applicable fixes."""
+    require_packet_detail(study, "recommend")
     app_id = study.dataset.registry.id_of(app)
     total = study.energy_by_app().get(app_id, 0.0)
     if total <= 0:
@@ -164,6 +166,7 @@ def recommendation_report(
             attributed energy.
         top_n: How many top consumers to diagnose when ``apps`` is None.
     """
+    require_packet_detail(study, "recommendation_report")
     if apps is None:
         totals = study.energy_by_app()
         registry = study.dataset.registry

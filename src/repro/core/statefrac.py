@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
-from repro.core.accounting import StudyEnergy
+from repro.core.readout import EnergyReadout
 from repro.errors import AnalysisError
 from repro.trace.events import ProcessState, background_state_values
 
@@ -25,7 +25,7 @@ STATE_ORDER = (
 
 
 def state_energy_fractions(
-    study: StudyEnergy, apps: Optional[Iterable[str]] = None
+    study: EnergyReadout, apps: Optional[Iterable[str]] = None
 ) -> Dict[str, Dict[ProcessState, float]]:
     """Fig 3: per-app fraction of energy in each process state.
 
@@ -39,14 +39,13 @@ def state_energy_fractions(
         app name -> {state: fraction}; fractions of each app sum to 1.
     """
     per_app_state = study.energy_by_app_state()
-    registry = study.dataset.registry
     if apps is None:
         totals = study.energy_by_app()
         top = sorted(totals, key=lambda a: totals[a], reverse=True)[:12]
-        apps = [registry.name_of(a) for a in top]
+        apps = [study.app_name(a) for a in top]
     out: Dict[str, Dict[ProcessState, float]] = {}
     for name in apps:
-        app_id = registry.id_of(name)
+        app_id = study.app_id(name)
         by_state = {
             state: per_app_state.get((app_id, int(state)), 0.0)
             for state in STATE_ORDER
@@ -58,7 +57,7 @@ def state_energy_fractions(
     return out
 
 
-def state_energy_share(study: StudyEnergy) -> Dict[ProcessState, float]:
+def state_energy_share(study: EnergyReadout) -> Dict[ProcessState, float]:
     """Study-wide fraction of attributed energy per process state.
 
     Normalised over the paper's five states; the negligible residue of
@@ -74,7 +73,7 @@ def state_energy_share(study: StudyEnergy) -> Dict[ProcessState, float]:
 
 
 def background_energy_fraction(
-    study: StudyEnergy, app: Optional[str] = None
+    study: EnergyReadout, app: Optional[str] = None
 ) -> float:
     """Fraction of attributed energy consumed in background states.
 
@@ -86,7 +85,7 @@ def background_energy_fraction(
     bg_values = set(background_state_values().tolist())
     five_values = {int(s) for s in STATE_ORDER}
     if app is not None:
-        app_id = study.dataset.registry.id_of(app)
+        app_id = study.app_id(app)
         items = {
             (a, s): e
             for (a, s), e in per_app_state.items()
@@ -103,7 +102,7 @@ def background_energy_fraction(
     return background / total
 
 
-def background_fraction_per_app(study: StudyEnergy) -> Dict[str, float]:
+def background_fraction_per_app(study: EnergyReadout) -> Dict[str, float]:
     """Background energy fraction of every app with attributed energy."""
     per_app_state = study.energy_by_app_state()
     bg_values = set(background_state_values().tolist())
@@ -116,9 +115,8 @@ def background_fraction_per_app(study: StudyEnergy) -> Dict[str, float]:
         totals[app_id] = totals.get(app_id, 0.0) + joules
         if state in bg_values:
             background[app_id] = background.get(app_id, 0.0) + joules
-    registry = study.dataset.registry
     return {
-        registry.name_of(app_id): background.get(app_id, 0.0) / total
+        study.app_name(app_id): background.get(app_id, 0.0) / total
         for app_id, total in totals.items()
         if total > 0
     }

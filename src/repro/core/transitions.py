@@ -21,6 +21,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.readout import require_packet_detail
 from repro.errors import AnalysisError
 from repro.trace.dataset import Dataset
 from repro.trace.intervals import BackgroundTransition
@@ -93,6 +94,7 @@ def persistence_durations(
     subsequent traffic yield zero-duration samples unless
     ``include_silent`` is false.
     """
+    require_packet_detail(dataset, "persistence_durations")
     registry = dataset.registry
     if app is not None:
         app_ids = [registry.id_of(app)]
@@ -155,6 +157,7 @@ def bytes_since_foreground(
     packet's offset from its episode's transition, binned at
     ``bin_seconds`` up to ``horizon``, summed over apps and users.
     """
+    require_packet_detail(dataset, "bytes_since_foreground")
     if bin_seconds <= 0:
         raise AnalysisError(f"bin_seconds must be positive: {bin_seconds}")
     n_bins = int(np.ceil(horizon / bin_seconds))
@@ -187,6 +190,7 @@ def first_minute_fractions(
     The §4.1 headline counts apps whose fraction is >= 0.8; apply
     :func:`fraction_of_apps_above` for that.
     """
+    require_packet_detail(dataset, "first_minute_fractions")
     first: Dict[int, float] = {}
     total: Dict[int, float] = {}
     for trace in dataset:
@@ -254,6 +258,7 @@ def trace_timeline(
     post-transition bytes (the paper shows a representative Chrome
     trace) and returns the packet timeline around it.
     """
+    require_packet_detail(dataset, "trace_timeline")
     app_id = dataset.registry.id_of(app)
     best: Optional[Tuple[float, UserTrace, float]] = None  # (bytes, trace, t)
     for trace in dataset:

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.accounting import StudyEnergy
 from repro.core.periodicity import burst_starts
+from repro.core.readout import require_packet_detail
 from repro.errors import AnalysisError
 from repro.radio.attribution import attribute_energy
 from repro.trace.arrays import PacketArray
@@ -157,6 +158,7 @@ def kill_policy_savings(
     The modified trace is re-attributed through the full radio model so
     that removed tails and promotions are credited exactly.
     """
+    require_packet_detail(study, "kill_policy_savings")
     if idle_days < 1:
         raise AnalysisError(f"idle_days must be >= 1: {idle_days}")
     app_id = study.dataset.registry.id_of(app)
@@ -228,6 +230,7 @@ def total_savings(
     small share of a device's total — even though per-app savings
     (Table 2 row C) can exceed 50%.
     """
+    require_packet_detail(study, "total_savings")
     registry = study.dataset.registry
     if apps is None:
         app_ids = None
@@ -267,6 +270,7 @@ def savings_on_affected_days(
     disabling it after 3 idle days cut their total network energy on
     those days by 16%.
     """
+    require_packet_detail(study, "savings_on_affected_days")
     app_id = study.dataset.registry.id_of(app)
     affected_before = 0.0
     affected_after = 0.0
@@ -305,6 +309,7 @@ def doze_savings(
     Whitelisted apps (the paper suggests widgets may legitimately need
     exemptions) are untouched. Models Android M's announced behaviour.
     """
+    require_packet_detail(study, "doze_savings")
     registry = study.dataset.registry
     exempt = {registry.id_of(a) for a in whitelist}
     total_before = 0.0
@@ -348,6 +353,7 @@ def batching_savings(
     still have to move). Returns the saving as % of the app's current
     energy.
     """
+    require_packet_detail(study, "batching_savings")
     if target_period <= 0:
         raise AnalysisError(f"target_period must be positive: {target_period}")
     app_id = study.dataset.registry.id_of(app)
@@ -414,6 +420,7 @@ def os_coalescing_savings(
     Unlike the kill policy, no traffic is dropped — the cost is
     freshness (mean added delay ~ period/2), which is also reported.
     """
+    require_packet_detail(study, "os_coalescing_savings")
     if period <= 0:
         raise AnalysisError(f"period must be positive: {period}")
     total_before = 0.0
@@ -461,6 +468,7 @@ def frequency_cap_savings(
     packets of a surviving burst (within 30 s) are kept too. The
     modified traces are re-attributed through the full radio model.
     """
+    require_packet_detail(study, "frequency_cap_savings")
     if min_period <= 0:
         raise AnalysisError(f"min_period must be positive: {min_period}")
     total_before = 0.0

@@ -32,6 +32,36 @@ class AnalysisError(ReproError):
     (e.g. unknown app name, empty dataset where data is required)."""
 
 
+class NeedsPacketDetail(AnalysisError):
+    """A per-packet analysis was handed a totals-only readout.
+
+    Totals-tier readouts (a finished :class:`repro.stream.StreamResult`
+    or a checkpoint loaded with
+    :func:`repro.core.readout.readout_from_checkpoint`) carry keyed
+    energy/byte totals but no per-packet arrays. Analyses that replay
+    individual packets (transitions, timelines, what-if replays,
+    Figs 4-6) declare that requirement through
+    :func:`repro.core.readout.require_packet_detail`, which raises this
+    error — with the fix spelled out — instead of letting the analysis
+    crash mid-reduction on a missing attribute.
+    """
+
+    def __init__(self, analysis: str, reason: str = "") -> None:
+        self.analysis = analysis
+        self.reason = reason
+        detail = f" ({reason})" if reason else ""
+        super().__init__(
+            f"{analysis} needs per-packet arrays, but this readout "
+            f"carries keyed totals only{detail}. Re-run the batch "
+            "pipeline on the full study (the same command without "
+            "--from-checkpoint, using --dataset or the generation "
+            "flags) to compute it."
+        )
+
+    def __reduce__(self):
+        return (NeedsPacketDetail, (self.analysis, self.reason))
+
+
 class StreamError(ReproError):
     """Invalid streaming-ingestion state (out-of-order chunks, a
     checkpoint that does not match the source or model, feeding a

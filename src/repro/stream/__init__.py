@@ -31,6 +31,7 @@ from repro.stream.chunks import (
     RowQuarantine,
 )
 from repro.stream.ingest import (
+    CadenceTracker,
     StreamChunkTask,
     StreamIngestor,
     StreamResult,
@@ -39,6 +40,7 @@ from repro.stream.ingest import (
 )
 
 __all__ = [
+    "CadenceTracker",
     "CsvStreamSource",
     "DEFAULT_CHUNK_SIZE",
     "NpzStreamSource",

@@ -33,16 +33,39 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro import faults
+from repro.core.periodicity import DEFAULT_BURST_GAP
+from repro.core.readout import DEFAULT_FLOW_GAP
 from repro.errors import StreamError
 from repro.radio.attribution import TailPolicy
 from repro.radio.base import RadioModel
 
 PathLike = Union[str, Path]
+
+#: On-disk layout version. Format 2 added the app registry, per-user
+#: observation windows, cadence members, and rekeyed the byte totals
+#: from per-app to per-(app, state) — a format-1 file's ``bytes_keys``
+#: mean something else entirely, so older files are refused rather
+#: than misread.
+CHECKPOINT_FORMAT = 2
+
+#: The cadence tracker's fixed payload member names.
+CADENCE_MEMBERS = (
+    "flow_keys",
+    "flow_last",
+    "flow_count_apps",
+    "flow_counts",
+    "burst_apps",
+    "burst_counts",
+    "burst_last_ts",
+    "burst_last_start",
+    "interval_offsets",
+    "intervals",
+)
 
 
 def previous_path(path: PathLike) -> Path:
@@ -88,7 +111,8 @@ class UserCheckpoint:
     state_values: np.ndarray = field(
         default_factory=lambda: np.empty(0, dtype=np.float64)
     )
-    #: Partial per-app byte totals (exact int64).
+    #: Partial per-(app, state) byte totals, keys combined as
+    #: app*256+state (exact int64).
     bytes_keys: np.ndarray = field(
         default_factory=lambda: np.empty(0, dtype=np.int64)
     )
@@ -97,6 +121,11 @@ class UserCheckpoint:
     )
     #: Unattributed idle energy (``done`` users only).
     idle_energy: float = 0.0
+    #: Observation window (start, end) seconds.
+    window: Optional[Tuple[float, float]] = None
+    #: Cadence tracker payload (:data:`CADENCE_MEMBERS` arrays), when
+    #: the run tracked flow/burst cadence.
+    cadence: Optional[Dict[str, np.ndarray]] = None
 
 
 class StreamCheckpoint:
@@ -113,12 +142,24 @@ class StreamCheckpoint:
         policy: TailPolicy,
         users: List[UserCheckpoint],
         chunks_done: int = 0,
+        *,
+        registry_json: Optional[str] = None,
+        has_cadence: bool = False,
+        cadence_flow_gap: float = DEFAULT_FLOW_GAP,
+        cadence_burst_gap: float = DEFAULT_BURST_GAP,
     ) -> None:
         self.signature = signature
         self.model_repr = repr(model)
         self.policy_value = policy.value
         self.users = users
         self.chunks_done = int(chunks_done)
+        #: The study's :class:`~repro.trace.dataset.AppRegistry` as
+        #: JSON — what makes a finished checkpoint analysable on its
+        #: own (``repro figure --from-checkpoint``).
+        self.registry_json = registry_json
+        self.has_cadence = bool(has_cadence)
+        self.cadence_flow_gap = float(cadence_flow_gap)
+        self.cadence_burst_gap = float(cadence_burst_gap)
 
     # ------------------------------------------------------------------
     # Persistence
@@ -128,10 +169,15 @@ class StreamCheckpoint:
         path = Path(path)
         arrays: Dict[str, np.ndarray] = {}
         header = {
+            "format": CHECKPOINT_FORMAT,
             "signature": self.signature,
             "model": self.model_repr,
             "policy": self.policy_value,
             "chunks_done": self.chunks_done,
+            "registry": self.registry_json,
+            "has_cadence": self.has_cadence,
+            "flow_gap": self.cadence_flow_gap,
+            "burst_gap": self.cadence_burst_gap,
             "users": [],
         }
         for user in self.users:
@@ -142,6 +188,12 @@ class StreamCheckpoint:
                     "status": user.status,
                     "rows_consumed": user.rows_consumed,
                     "has_carry": user.carry is not None,
+                    "window": (
+                        [float(user.window[0]), float(user.window[1])]
+                        if user.window is not None
+                        else None
+                    ),
+                    "has_cadence": user.cadence is not None,
                 }
             )
             arrays[f"energy_keys_{uid}"] = user.energy_keys
@@ -154,6 +206,9 @@ class StreamCheckpoint:
             if user.carry is not None:
                 for name, value in user.carry.items():
                     arrays[f"carry_{name}_{uid}"] = value
+            if user.cadence is not None:
+                for name in CADENCE_MEMBERS:
+                    arrays[f"cad_{name}_{uid}"] = user.cadence[name]
         arrays["header"] = np.frombuffer(
             json.dumps(header).encode("utf-8"), dtype=np.uint8
         )
@@ -220,6 +275,14 @@ class StreamCheckpoint:
                     "(torn or corrupt write)"
                 )
             header = json.loads(bytes(members["header"]).decode("utf-8"))
+            fmt = int(header.get("format", 1))
+            if fmt != CHECKPOINT_FORMAT:
+                raise StreamError(
+                    f"checkpoint {path} is format {fmt}; this version "
+                    f"reads format {CHECKPOINT_FORMAT} (byte totals were "
+                    "rekeyed per (app, state)) — re-run `repro ingest` "
+                    "to regenerate it"
+                )
             users = []
             for entry in header["users"]:
                 uid = int(entry["user_id"])
@@ -229,6 +292,13 @@ class StreamCheckpoint:
                         "floats": members[f"carry_floats_{uid}"],
                         "ints": members[f"carry_ints_{uid}"],
                         "idle_buffer": members[f"carry_idle_buffer_{uid}"],
+                    }
+                window = entry.get("window")
+                cadence = None
+                if entry.get("has_cadence"):
+                    cadence = {
+                        name: members[f"cad_{name}_{uid}"]
+                        for name in CADENCE_MEMBERS
                     }
                 users.append(
                     UserCheckpoint(
@@ -243,6 +313,12 @@ class StreamCheckpoint:
                         bytes_keys=members[f"bytes_keys_{uid}"],
                         bytes_values=members[f"bytes_values_{uid}"],
                         idle_energy=float(members[f"idle_{uid}"]),
+                        window=(
+                            (float(window[0]), float(window[1]))
+                            if window is not None
+                            else None
+                        ),
+                        cadence=cadence,
                     )
                 )
         except StreamError:
@@ -260,6 +336,14 @@ class StreamCheckpoint:
         checkpoint.policy_value = header["policy"]
         checkpoint.users = users
         checkpoint.chunks_done = int(header["chunks_done"])
+        checkpoint.registry_json = header.get("registry")
+        checkpoint.has_cadence = bool(header.get("has_cadence", False))
+        checkpoint.cadence_flow_gap = float(
+            header.get("flow_gap", DEFAULT_FLOW_GAP)
+        )
+        checkpoint.cadence_burst_gap = float(
+            header.get("burst_gap", DEFAULT_BURST_GAP)
+        )
         checkpoint.loaded_from_fallback = False
         return checkpoint
 

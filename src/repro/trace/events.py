@@ -76,6 +76,17 @@ def foreground_state_values() -> np.ndarray:
     return FOREGROUND_STATE_VALUES
 
 
+def state_background_mask(states: np.ndarray) -> np.ndarray:
+    """Boolean mask of the entries in the paper's background group.
+
+    The one shared membership test over raw state arrays: callers
+    outside :mod:`repro.trace` (the streaming cadence tracker, the
+    readout layer) use this instead of rebuilding ``np.isin(states,
+    BACKGROUND_STATE_VALUES)`` by hand.
+    """
+    return np.isin(states, BACKGROUND_STATE_VALUES)
+
+
 def is_foreground(state: ProcessState) -> bool:
     """True when ``state`` is in the paper's foreground group."""
     return state in FOREGROUND_STATES

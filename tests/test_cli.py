@@ -122,3 +122,88 @@ def test_app_command(capsys):
     assert code == 0
     assert "com.sec.spp.push" in out
     assert "recommendation:" in out
+
+
+@pytest.fixture(scope="module")
+def checkpointed(tmp_path_factory):
+    """A saved study and a finished ingest checkpoint over it."""
+    root = tmp_path_factory.mktemp("cli_ck")
+    study = str(root / "study.npz")
+    ck = str(root / "ck.npz")
+    assert main(["generate", *SMALL, "--out", study]) == 0
+    assert main(["ingest", "--dataset", study, "--checkpoint", ck]) == 0
+    return study, ck
+
+
+def test_from_checkpoint_byte_identical(checkpointed, capsys):
+    study, ck = checkpointed
+    capsys.readouterr()
+    for batch_argv, ck_argv in [
+        (["figure", "3", "--dataset", study], ["figure", "fig3", "--from-checkpoint", ck]),
+        (["figure", "1", "--dataset", study], ["figure", "1", "--from-checkpoint", ck]),
+        (["table", "1", "--dataset", study], ["table", "table1", "--from-checkpoint", ck]),
+    ]:
+        code, batch_out = run(capsys, *batch_argv)
+        assert code == 0
+        code, ck_out = run(capsys, *ck_argv)
+        assert code == 0
+        assert ck_out == batch_out
+
+
+def test_headlines_from_checkpoint_match_batch_values(checkpointed, capsys):
+    study, ck = checkpointed
+    capsys.readouterr()
+    code, batch_out = run(capsys, "headlines", "--dataset", study)
+    assert code == 0
+    code, ck_out = run(capsys, "headlines", "--from-checkpoint", ck)
+    assert code == 0
+    # The checkpoint renders the totals-tier headlines; each line must
+    # appear in the batch output with the identical measured value
+    # (column padding differs because batch has more rows).
+    batch_lines = {" ".join(l.split()) for l in batch_out.splitlines()}
+    ck_lines = [
+        " ".join(l.split())
+        for l in ck_out.splitlines()
+        if "background states" in l
+    ]
+    assert len(ck_lines) == 2
+    for line in ck_lines:
+        assert line in batch_lines
+
+
+def test_per_packet_figure_from_checkpoint_fails_typed(checkpointed, capsys):
+    _, ck = checkpointed
+    code = main(["figure", "4", "--from-checkpoint", ck])
+    captured = capsys.readouterr()
+    assert code == 3
+    assert captured.out == ""
+    assert "figure 4 needs per-packet arrays" in captured.err
+    assert "without --from-checkpoint" in captured.err
+    code = main(["table", "2", "--from-checkpoint", ck])
+    captured = capsys.readouterr()
+    assert code == 3
+    assert "table 2 needs per-packet arrays" in captured.err
+
+
+def test_report_from_checkpoint_is_totals_tier(checkpointed, capsys):
+    _, ck = checkpointed
+    code, out = run(capsys, "report", "--from-checkpoint", ck)
+    assert code == 0
+    for marker in ("Figure 1", "Figure 2", "Figure 3", "Table 1"):
+        assert marker in out
+    assert "Figure 4" not in out
+    assert "totals-tier report from checkpoint" in out
+
+
+def test_ingest_no_cadence_table1_fails_typed(tmp_path, capsys):
+    study = str(tmp_path / "study.npz")
+    ck = str(tmp_path / "ck.npz")
+    assert main(["generate", *SMALL, "--out", study]) == 0
+    assert main(
+        ["ingest", "--dataset", study, "--checkpoint", ck, "--no-cadence"]
+    ) == 0
+    capsys.readouterr()
+    code = main(["table", "1", "--from-checkpoint", ck])
+    captured = capsys.readouterr()
+    assert code == 3
+    assert "cadence" in captured.err

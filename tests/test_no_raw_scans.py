@@ -89,6 +89,9 @@ FAULT_PATH_SOURCES = (
     SRC / "stream" / "checkpoint.py",
     SRC / "stream" / "chunks.py",
     SRC / "stream" / "ingest.py",
+    # The readout layer gates per-packet analyses with typed errors;
+    # swallowing one would hide the gate and return wrong answers.
+    SRC / "core" / "readout.py",
 )
 
 #: ``except <anything>:`` followed by nothing but ``pass`` (comments
@@ -136,6 +139,6 @@ def test_no_raw_scans_in_stream(path):
     offending = _scan(path)
     assert not offending, (
         "raw per-app/per-state scans in repro.stream — accumulate through "
-        "PartialTotals / the carry-bincount path instead:\n"
+        "KeyedTotals / the carry-bincount path instead:\n"
         + "\n".join(offending)
     )

@@ -1,0 +1,271 @@
+"""The EnergyReadout protocol: batch == stream == checkpoint, exactly.
+
+Every totals-tier analysis must produce identical results — dict-equal
+floats, byte-identical rendered text — whether it reads the in-memory
+batch :class:`StudyEnergy`, a live :class:`StreamResult`, or a
+:class:`TotalsReadout` loaded from a finished ingest checkpoint, across
+chunk sizes and worker counts. Per-packet analyses must fail fast on
+totals-only readouts with the typed :class:`NeedsPacketDetail`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.accounting import StudyEnergy
+from repro.core.casestudies import case_study_row, case_study_table
+from repro.core.headlines import headline_stats, totals_headline_stats
+from repro.core.longitudinal import weekly_background_energy
+from repro.core.popularity import top10_appearance_counts, top_consumers
+from repro.core.readout import (
+    EnergyReadout,
+    KeyedTotals,
+    TotalsReadout,
+    readout_from_checkpoint,
+    require_packet_detail,
+)
+from repro.core.recommend import recommendation_report
+from repro.core.report import render_fig1, render_fig2, render_fig3, render_table1
+from repro.core.statefrac import state_energy_fractions
+from repro.core.whatif import kill_policy_savings
+from repro.errors import AnalysisError, NeedsPacketDetail, StreamError
+from repro import StudyConfig, generate_study
+from repro.stream import NpzStreamSource, StreamIngestor
+
+CASE_APP = "com.sec.spp.push"
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    """One saved study, its batch attribution, and a checkpoint dir."""
+    dataset = generate_study(StudyConfig(n_users=4, duration_days=10, seed=1234))
+    root = tmp_path_factory.mktemp("readout")
+    path = root / "study.npz"
+    dataset.save(path)
+    return path, StudyEnergy(dataset), root
+
+
+def _ingest(corpus, chunk_size, workers, tag):
+    path, _, root = corpus
+    ck = root / f"ck_{tag}.npz"
+    source = NpzStreamSource(path, chunk_size=chunk_size)
+    result = StreamIngestor(
+        source, workers=workers, checkpoint_path=ck
+    ).run()
+    return result, ck
+
+
+@pytest.fixture(scope="module", params=[(64, 1), (257, 1), (64, 2)])
+def readouts(request, corpus):
+    """(study, stream result, checkpoint readout) for one config."""
+    chunk_size, workers = request.param
+    result, ck = _ingest(corpus, chunk_size, workers, f"{chunk_size}_{workers}")
+    return corpus[1], result, readout_from_checkpoint(ck)
+
+
+# ----------------------------------------------------------------------
+# Protocol shape
+# ----------------------------------------------------------------------
+def test_all_three_satisfy_the_protocol(readouts):
+    for source in readouts:
+        assert isinstance(source, EnergyReadout)
+    study, result, loaded = readouts
+    assert study.has_packet_detail is True
+    assert result.has_packet_detail is False
+    assert loaded.has_packet_detail is False
+
+
+def test_user_ids_and_registry_agree(readouts):
+    study, result, loaded = readouts
+    assert result.user_ids == study.user_ids
+    assert loaded.user_ids == study.user_ids
+    app_id = study.app_id(CASE_APP)
+    for other in (result, loaded):
+        assert other.app_id(CASE_APP) == app_id
+        assert other.app_name(app_id) == study.app_name(app_id)
+        assert other.app_category(app_id) == study.app_category(app_id)
+
+
+def test_duration_days_agree(readouts):
+    study, result, loaded = readouts
+    for uid in study.user_ids:
+        assert result.duration_days(uid) == study.duration_days(uid)
+        assert loaded.duration_days(uid) == study.duration_days(uid)
+
+
+# ----------------------------------------------------------------------
+# Totals tier: exact equality
+# ----------------------------------------------------------------------
+def test_study_wide_totals_exact(readouts):
+    study, result, loaded = readouts
+    for other in (result, loaded):
+        assert other.energy_by_app() == study.energy_by_app()
+        assert other.energy_by_app_state() == study.energy_by_app_state()
+        assert other.energy_by_state() == study.energy_by_state()
+        assert other.bytes_by_app() == study.bytes_by_app()
+        assert other.idle_energy == study.idle_energy
+        assert other.total_energy == pytest.approx(study.total_energy)
+
+
+def test_user_totals_exact(readouts):
+    study, result, loaded = readouts
+    app_id = study.app_id(CASE_APP)
+    for uid in study.user_ids:
+        want = study.user_totals(uid)
+        for other in (result, loaded):
+            got = other.user_totals(uid)
+            assert got.energy_by_app() == want.energy_by_app()
+            assert got.energy_by_app_state() == want.energy_by_app_state()
+            assert got.bytes_by_app_state() == want.bytes_by_app_state()
+            assert got.bytes_by_app() == want.bytes_by_app()
+            assert got.idle_energy == want.idle_energy
+            assert got.background_energy(app_id) == want.background_energy(
+                app_id
+            )
+            assert got.background_bytes(app_id) == want.background_bytes(app_id)
+
+
+# ----------------------------------------------------------------------
+# Cadence tier: exact equality at the default gaps
+# ----------------------------------------------------------------------
+def test_background_cadence_exact(readouts):
+    study, result, loaded = readouts
+    app_id = study.app_id(CASE_APP)
+    want = study.background_cadence(app_id)
+    for other in (result, loaded):
+        got = other.background_cadence(app_id)
+        assert got.n_users == want.n_users
+        assert got.n_flows == want.n_flows
+        for mine, ref in zip(got.per_user, want.per_user):
+            assert mine.user_id == ref.user_id
+            assert mine.n_flows == ref.n_flows
+            assert mine.n_bursts == ref.n_bursts
+            assert np.array_equal(mine.intervals, ref.intervals)
+        assert got.update_frequency() == want.update_frequency()
+
+
+def test_cadence_non_default_gaps_need_packets(readouts):
+    study, result, _ = readouts
+    app_id = study.app_id(CASE_APP)
+    # The batch engine recomputes at any gap; a totals readout cannot.
+    study.background_cadence(app_id, flow_gap=600.0)
+    with pytest.raises(NeedsPacketDetail, match="flow_gap"):
+        result.background_cadence(app_id, flow_gap=600.0)
+
+
+# ----------------------------------------------------------------------
+# Analyses: byte-identical rendered output
+# ----------------------------------------------------------------------
+def test_case_study_row_identical(readouts):
+    study, result, loaded = readouts
+    want = case_study_row(study, CASE_APP)
+    assert case_study_row(result, CASE_APP) == want
+    assert case_study_row(loaded, CASE_APP) == want
+
+
+def test_rendered_outputs_byte_identical(readouts):
+    study, result, loaded = readouts
+    for other in (result, loaded):
+        assert render_fig1(top10_appearance_counts(other)) == render_fig1(
+            top10_appearance_counts(study.dataset)
+        )
+        assert render_fig2(
+            top_consumers(other, by="energy"), top_consumers(other, by="data")
+        ) == render_fig2(
+            top_consumers(study, by="energy"), top_consumers(study, by="data")
+        )
+        assert render_fig3(state_energy_fractions(other)) == render_fig3(
+            state_energy_fractions(study)
+        )
+        assert render_table1(case_study_table(other)) == render_table1(
+            case_study_table(study)
+        )
+
+
+def test_totals_headlines_identical(readouts):
+    study, result, loaded = readouts
+    want = totals_headline_stats(study)
+    assert totals_headline_stats(result) == want
+    assert totals_headline_stats(loaded) == want
+    # And the batch composite keeps them as its exact first entries.
+    assert headline_stats(study)[: len(want)] == want
+
+
+# ----------------------------------------------------------------------
+# Per-packet analyses fail fast and typed
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "call",
+    [
+        lambda r: headline_stats(r),
+        lambda r: kill_policy_savings(r, CASE_APP),
+        lambda r: weekly_background_energy(r),
+        lambda r: recommendation_report(r),
+    ],
+)
+def test_per_packet_analyses_raise_needs_packet_detail(readouts, call):
+    _, result, loaded = readouts
+    for other in (result, loaded):
+        with pytest.raises(NeedsPacketDetail) as exc:
+            call(other)
+        # Typed and actionable: an AnalysisError naming the fix.
+        assert isinstance(exc.value, AnalysisError)
+        assert "--from-checkpoint" in str(exc.value)
+
+
+def test_require_packet_detail_passes_batch_sources(corpus):
+    _, study, _ = corpus
+    assert require_packet_detail(study, "x") is study
+    assert require_packet_detail(study.dataset, "x") is study.dataset
+
+
+# ----------------------------------------------------------------------
+# Checkpoint loader edge cases
+# ----------------------------------------------------------------------
+def test_mid_run_checkpoint_refuses_analysis(corpus):
+    path, _, root = corpus
+    ck = root / "midrun.npz"
+    source = NpzStreamSource(path, chunk_size=64)
+    StreamIngestor(source, checkpoint_path=ck).run(max_chunks=2)
+    with pytest.raises(StreamError, match="--resume"):
+        readout_from_checkpoint(ck)
+
+
+def test_resumed_checkpoint_matches_batch(corpus):
+    path, study, root = corpus
+    ck = root / "resumed.npz"
+    source = NpzStreamSource(path, chunk_size=64)
+    StreamIngestor(source, checkpoint_path=ck).run(max_chunks=3)
+    source = NpzStreamSource(path, chunk_size=64)
+    StreamIngestor(source, checkpoint_path=ck).run(resume=True)
+    loaded = readout_from_checkpoint(ck)
+    assert loaded.energy_by_app() == study.energy_by_app()
+    assert render_table1(case_study_table(loaded)) == render_table1(
+        case_study_table(study)
+    )
+
+
+def test_no_cadence_ingest_still_serves_totals(corpus):
+    path, study, root = corpus
+    ck = root / "nocad.npz"
+    source = NpzStreamSource(path, chunk_size=128)
+    result = StreamIngestor(
+        source, checkpoint_path=ck, cadence=False
+    ).run()
+    assert result.energy_by_app() == study.energy_by_app()
+    with pytest.raises(NeedsPacketDetail, match="cadence"):
+        result.background_cadence(study.app_id(CASE_APP))
+    loaded = readout_from_checkpoint(ck)
+    assert loaded.energy_by_app() == study.energy_by_app()
+    with pytest.raises(NeedsPacketDetail):
+        case_study_row(loaded, CASE_APP)
+
+
+def test_readout_without_registry_is_rejected():
+    readout = TotalsReadout([])
+    with pytest.raises(StreamError, match="registry"):
+        readout.app_id("com.a")
+
+
+def test_keyed_totals_rejects_other_dtypes():
+    with pytest.raises(ValueError):
+        KeyedTotals(dtype=np.float32)

@@ -125,9 +125,9 @@ def test_app_whose_only_packet_is_last_of_chunk():
     sim = StreamingAttribution(
         LTE_DEFAULT, TailPolicy.LAST_PACKET, window
     )
-    from repro.core.accounting import PartialTotals
+    from repro.core.readout import KeyedTotals
 
-    totals = PartialTotals()
+    totals = KeyedTotals()
     for chunk in (packets[:2], packets[2:]):
         settled = sim.feed(chunk)
         totals.add(settled.apps, settled.per_packet)
