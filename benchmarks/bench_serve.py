@@ -1,0 +1,187 @@
+"""The results store: warm serving vs cold rendering, bytes identical.
+
+The serving contract (docs/SERVING.md) promises two things: a warm
+store hit is an order of magnitude faster than the cold render it
+replaces, and the served bytes are identical across every path that
+can produce the artefact — direct batch, checkpoint readout, and the
+store. This bench measures all three and enforces both promises:
+
+* cold = load the saved study, attribute, render fig3 + table1 +
+  headlines (what every ``repro figure`` run used to cost);
+* warm = ``ResultStore.get`` per artefact (one indexed SELECT + one
+  checksummed file read);
+* the HTTP layer on top, measured as requests/s against a live
+  ``repro serve`` with and without ``If-None-Match``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import urllib.error
+import urllib.request
+
+from repro import StudyConfig, StudyEnergy, generate_study
+from repro.core.readout import readout_from_checkpoint
+from repro.store import (
+    ResultStore,
+    make_server,
+    render_analysis,
+    store_key_for,
+)
+from repro.store.render import ANALYSIS_KINDS
+from repro.stream import NpzStreamSource, StreamIngestor
+from repro.trace.dataset import Dataset
+
+from conftest import write_artifact
+
+#: The artefacts a report-serving deployment queries repeatedly.
+ANALYSES = ("fig3", "table1", "headlines")
+
+#: Chunk size for the one-off ingest that produces the checkpoint.
+CHUNK_SIZE = 8192
+
+#: The warm path must beat the cold render by at least this factor.
+REQUIRED_SPEEDUP = 10.0
+
+
+def _cold_render(path):
+    """What a storeless ``repro figure`` run costs: load + attribute
+    + render. Returns {analysis: text}."""
+    study = StudyEnergy(Dataset.load(path))
+    return {name: render_analysis(name, study) for name in ANALYSES}
+
+
+def _warm_serve(store, keys):
+    """One warm pass over every artefact, straight from the store."""
+    out = {}
+    for name, key in keys.items():
+        result = store.get(key)
+        assert result is not None, f"warm pass missed {name}"
+        out[name] = result.text
+    return out
+
+
+def _http_get(url, headers=None):
+    request = urllib.request.Request(url, headers=headers or {})
+    with urllib.request.urlopen(request) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+def test_store_serving_vs_cold_render(tmp_path_factory, output_dir, benchmark):
+    dataset = generate_study(StudyConfig(n_users=8, duration_days=28.0, seed=42))
+    root = tmp_path_factory.mktemp("serve_bench")
+    path = root / "study.npz"
+    ck = root / "ck.npz"
+    dataset.save(path)
+    n_packets = dataset.total_packets
+    del dataset
+
+    StreamIngestor(
+        NpzStreamSource(path, chunk_size=CHUNK_SIZE), checkpoint_path=ck
+    ).run()
+
+    # --- cold: the full pipeline every storeless run pays ------------
+    cold_start = time.perf_counter()
+    cold_text = _cold_render(path)
+    cold_s = time.perf_counter() - cold_start
+
+    # --- populate the store from a lazy study (keys only need the
+    # fingerprint; the one attribution happens inside the renders) ----
+    store = ResultStore(root / "store")
+    study = StudyEnergy(Dataset.load(path), lazy=True)
+    keys = {name: store_key_for(study, name) for name in ANALYSES}
+    for name, key in keys.items():
+        store.get_or_render(
+            key,
+            lambda n=name: render_analysis(n, study).encode("utf-8"),
+            kind=ANALYSIS_KINDS[name],
+        )
+
+    # --- warm: repeat queries are store lookups ----------------------
+    warm_text = _warm_serve(store, keys)  # first pass also validates
+    rounds = 20
+    warm_start = time.perf_counter()
+    for _ in range(rounds):
+        _warm_serve(store, keys)
+    warm_s = (time.perf_counter() - warm_start) / rounds
+
+    # --- byte-identity across all three producing paths --------------
+    readout = readout_from_checkpoint(ck)
+    for name in ANALYSES:
+        from_checkpoint = render_analysis(name, readout)
+        assert warm_text[name] == cold_text[name], (
+            f"store-served {name} drifted from the direct batch render"
+        )
+        assert from_checkpoint == cold_text[name], (
+            f"checkpoint-rendered {name} drifted from the batch render"
+        )
+
+    speedup = cold_s / warm_s
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"warm store serving is only {speedup:.1f}x faster than the cold "
+        f"render; the contract promises >= {REQUIRED_SPEEDUP:.0f}x"
+    )
+
+    # --- the HTTP layer: requests/s, plus free 304 revalidation ------
+    server = make_server(readout_from_checkpoint(ck), store, quiet=True)
+    host, port = server.server_address
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://{host}:{port}"
+    try:
+        status, headers, body = _http_get(base + "/figures/fig3")
+        assert status == 200
+        # The HTTP body is the artefact's exact bytes.
+        assert body.decode("utf-8") == cold_text["fig3"]
+        etag = headers["ETag"]
+
+        requests = 50
+        http_start = time.perf_counter()
+        for _ in range(requests):
+            _http_get(base + "/figures/fig3")
+        http_s = (time.perf_counter() - http_start) / requests
+
+        cond_start = time.perf_counter()
+        for _ in range(requests):
+            try:
+                status, _, _ = _http_get(
+                    base + "/figures/fig3", {"If-None-Match": etag}
+                )
+            except urllib.error.HTTPError as error:
+                status = error.code  # urllib surfaces 304 as an error
+            assert status == 304
+        cond_s = (time.perf_counter() - cond_start) / requests
+        not_modified = server.metrics.counter("serve.not_modified")
+    finally:
+        server.shutdown()
+        server.server_close()
+    assert not_modified == requests
+
+    benchmark.pedantic(lambda: _warm_serve(store, keys), rounds=5, iterations=5)
+
+    lines = [
+        "store-served figures vs cold render — "
+        f"{n_packets:,} packets, artefacts: {', '.join(ANALYSES)}",
+        f"  cold render (load+attribute+render)  {cold_s * 1e3:9.1f} ms",
+        f"  warm store pass (3 artefacts)        {warm_s * 1e3:9.3f} ms",
+        f"  speedup                              {speedup:9.0f}x (contract: >= {REQUIRED_SPEEDUP:.0f}x)",
+        f"  HTTP GET (200, store-backed)         {http_s * 1e3:9.2f} ms/req "
+        f"({1 / http_s:,.0f} req/s)",
+        f"  HTTP conditional GET (304)           {cond_s * 1e3:9.2f} ms/req "
+        f"({1 / cond_s:,.0f} req/s)",
+        "  bytes: store == batch == checkpoint  identical",
+    ]
+    write_artifact(output_dir, "bench_serve.txt", "\n".join(lines))
+
+    benchmark.extra_info.update(
+        {
+            "packets": n_packets,
+            "cold_render_s": round(cold_s, 3),
+            "warm_pass_ms": round(warm_s * 1e3, 3),
+            "speedup": round(speedup, 1),
+            "http_req_s": round(1 / http_s, 1),
+            "http_304_req_s": round(1 / cond_s, 1),
+            "identical": True,
+        }
+    )

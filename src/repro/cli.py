@@ -27,12 +27,24 @@ instead::
 
     repro ingest --dataset study.npz --checkpoint ck.npz
     repro figure fig3 --from-checkpoint ck.npz
+
+``--store DIR`` (on ``figure 1-3``, ``table 1`` and ``headlines``)
+answers from a persistent results store — first run renders and
+caches, repeat runs are one lookup; ``--store-only`` never renders
+(exit 4 on a miss). ``repro serve`` exposes the same artefacts over
+HTTP with ETag revalidation, and ``repro store ls|gc|invalidate``
+maintains a store directory. The contract is docs/SERVING.md::
+
+    repro ingest --dataset study.npz --checkpoint ck.npz
+    repro serve --from-checkpoint ck.npz --store results/ --port 8080
+    curl http://127.0.0.1:8080/figures/fig3
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
 from typing import List, Optional
 
 from repro import RunMetrics, StudyConfig, StudyEnergy, generate_study
@@ -68,6 +80,14 @@ from repro.stream import (
 )
 from repro.trace.io_text import dataset_from_csv
 from repro.trace.summary import summarize
+from repro.store import (
+    ResultStore,
+    make_server,
+    render_analysis,
+    render_headline_rows,
+    store_key_for,
+)
+from repro.store.render import ANALYSIS_KINDS
 from repro.workload.scenarios import available_scenarios, get_scenario
 from repro.core.whatif import os_coalescing_savings
 from repro.lab import (
@@ -79,6 +99,13 @@ from repro.lab import (
     xhr_test_page,
 )
 from repro.trace.dataset import Dataset
+
+#: Exit code when an analysis needs per-packet arrays the given source
+#: (a totals-tier checkpoint) cannot provide.
+EXIT_NEEDS_PACKET_DETAIL = 3
+
+#: Exit code when ``--store-only`` finds no cached entry for the key.
+EXIT_STORE_MISS = 4
 
 #: Table 2's six apps.
 TABLE2_APPS = (
@@ -136,11 +163,32 @@ def _add_checkpoint_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_store_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        help=(
+            "serve the totals-tier result from a persistent results store: "
+            "render once, answer repeat runs from the cached artefact"
+        ),
+    )
+    parser.add_argument(
+        "--store-only",
+        action="store_true",
+        help=(
+            "never render: print the cached artefact or exit "
+            f"{EXIT_STORE_MISS} on a store miss"
+        ),
+    )
+
+
 def _metrics(args: argparse.Namespace) -> RunMetrics:
     return getattr(args, "_run_metrics", None) or RunMetrics()
 
 
-def _study(args: argparse.Namespace, dataset=None) -> StudyEnergy:
+def _study(
+    args: argparse.Namespace, dataset=None, lazy: bool = False
+) -> StudyEnergy:
     if dataset is None:
         dataset = _load_dataset(args)
     return StudyEnergy(
@@ -149,6 +197,7 @@ def _study(args: argparse.Namespace, dataset=None) -> StudyEnergy:
         workers=getattr(args, "workers", 1),
         cache_dir=getattr(args, "cache_dir", None),
         metrics=_metrics(args),
+        lazy=lazy,
     )
 
 
@@ -211,8 +260,46 @@ def _checkpoint_readout(args: argparse.Namespace):
         return readout_from_checkpoint(args.from_checkpoint)
 
 
+def _store_source(args: argparse.Namespace):
+    """The readout a ``--store`` command keys and (maybe) renders from.
+
+    A checkpoint readout when ``--from-checkpoint`` is given, otherwise
+    a **lazy** :class:`StudyEnergy` — computing the store key only
+    reads ``dataset.fingerprint()``, so a warm store hit never runs
+    attribution at all.
+    """
+    if getattr(args, "from_checkpoint", None):
+        return _checkpoint_readout(args)
+    return _study(args, lazy=True)
+
+
+def _store_render(args: argparse.Namespace, source, analysis: str) -> int:
+    """Serve one totals-tier artefact through the results store."""
+    store = ResultStore(args.store, metrics=_metrics(args))
+    key = store_key_for(source, analysis)
+    if args.store_only:
+        result = store.get(key)
+        if result is None:
+            print(
+                f"error: no cached {analysis} for key {key.digest()} in "
+                f"{args.store} (drop --store-only to render it)",
+                file=sys.stderr,
+            )
+            return EXIT_STORE_MISS
+    else:
+        result = store.get_or_render(
+            key,
+            lambda: render_analysis(analysis, source).encode("utf-8"),
+            kind=ANALYSIS_KINDS[analysis],
+        )
+    print(result.text)
+    return 0
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     number = args.number
+    if args.store and number in (1, 2, 3):
+        return _store_render(args, _store_source(args), f"fig{number}")
     if args.from_checkpoint:
         readout = _checkpoint_readout(args)
         if number == 1:
@@ -256,6 +343,8 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
+    if args.store and args.number == 1:
+        return _store_render(args, _store_source(args), "table1")
     if args.from_checkpoint:
         readout = _checkpoint_readout(args)
         if args.number == 1:
@@ -276,16 +365,17 @@ def _cmd_table(args: argparse.Namespace) -> int:
     return 0
 
 
-def _render_headlines(headlines) -> str:
-    return report.render_headlines(
-        {
-            f"{h.description} (paper: {h.paper_value:g})": round(h.measured, 3)
-            for h in headlines
-        }
-    )
+# One formatter behind the CLI, the store and `repro serve` — what
+# makes their headline output byte-identical by construction.
+_render_headlines = render_headline_rows
 
 
 def _cmd_headlines(args: argparse.Namespace) -> int:
+    if args.store:
+        # The store caches the totals-tier block (the same text
+        # `--from-checkpoint` prints); the full batch set includes
+        # per-packet headlines, which are not cacheable by this key.
+        return _store_render(args, _store_source(args), "headlines")
     if args.from_checkpoint:
         readout = _checkpoint_readout(args)
         print(_render_headlines(totals_headline_stats(readout)))
@@ -613,6 +703,85 @@ def _cmd_lab(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    source = _store_source(args)
+    store_dir = args.store or tempfile.mkdtemp(prefix="repro-store-")
+    store = ResultStore(store_dir, metrics=_metrics(args))
+    server = make_server(
+        source, store, host=args.host, port=args.port, quiet=args.quiet
+    )
+    host, port = server.server_address
+    print(
+        f"serving study {server.study_id} on http://{host}:{port} "
+        f"(store: {store_dir})",
+        flush=True,
+    )
+    try:
+        if args.max_requests:
+            for _ in range(args.max_requests):
+                server.handle_request()
+        else:
+            server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store, metrics=_metrics(args))
+    if args.store_command == "ls":
+        entries = store.entries()
+        rows = [
+            (
+                e.analysis,
+                e.fingerprint[:12],
+                e.policy,
+                e.nbytes,
+                e.hits,
+                e.etag,
+            )
+            for e in entries
+        ]
+        print(
+            report.render_table(
+                ["analysis", "study", "policy", "bytes", "hits", "etag"],
+                rows,
+                title=f"results store: {args.store}",
+            )
+        )
+        print(f"\n{len(entries)} entries")
+        return 0
+    if args.store_command == "gc":
+        rows, files = store.gc()
+        print(
+            f"gc: removed {rows} unreadable entr{'y' if rows == 1 else 'ies'}"
+            f", {files} orphan file(s)"
+        )
+        return 0
+    if args.store_command == "invalidate":
+        if not (args.fingerprint or args.analysis or args.all):
+            print(
+                "invalidate needs --fingerprint PREFIX, --analysis NAME "
+                "or --all",
+                file=sys.stderr,
+            )
+            return 2
+        removed, files = store.invalidate(
+            fingerprint=args.fingerprint,
+            analysis=args.analysis,
+            everything=args.all,
+        )
+        print(
+            f"invalidated {removed} entr{'y' if removed == 1 else 'ies'} "
+            f"({files} blob file(s) removed)"
+        )
+        return 0
+    print(f"unknown store command {args.store_command!r}", file=sys.stderr)
+    return 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -636,6 +805,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--app", default="com.android.chrome")
     _add_study_args(p)
     _add_checkpoint_arg(p)
+    _add_store_args(p)
     p.set_defaults(func=_cmd_figure)
 
     p = sub.add_parser("table", help="reproduce one table")
@@ -644,6 +814,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_study_args(p)
     _add_checkpoint_arg(p)
+    _add_store_args(p)
     p.set_defaults(func=_cmd_table)
 
     p = sub.add_parser("report", help="full report: headlines + all figures/tables")
@@ -656,7 +827,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_study_args(p)
     _add_checkpoint_arg(p)
+    _add_store_args(p)
     p.set_defaults(func=_cmd_headlines)
+
+    p = sub.add_parser(
+        "serve",
+        help="HTTP query API over one study's figures/tables/headlines",
+    )
+    _add_study_args(p)
+    _add_checkpoint_arg(p)
+    p.add_argument(
+        "--store",
+        metavar="DIR",
+        help=(
+            "persistent results store backing the server (default: a "
+            "fresh temp directory, warm for this process only)"
+        ),
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=0, help="0 picks a free port"
+    )
+    p.add_argument(
+        "--max-requests",
+        type=int,
+        metavar="N",
+        help="exit after serving N requests (for tests and smoke runs)",
+    )
+    p.add_argument(
+        "--quiet", action="store_true", help="suppress per-request logs"
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "store", help="inspect and maintain a persistent results store"
+    )
+    p.add_argument(
+        "--store", metavar="DIR", required=True, help="store directory"
+    )
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+    store_sub.add_parser("ls", help="list cached entries")
+    store_sub.add_parser(
+        "gc", help="drop unreadable entries, orphan blobs and stale locks"
+    )
+    sp = store_sub.add_parser(
+        "invalidate", help="remove entries by study fingerprint or analysis"
+    )
+    sp.add_argument(
+        "--fingerprint",
+        metavar="PREFIX",
+        help="remove entries whose study fingerprint starts with PREFIX",
+    )
+    sp.add_argument(
+        "--analysis", help="remove entries of one analysis (e.g. fig3)"
+    )
+    sp.add_argument(
+        "--all", action="store_true", help="empty the store entirely"
+    )
+    p.set_defaults(func=_cmd_store)
 
     p = sub.add_parser("whatif", help="kill-idle-app policy for one app")
     p.add_argument("--app", required=True)
@@ -809,7 +1037,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             rc = args.func(args)
     except NeedsPacketDetail as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 3
+        return EXIT_NEEDS_PACKET_DETAIL
     out = getattr(args, "metrics_json", None)
     if out:
         metrics.write_json(out)

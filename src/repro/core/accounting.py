@@ -41,6 +41,7 @@ from repro.core.readout import (
     DEFAULT_FLOW_GAP,
     AppCadence,
     KeyedTotals,
+    ReadoutProvenance,
     UserCadence,
     UserTotalsView,
     combine_app_state,
@@ -260,6 +261,22 @@ class StudyEnergy:
     def user_ids(self) -> List[int]:
         """User ids in dataset order."""
         return [t.user_id for t in self.dataset]
+
+    @property
+    def provenance(self) -> ReadoutProvenance:
+        """The (fingerprint, model, policy) triple keying this study.
+
+        The same triple the attribution disk cache keys by; the
+        results store (:mod:`repro.store`) keys rendered artefacts by
+        it too. Reading it never triggers attribution — the
+        fingerprint digests packets only — so a lazy engine can be
+        keyed (and answered from the store) without computing.
+        """
+        return ReadoutProvenance(
+            fingerprint=self.dataset.fingerprint(),
+            model=repr(self.model),
+            policy=self.policy.value,
+        )
 
     def app_id(self, app: str) -> int:
         """Resolve an app name through the dataset registry."""

@@ -18,6 +18,7 @@ removing the cache directory.
 from __future__ import annotations
 
 import hashlib
+import os
 from pathlib import Path
 from typing import Dict, Optional, Union
 
@@ -27,6 +28,24 @@ from repro.radio.attribution import TailPolicy
 from repro.radio.base import RadioModel
 from repro.trace.arrays import PacketArray
 from repro.trace.dataset import Dataset
+
+
+def publish_file(tmp: Path, path: Path, keep_prev: bool = False) -> Path:
+    """Atomically publish a fully-written ``tmp`` file at ``path``.
+
+    The one rename idiom every on-disk artefact in this repo uses
+    (attribution cache entries, stream checkpoints, store blobs):
+    readers only ever see the old complete file or the new complete
+    file, never a partial write. With ``keep_prev=True`` the previous
+    good file is first rotated to ``<name>.prev`` — the checkpoint
+    pattern (:meth:`repro.stream.checkpoint.StreamCheckpoint.save`)
+    that lets readers fall back one generation when the final rename
+    lands a torn file.
+    """
+    if keep_prev and path.exists():
+        os.replace(path, path.with_name(path.name + ".prev"))
+    tmp.replace(path)
+    return path
 
 
 def study_cache_key(
@@ -98,5 +117,4 @@ class AttributionCache:
             idle_energy=np.float64(payload["idle_energy"]),
             window=np.float64(payload["window"]),
         )
-        tmp.replace(path)
-        return path
+        return publish_file(tmp, path)

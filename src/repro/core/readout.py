@@ -258,6 +258,28 @@ class UserTotalsView:
 
 
 @dataclass(frozen=True)
+class ReadoutProvenance:
+    """What produced a readout: source fingerprint, model, policy.
+
+    The identity triple the results store (:mod:`repro.store`) keys
+    rendered artefacts by. ``fingerprint`` is
+    :meth:`~repro.trace.dataset.Dataset.fingerprint` for a batch
+    study and the checkpoint's source signature for an ingest readout;
+    ``model`` is the frozen model dataclass ``repr``; ``policy`` the
+    tail-policy value — the exact triple the attribution disk cache
+    has always keyed by.
+    """
+
+    fingerprint: str
+    model: str
+    policy: str
+
+    def short(self) -> str:
+        """A 12-hex abbreviation of the fingerprint for display."""
+        return self.fingerprint[:12]
+
+
+@dataclass(frozen=True)
 class UserCadence:
     """One user's background cadence for one app.
 
@@ -384,6 +406,7 @@ class TotalsReadout:
         ] = None,
         flow_gap: float = DEFAULT_FLOW_GAP,
         burst_gap: float = DEFAULT_BURST_GAP,
+        provenance: Optional[ReadoutProvenance] = None,
     ) -> None:
         self._totals = list(totals)
         self._totals_by_id = {t.user_id: t for t in self._totals}
@@ -392,6 +415,10 @@ class TotalsReadout:
         self._cadences = cadences
         self._flow_gap = float(flow_gap)
         self._burst_gap = float(burst_gap)
+        #: What produced this readout, when known — the identity the
+        #: results store (:mod:`repro.store`) keys artefacts by.
+        #: ``None`` for hand-assembled readouts, which cannot be keyed.
+        self.provenance = provenance
 
     # ------------------------------------------------------------------
     # Users
@@ -619,4 +646,9 @@ def readout_from_loaded_checkpoint(checkpoint) -> TotalsReadout:
         cadences=cadences,
         flow_gap=checkpoint.cadence_flow_gap,
         burst_gap=checkpoint.cadence_burst_gap,
+        provenance=ReadoutProvenance(
+            fingerprint=checkpoint.signature,
+            model=checkpoint.model_repr,
+            policy=checkpoint.policy_value,
+        ),
     )

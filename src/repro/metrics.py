@@ -33,6 +33,7 @@ DERIVED_RATES = (
     ("attribute_packets_per_s", "attribution.packets", "attribute"),
     ("generate_packets_per_s", "generation.packets", "generate"),
     ("ingest_packets_per_s", "stream.packets", "stream.attribute"),
+    ("serve_requests_per_s", "serve.requests", "serve.request"),
 )
 
 

@@ -1,0 +1,368 @@
+"""The store index and the :class:`ResultStore` facade.
+
+A single SQLite file (``<store>/index.sqlite``, stdlib :mod:`sqlite3`)
+maps key digests to blob metadata: the key's four components verbatim
+(so entries can be listed and invalidated by fingerprint or analysis
+without re-deriving anything), the ETag, the blob kind, its content
+checksum and size, and hit accounting. SQLite provides the cross-
+process locking; every operation opens a short-lived connection, so
+N serving threads and a concurrent CLI never share a handle.
+
+:class:`ResultStore` is what everything above this layer talks to —
+the CLI's ``--store`` flag, ``repro serve``, ``repro store ls|gc|
+invalidate`` and the benchmarks. Its contract:
+
+* :meth:`ResultStore.get` — O(lookup): one indexed SELECT plus one
+  checksummed file read. Any defect (no row, missing blob, checksum
+  mismatch on both generations) is a miss, never an error.
+* :meth:`ResultStore.get_or_render` — **single-flight** compute on
+  miss: concurrent clients racing on the same cold key elect one
+  winner through an ``O_CREAT | O_EXCL`` lock file; the winner renders
+  and publishes, the others poll the index and return the published
+  entry without computing. A winner that dies leaves a lock whose age
+  exceeds :data:`LOCK_TIMEOUT_S`; waiters then break the lock and take
+  over, so a crash degrades to compute-twice (last write wins, both
+  writes byte-identical), never to a deadlock.
+* Invalidation is key-based: any change to the packets (fingerprint),
+  model constants or policy changes the key, so stale entries are
+  never *served* — they are orphaned, and :meth:`ResultStore.gc` /
+  :meth:`ResultStore.invalidate` reclaim the space.
+
+Metrics land in the shared :class:`~repro.metrics.RunMetrics`:
+``store.hits`` / ``store.misses`` / ``store.puts`` / ``store.bytes``
+counters, ``store.lookup`` / ``store.render`` stages, and
+``store.single_flight_waits`` when a client parked behind a winner.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import time
+from contextlib import closing
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple, Union
+
+from repro.metrics import RunMetrics
+from repro.store.blobs import BlobStore, content_checksum
+from repro.store.keys import StoreKey
+
+#: A compute lock older than this is considered abandoned (its owner
+#: crashed); the next waiter removes it and computes itself.
+LOCK_TIMEOUT_S = 30.0
+
+#: How often a waiting client re-polls the index for the winner's entry.
+POLL_INTERVAL_S = 0.02
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS entries (
+    digest      TEXT PRIMARY KEY,
+    fingerprint TEXT NOT NULL,
+    model       TEXT NOT NULL,
+    policy      TEXT NOT NULL,
+    analysis    TEXT NOT NULL,
+    etag        TEXT NOT NULL,
+    kind        TEXT NOT NULL,
+    checksum    TEXT NOT NULL,
+    nbytes      INTEGER NOT NULL,
+    created_at  REAL NOT NULL,
+    hits        INTEGER NOT NULL DEFAULT 0
+);
+CREATE INDEX IF NOT EXISTS entries_fingerprint ON entries (fingerprint);
+"""
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """One index row, as listed by ``repro store ls``."""
+
+    digest: str
+    fingerprint: str
+    model: str
+    policy: str
+    analysis: str
+    etag: str
+    kind: str
+    checksum: str
+    nbytes: int
+    created_at: float
+    hits: int
+
+
+@dataclass
+class StoredResult:
+    """One served artefact: the verified bytes plus cache identity."""
+
+    key: StoreKey
+    etag: str
+    kind: str
+    data: bytes
+    #: True when this call rendered the artefact (a cold miss); False
+    #: when the bytes came straight from the store.
+    fresh: bool = False
+
+    @property
+    def text(self) -> str:
+        """The artefact decoded as UTF-8."""
+        return self.data.decode("utf-8")
+
+
+class StoreIndex:
+    """The SQLite key → blob-metadata map (one short connection per op)."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        with closing(self._connect()) as conn, conn:
+            conn.executescript(_SCHEMA)
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.path, timeout=10.0)
+        conn.execute("PRAGMA busy_timeout = 10000")
+        return conn
+
+    def put(
+        self, key: StoreKey, etag: str, kind: str, checksum: str, nbytes: int
+    ) -> None:
+        """Insert or replace the row for ``key``."""
+        with closing(self._connect()) as conn, conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO entries (digest, fingerprint, model,"
+                " policy, analysis, etag, kind, checksum, nbytes, created_at,"
+                " hits) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, 0)",
+                (
+                    key.digest(),
+                    key.fingerprint,
+                    key.model,
+                    key.policy,
+                    key.analysis,
+                    etag,
+                    kind,
+                    checksum,
+                    nbytes,
+                    time.time(),
+                ),
+            )
+
+    def lookup(self, digest: str) -> Optional[IndexEntry]:
+        """The row named ``digest``, or ``None``."""
+        with closing(self._connect()) as conn, conn:
+            row = conn.execute(
+                "SELECT digest, fingerprint, model, policy, analysis, etag,"
+                " kind, checksum, nbytes, created_at, hits FROM entries"
+                " WHERE digest = ?",
+                (digest,),
+            ).fetchone()
+        return IndexEntry(*row) if row is not None else None
+
+    def record_hit(self, digest: str) -> None:
+        """Bump one row's hit counter (best effort, never raises)."""
+        try:
+            with closing(self._connect()) as conn, conn:
+                conn.execute(
+                    "UPDATE entries SET hits = hits + 1 WHERE digest = ?",
+                    (digest,),
+                )
+        except sqlite3.Error:
+            pass
+
+    def entries(self) -> List[IndexEntry]:
+        """Every row, newest first."""
+        with closing(self._connect()) as conn, conn:
+            rows = conn.execute(
+                "SELECT digest, fingerprint, model, policy, analysis, etag,"
+                " kind, checksum, nbytes, created_at, hits FROM entries"
+                " ORDER BY created_at DESC"
+            ).fetchall()
+        return [IndexEntry(*row) for row in rows]
+
+    def delete(self, digests: List[str]) -> int:
+        """Remove the named rows; returns how many existed."""
+        if not digests:
+            return 0
+        with closing(self._connect()) as conn, conn:
+            cursor = conn.execute(
+                "DELETE FROM entries WHERE digest IN ("
+                + ",".join("?" * len(digests))
+                + ")",
+                digests,
+            )
+            return cursor.rowcount
+
+
+class ResultStore:
+    """The persistent results store: SQLite index + checksummed blobs."""
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        metrics: Optional[RunMetrics] = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.index = StoreIndex(self.directory / "index.sqlite")
+        self.blobs = BlobStore(self.directory)
+        self._locks = self.directory / "locks"
+        self._locks.mkdir(exist_ok=True)
+        self.metrics = metrics if metrics is not None else RunMetrics()
+
+    # ------------------------------------------------------------------
+    # Lookup / publish
+    # ------------------------------------------------------------------
+    def get(self, key: StoreKey) -> Optional[StoredResult]:
+        """The stored artefact for ``key``, or ``None`` on any miss."""
+        with self.metrics.stage("store.lookup"):
+            digest = key.digest()
+            entry = self.index.lookup(digest)
+            data = (
+                self.blobs.read(digest, entry.kind, entry.checksum)
+                if entry is not None
+                else None
+            )
+        if data is None:
+            self.metrics.count("store.misses")
+            return None
+        self.metrics.count("store.hits")
+        self.metrics.count("store.bytes", len(data))
+        self.index.record_hit(digest)
+        return StoredResult(key=key, etag=entry.etag, kind=entry.kind, data=data)
+
+    def put(self, key: StoreKey, data: bytes, kind: str = "text") -> StoredResult:
+        """Publish ``data`` under ``key`` (blob first, then index row)."""
+        digest = key.digest()
+        checksum = self.blobs.write(digest, kind, data)
+        etag = key.etag()
+        self.index.put(key, etag, kind, checksum, len(data))
+        self.metrics.count("store.puts")
+        return StoredResult(key=key, etag=etag, kind=kind, data=data, fresh=True)
+
+    def get_or_render(
+        self,
+        key: StoreKey,
+        render: Callable[[], bytes],
+        kind: str = "text",
+    ) -> StoredResult:
+        """Serve ``key`` from the store, computing it at most once.
+
+        On a cold key, concurrent callers elect a single winner via an
+        exclusive lock file; the winner runs ``render`` (timed under
+        the ``store.render`` stage) and publishes, the rest wait on the
+        index and serve the winner's bytes. See the module docstring
+        for the crash-degraded (last-write-wins) path.
+        """
+        found = self.get(key)
+        if found is not None:
+            return found
+        digest = key.digest()
+        lock = self._locks / f"{digest}.lock"
+        while True:
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                published = self._wait_for(key, lock)
+                if published is not None:
+                    return published
+                continue  # lock broken with nothing published: take over
+            os.close(fd)
+            try:
+                with self.metrics.stage("store.render"):
+                    data = render()
+                return self.put(key, data, kind)
+            finally:
+                try:
+                    lock.unlink()
+                except OSError:
+                    pass
+
+    def _wait_for(
+        self, key: StoreKey, lock: Path
+    ) -> Optional[StoredResult]:
+        """Park behind the lock owner until they publish or vanish."""
+        self.metrics.count("store.single_flight_waits")
+        while True:
+            try:
+                age = time.time() - lock.stat().st_mtime
+            except OSError:
+                # Lock released: either the entry is there now, or the
+                # winner failed and the caller should try to take over.
+                return self.get(key)
+            if age > LOCK_TIMEOUT_S:
+                # Abandoned lock (owner crashed mid-render): break it.
+                try:
+                    lock.unlink()
+                except OSError:
+                    pass
+                return self.get(key)
+            time.sleep(POLL_INTERVAL_S)
+            found = self.get(key)
+            if found is not None:
+                return found
+
+    # ------------------------------------------------------------------
+    # Maintenance (repro store ls | gc | invalidate)
+    # ------------------------------------------------------------------
+    def entries(self) -> List[IndexEntry]:
+        """Every index row, newest first."""
+        return self.index.entries()
+
+    def invalidate(
+        self,
+        fingerprint: Optional[str] = None,
+        analysis: Optional[str] = None,
+        everything: bool = False,
+    ) -> Tuple[int, int]:
+        """Drop entries by fingerprint prefix and/or analysis name.
+
+        Returns ``(entries_removed, blob_files_removed)``. With
+        ``everything=True`` the whole store is emptied. A fingerprint
+        may be abbreviated to any prefix (as printed by ``store ls``).
+        """
+        if not everything and fingerprint is None and analysis is None:
+            raise ValueError(
+                "invalidate needs a fingerprint, an analysis, or everything=True"
+            )
+        doomed = [
+            entry
+            for entry in self.index.entries()
+            if everything
+            or (
+                (fingerprint is None or entry.fingerprint.startswith(fingerprint))
+                and (analysis is None or entry.analysis == analysis)
+            )
+        ]
+        files = sum(self.blobs.delete(e.digest, e.kind) for e in doomed)
+        removed = self.index.delete([e.digest for e in doomed])
+        self.metrics.count("store.invalidated", removed)
+        return removed, files
+
+    def gc(self) -> Tuple[int, int]:
+        """Reclaim inconsistent state; returns ``(rows, files)`` removed.
+
+        Drops index rows whose blob is missing or fails its checksum
+        on both generations, blob files no index row references, and
+        compute locks past :data:`LOCK_TIMEOUT_S`.
+        """
+        rows = self.index.entries()
+        dead_rows = [
+            e.digest
+            for e in rows
+            if self.blobs.read(e.digest, e.kind, e.checksum) is None
+        ]
+        removed_rows = self.index.delete(dead_rows)
+        live = {e.digest for e in rows if e.digest not in set(dead_rows)}
+        removed_files = 0
+        for blob in sorted(self.blobs.directory.iterdir()):
+            digest = blob.name.split(".", 1)[0]
+            if digest not in live:
+                try:
+                    blob.unlink()
+                    removed_files += 1
+                except OSError:
+                    pass
+        for lock in sorted(self._locks.glob("*.lock")):
+            try:
+                if time.time() - lock.stat().st_mtime > LOCK_TIMEOUT_S:
+                    lock.unlink()
+            except OSError:
+                pass
+        return removed_rows, removed_files

@@ -1,0 +1,98 @@
+"""Store keys: what identifies one cached artefact, and its ETag.
+
+The results store caches *rendered artefacts* — figure/table text,
+headline blocks, readout JSON — each fully determined by four inputs:
+
+* the **source fingerprint** (``Dataset.fingerprint()`` for a batch
+  study; the checkpoint's source signature for an ingest readout),
+* the **radio model** (the frozen dataclass ``repr`` — any constant
+  change changes the key),
+* the **tail policy** value,
+* the **analysis name** (one of :data:`ANALYSIS_NAMES`).
+
+:class:`StoreKey` carries the four verbatim; :meth:`StoreKey.digest`
+folds them (plus :data:`KEY_FORMAT`) into one hex digest that names
+the index row, the blob file and — quoted — the HTTP ``ETag``. Because
+the ETag *is* the key, a conditional request never needs the blob: if
+the client's ``If-None-Match`` equals the key's ETag, the artefact
+cannot have changed (a changed input would have changed the key), and
+the server answers ``304`` from the digest alone.
+
+A batch study and an ingest checkpoint over the same packets key
+separately (a dataset content digest vs. a source signature), so both
+pipelines cache side by side; their rendered bytes are identical
+either way (asserted in ``benchmarks/bench_serve.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+
+#: The artefacts the store knows how to cache and serve: the
+#: totals-tier figures and table, the totals-tier headline block, and
+#: the study-wide readout aggregates as JSON.
+ANALYSIS_NAMES = ("fig1", "fig2", "fig3", "table1", "headlines", "readout")
+
+#: Bumped whenever a renderer's output format changes, so stale blobs
+#: from an older code version can never be served byte-for-byte wrong.
+KEY_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class StoreKey:
+    """One cached artefact's identity: (fingerprint, model, policy, analysis)."""
+
+    fingerprint: str
+    model: str
+    policy: str
+    analysis: str
+
+    def digest(self) -> str:
+        """Hex digest naming the index row, blob file and ETag."""
+        digest = hashlib.blake2b(digest_size=16)
+        for part in (
+            str(KEY_FORMAT),
+            self.fingerprint,
+            self.model,
+            self.policy,
+            self.analysis,
+        ):
+            digest.update(part.encode("utf-8"))
+            digest.update(b"\x00")
+        return digest.hexdigest()
+
+    def etag(self) -> str:
+        """The strong HTTP entity tag: the quoted key digest."""
+        return f'"{self.digest()}"'
+
+
+def store_key_for(source, analysis: str) -> StoreKey:
+    """The :class:`StoreKey` of ``analysis`` over ``source``.
+
+    ``source`` is anything carrying a
+    :class:`~repro.core.readout.ReadoutProvenance` — a
+    :class:`~repro.core.accounting.StudyEnergy` or a checkpoint-loaded
+    :class:`~repro.core.readout.TotalsReadout`. Sources without
+    provenance (a bare in-memory readout assembled by hand) cannot be
+    keyed and raise :class:`~repro.errors.AnalysisError`.
+    """
+    if analysis not in ANALYSIS_NAMES:
+        raise AnalysisError(
+            f"unknown store analysis {analysis!r}; the store serves "
+            f"{', '.join(ANALYSIS_NAMES)}"
+        )
+    provenance = getattr(source, "provenance", None)
+    if provenance is None:
+        raise AnalysisError(
+            f"{type(source).__name__} carries no provenance (fingerprint/"
+            "model/policy), so its results cannot be keyed in the store"
+        )
+    return StoreKey(
+        fingerprint=provenance.fingerprint,
+        model=provenance.model,
+        policy=provenance.policy,
+        analysis=analysis,
+    )

@@ -1,0 +1,252 @@
+"""``repro serve``: the stdlib HTTP query API over one study's store.
+
+A dependency-free :mod:`http.server` (``ThreadingHTTPServer``, one
+thread per connection) serving the totals-tier artefacts of a single
+readout — typically a finished ``repro ingest`` checkpoint, so figures
+for a multi-month study are answered without a packet in memory.
+
+Routes (:data:`ROUTES`; the serving contract lives in
+docs/SERVING.md):
+
+========================  =============================================
+``GET /``                 JSON index: study id, model/policy, endpoints
+``GET /figures/{fig}``    rendered Fig 1/2/3 text (``fig1|fig2|fig3``)
+``GET /tables/table1``    rendered Table 1 text
+``GET /headlines``        the totals-tier headline block
+``GET /readouts/{study}`` study-wide aggregates as JSON (the study id
+                          from ``GET /``; any other id is a 404)
+========================  =============================================
+
+Every artefact response carries a **strong ETag** — the quoted store-
+key digest (:meth:`repro.store.keys.StoreKey.etag`). Because the key
+digests everything the artefact depends on, a matching
+``If-None-Match`` answers ``304 Not Modified`` from string comparison
+alone: no store lookup, no blob read, no render. Cold keys render
+once (single-flight, see :class:`repro.store.index.ResultStore`) and
+every later request is one index SELECT plus one verified file read.
+
+Status codes are deliberately few: ``200`` (artefact served), ``304``
+(conditional hit), ``404`` — unknown route, unknown study id, *or* an
+artefact this readout cannot produce (a per-packet figure, or Table 1
+cadence after ``repro ingest --no-cadence``; the body names the
+reason), ``405`` for non-GET methods.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro.errors import AnalysisError, NeedsPacketDetail
+from repro.metrics import RunMetrics
+from repro.store.blobs import media_type
+from repro.store.index import ResultStore
+from repro.store.keys import StoreKey, store_key_for
+from repro.store.render import ANALYSIS_KINDS, render_analysis
+
+#: The served route templates; docs/SERVING.md's endpoint table is
+#: checked against this tuple by tests/test_docs_consistency.py.
+ROUTES = (
+    "/",
+    "/figures/{fig}",
+    "/tables/table1",
+    "/headlines",
+    "/readouts/{study}",
+)
+
+#: The figure names under ``/figures/``.
+SERVABLE_FIGURES = ("fig1", "fig2", "fig3")
+
+
+class StudyServer(ThreadingHTTPServer):
+    """One study's query API: a readout + its results store."""
+
+    # Non-daemon handler threads (unlike ThreadingHTTPServer's default)
+    # so ``server_close()`` joins in-flight responses: a bounded run
+    # (``repro serve --max-requests N``) must finish writing its last
+    # response before the process exits. Requests are short-lived
+    # (Connection: close), so the join is bounded too.
+    daemon_threads = False
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        readout,
+        store: ResultStore,
+        metrics: Optional[RunMetrics] = None,
+        quiet: bool = False,
+    ) -> None:
+        provenance = getattr(readout, "provenance", None)
+        if provenance is None:
+            raise AnalysisError(
+                "cannot serve a readout without provenance (fingerprint/"
+                "model/policy) — load it from a checkpoint or a StudyEnergy"
+            )
+        self.readout = readout
+        self.store = store
+        self.metrics = metrics if metrics is not None else store.metrics
+        self.quiet = quiet
+        #: The study id clients address ``/readouts/{study}`` with.
+        self.study_id = provenance.fingerprint
+        super().__init__(address, _Handler)
+
+    def key_for(self, analysis: str) -> StoreKey:
+        """The store key of one servable analysis over this study."""
+        return store_key_for(self.readout, analysis)
+
+    def index_payload(self) -> dict:
+        """What ``GET /`` returns: discovery for curl-level clients."""
+        provenance = self.readout.provenance
+        return {
+            "study": self.study_id,
+            "model": provenance.model,
+            "policy": provenance.policy,
+            "users": len(self.readout.user_ids),
+            "endpoints": [
+                "/figures/fig1",
+                "/figures/fig2",
+                "/figures/fig3",
+                "/tables/table1",
+                "/headlines",
+                f"/readouts/{self.study_id}",
+            ],
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _resolve(self, path: str) -> Tuple[Optional[str], str]:
+        """Map a URL path to ``(analysis, reason-if-none)``."""
+        parts = [p for p in path.split("/") if p]
+        if len(parts) == 2 and parts[0] == "figures":
+            if parts[1] in SERVABLE_FIGURES:
+                return parts[1], ""
+            if parts[1] in ("fig4", "fig5", "fig6", "4", "5", "6"):
+                return None, (
+                    f"figure {parts[1]} replays per-packet arrays; it is "
+                    "not servable from the totals tier — run the batch "
+                    "CLI (`repro figure N --dataset ...`) instead"
+                )
+            return None, f"unknown figure {parts[1]!r} (fig1|fig2|fig3)"
+        if len(parts) == 2 and parts[0] == "tables":
+            if parts[1] == "table1":
+                return "table1", ""
+            return None, (
+                f"unknown table {parts[1]!r}; only table1 is totals-tier "
+                "(Table 2 replays packets — use the batch CLI)"
+            )
+        if parts == ["headlines"]:
+            return "headlines", ""
+        if len(parts) == 2 and parts[0] == "readouts":
+            if parts[1] == self.server.study_id:
+                return "readout", ""
+            return None, (
+                f"unknown study {parts[1]!r}; this server holds study "
+                f"{self.server.study_id}"
+            )
+        return None, f"no route for {path!r} (see GET / for the endpoint list)"
+
+    # ------------------------------------------------------------------
+    # Responses
+    # ------------------------------------------------------------------
+    def _send(self, status: int, body: bytes, content_type: str, etag=None):
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        if etag is not None:
+            self.send_header("ETag", etag)
+            self.send_header("Cache-Control", "max-age=0, must-revalidate")
+        self.send_header("Connection", "close")
+        self.close_connection = True
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_not_modified(self, etag: str) -> None:
+        self.send_response(304)
+        self.send_header("ETag", etag)
+        self.send_header("Connection", "close")
+        self.close_connection = True
+        self.end_headers()
+
+    def _send_not_found(self, reason: str) -> None:
+        self.server.metrics.count("serve.not_found")
+        self._send(
+            404, (reason + "\n").encode("utf-8"), "text/plain; charset=utf-8"
+        )
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        metrics = self.server.metrics
+        metrics.count("serve.requests")
+        with metrics.stage("serve.request"):
+            path = urlsplit(self.path).path
+            if path == "/":
+                body = (
+                    json.dumps(self.server.index_payload(), indent=2) + "\n"
+                ).encode("utf-8")
+                self._send(200, body, "application/json")
+                return
+            analysis, reason = self._resolve(path)
+            if analysis is None:
+                self._send_not_found(reason)
+                return
+            key = self.server.key_for(analysis)
+            etag = key.etag()
+            conditional = self.headers.get("If-None-Match")
+            if conditional is not None:
+                offered = {v.strip() for v in conditional.split(",")}
+                if etag in offered or "*" in offered:
+                    # The ETag *is* the key digest: equality alone
+                    # proves the client's copy is current — no store
+                    # round trip.
+                    metrics.count("serve.not_modified")
+                    self._send_not_modified(etag)
+                    return
+            kind = ANALYSIS_KINDS[analysis]
+            try:
+                result = self.server.store.get_or_render(
+                    key,
+                    lambda: render_analysis(
+                        analysis, self.server.readout
+                    ).encode("utf-8"),
+                    kind=kind,
+                )
+            except NeedsPacketDetail as exc:
+                self._send_not_found(str(exc))
+                return
+            self._send(200, result.data, media_type(kind), etag=etag)
+
+    def do_HEAD(self) -> None:  # noqa: N802
+        self.send_response(405)
+        self.send_header("Allow", "GET")
+        self.send_header("Content-Length", "0")
+        self.end_headers()
+
+    do_POST = do_PUT = do_DELETE = do_HEAD
+
+    def log_message(self, format: str, *args) -> None:
+        if not getattr(self.server, "quiet", False):
+            super().log_message(format, *args)
+
+
+def make_server(
+    readout,
+    store: ResultStore,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    metrics: Optional[RunMetrics] = None,
+    quiet: bool = False,
+) -> StudyServer:
+    """Bind a :class:`StudyServer` (``port=0`` picks a free port).
+
+    The caller drives it: ``serve_forever()`` until interrupted, or
+    ``handle_request()`` N times for bounded runs; ``server_address``
+    reveals the bound port either way.
+    """
+    return StudyServer((host, port), readout, store, metrics, quiet=quiet)

@@ -1,12 +1,17 @@
-"""docs/API.md cannot rot: every documented symbol must import.
+"""docs/API.md and docs/SERVING.md cannot rot.
 
-The reference's contract (stated at the top of the file): each code
-span in the first column of a section table is either an attribute of
-that section's package or a dotted module path. This test parametrizes
-over every such span and imports it, so renaming or dropping a symbol
-without updating the docs — or documenting a symbol that was never
-exported — fails the tier-1 run. The CLI block is checked too: every
-`repro <command>` line must name real subcommands.
+Three contracts are enforced on every tier-1 run:
+
+* Every code span in the first column of a ``## `repro...```-titled
+  section table (in either file) is an attribute of that section's
+  package or a dotted module path, and must import.
+* docs/SERVING.md's endpoint table documents exactly the routes the
+  server implements (``repro.store.server.ROUTES``).
+* docs/SERVING.md's exit-code table matches the constants the CLI
+  actually exits with.
+
+The CLI block in docs/API.md is checked too: every ``repro <command>``
+line must name real subcommands.
 """
 
 import re
@@ -15,20 +20,29 @@ from pathlib import Path
 
 import pytest
 
-API_MD = Path(__file__).resolve().parent.parent / "docs" / "API.md"
+DOCS = Path(__file__).resolve().parent.parent / "docs"
+API_MD = DOCS / "API.md"
+SERVING_MD = DOCS / "SERVING.md"
 SECTION_RE = re.compile(r"^## `(repro[a-z_.]*)`")
+HEADING_RE = re.compile(r"^#{1,6} ")
 CODE_RE = re.compile(r"`([^`]+)`")
 IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
 DOTTED_RE = re.compile(r"^[a-z_]+(\.[a-z_]+)+$")
 
 
-def _documented_symbols():
-    """(package, span) for every first-column code span in API.md."""
+def _documented_symbols(path):
+    """(package, span) for every first-column code span under a
+    ``## `repro...``` section heading. Any other heading *ends* the
+    section, so prose tables (endpoints, exit codes) are never parsed
+    as symbols."""
     section = None
-    for line in API_MD.read_text().splitlines():
+    for line in path.read_text().splitlines():
         match = SECTION_RE.match(line)
         if match:
             section = match.group(1)
+            continue
+        if HEADING_RE.match(line):
+            section = None
             continue
         if section is None or not line.startswith("|"):
             continue
@@ -39,13 +53,17 @@ def _documented_symbols():
             yield section, span.strip()
 
 
-SYMBOLS = sorted(set(_documented_symbols()))
+SYMBOLS = sorted(
+    set(_documented_symbols(API_MD)) | set(_documented_symbols(SERVING_MD))
+)
 
 
-def test_api_md_was_parsed():
+def test_docs_were_parsed():
     """Guard the guard: an empty parse would vacuously pass."""
-    assert len(SYMBOLS) > 80
-    assert len({package for package, _ in SYMBOLS}) >= 7
+    assert len(SYMBOLS) > 90
+    packages = {package for package, _ in SYMBOLS}
+    assert len(packages) >= 8
+    assert "repro.store" in packages
 
 
 @pytest.mark.parametrize(
@@ -56,13 +74,69 @@ def test_documented_symbol_imports(package, span):
         import_module(span)
         return
     assert IDENTIFIER_RE.match(span), (
-        f"docs/API.md first-column span {span!r} under {package} is not a "
+        f"docs first-column span {span!r} under {package} is not a "
         "plain identifier or module path; move call examples/prose to the "
         "second column"
     )
     module = import_module(package)
     assert hasattr(module, span), (
-        f"docs/API.md documents {package}.{span}, which does not exist"
+        f"the docs document {package}.{span}, which does not exist"
+    )
+
+
+def _table_first_cells(path, heading):
+    """First-column code spans of the table under one ``## heading``."""
+    in_section = False
+    for line in path.read_text().splitlines():
+        if line.startswith("## "):
+            in_section = line[3:].strip() == heading
+            continue
+        if not in_section or not line.startswith("|"):
+            continue
+        first_cell = line.split("|")[1].strip()
+        if set(first_cell) <= {"-", ":", " "}:
+            continue
+        spans = CODE_RE.findall(first_cell)
+        if spans:
+            yield spans[0], line
+
+
+def test_serving_md_documents_exactly_the_served_routes():
+    from repro.store.server import ROUTES
+
+    documented = {
+        span for span, _ in _table_first_cells(SERVING_MD, "HTTP endpoints")
+    }
+    assert documented, "no endpoint table found in docs/SERVING.md"
+    assert documented == set(ROUTES), (
+        f"docs/SERVING.md endpoint table disagrees with server ROUTES: "
+        f"documented-only={documented - set(ROUTES)}, "
+        f"implemented-only={set(ROUTES) - documented}"
+    )
+
+
+def test_serving_md_exit_codes_match_cli_constants():
+    from repro import cli
+
+    rows = {
+        span: line
+        for span, line in _table_first_cells(SERVING_MD, "CLI exit codes")
+    }
+    assert set(rows) == {"0", "2", "3", "4"}
+    assert cli.EXIT_NEEDS_PACKET_DETAIL == 3
+    assert "NeedsPacketDetail" in rows[str(cli.EXIT_NEEDS_PACKET_DETAIL)]
+    assert cli.EXIT_STORE_MISS == 4
+    assert "--store-only" in rows[str(cli.EXIT_STORE_MISS)]
+
+
+def test_serving_md_analysis_names_are_current():
+    """The documented analysis vocabulary is the implemented one."""
+    from repro.store import ANALYSIS_NAMES
+
+    text = SERVING_MD.read_text()
+    assert f"`{' '.join(ANALYSIS_NAMES)}`" in text, (
+        "docs/SERVING.md must list the storable analyses exactly as "
+        f"{' '.join(ANALYSIS_NAMES)}"
     )
 
 
