@@ -1,0 +1,208 @@
+"""Shard-parallel ingestion benchmarks: same bits, more boxes.
+
+Quantifies the :mod:`repro.shard` contract on one saved multi-million
+packet study. Three claims, in order of importance:
+
+* **Bit-identity, always** — the merged readout's grouped totals are
+  ``array_equal`` to the unsharded streamed run's, whatever the shard
+  count. Asserted unconditionally; a faster-but-approximate shard
+  pipeline would be useless.
+* **Bounded per-shard memory** — one shard's executor holds O(chunk)
+  packets plus its own users' accumulators, never the whole study:
+  each shard's peak traced bytes stays under the same fixed + chunk
+  allowance :mod:`bench_stream` proves for the unsharded ingest, and
+  does not grow with the shard count. This is what makes the
+  million-user story work: memory per executor is set by the chunk
+  size and the shard's user count, not the study.
+* **Wall-clock speedup** — with real CPUs to fan over, the sharded
+  run beats the serial one. Asserted (>= 2x) only when the box has at
+  least 4 CPUs; measured and reported regardless.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro import RunMetrics, StudyConfig, generate_study
+from repro.parallel import available_cpus
+from repro.shard import (
+    ShardManifest,
+    merge_shard_checkpoints,
+    merged_readout,
+    run_all_shards,
+    run_shard,
+)
+from repro.stream import NpzStreamSource, StreamIngestor
+
+from conftest import write_artifact
+
+#: Shard-bench study scale: big enough that per-process startup is
+#: noise against real ingestion work (~7M packets).
+SHARD_USERS = 32
+SHARD_DAYS = 49.0
+SHARD_SEED = 42
+
+CHUNK_SIZE = 8192
+
+#: Per-shard peak allowance — the bench_stream bound: a fixed,
+#: trace-size-independent allowance plus a few working copies of one
+#: chunk.
+PEAK_FIXED_BYTES = 6_000_000
+PEAK_CHUNK_MULTIPLE = 12.0
+
+#: Required sharded-vs-serial speedup when the box can actually fan
+#: out. On fewer CPUs the number is reported, not asserted.
+MIN_SPEEDUP = 2.0
+MIN_CPUS_FOR_SPEEDUP = 4
+
+
+def _traced(fn):
+    """(result, seconds, peak traced bytes) for one cold call."""
+    tracemalloc.start()
+    start = time.perf_counter()
+    result = fn()
+    seconds = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return result, seconds, peak
+
+
+def _grouped(readout):
+    return {
+        "energy_by_app": readout.energy_by_app(),
+        "energy_by_app_state": readout.energy_by_app_state(),
+        "energy_by_state": readout.energy_by_state(),
+        "bytes_by_app": readout.bytes_by_app(),
+        "idle": readout.idle_energy,
+    }
+
+
+def _assert_identical(sharded, serial):
+    for name in ("energy_by_app", "energy_by_app_state", "energy_by_state"):
+        assert list(sharded[name]) == list(serial[name])
+        assert np.array_equal(
+            np.array(list(sharded[name].values())),
+            np.array(list(serial[name].values())),
+        ), f"{name} drifted between sharded and serial ingest"
+    assert sharded["bytes_by_app"] == serial["bytes_by_app"]
+    assert sharded["idle"] == serial["idle"]
+
+
+def test_sharded_ingest_identical_bounded_faster(
+    tmp_path_factory, output_dir, benchmark
+):
+    from repro.trace.arrays import PACKET_DTYPE
+
+    dataset = generate_study(
+        StudyConfig(
+            n_users=SHARD_USERS, duration_days=SHARD_DAYS, seed=SHARD_SEED
+        )
+    )
+    root = tmp_path_factory.mktemp("shard_bench")
+    path = root / "study.npz"
+    dataset.save(path)
+    n_packets = dataset.total_packets
+    del dataset
+
+    cpus = available_cpus()
+    n_shards = max(4, min(8, cpus))
+
+    # Serial reference: the unsharded streamed ingest (totals tier).
+    # Timed untraced (tracemalloc costs real wall time and the sharded
+    # run is not traced either), then traced once for the peak.
+    def serial_run():
+        return StreamIngestor(
+            NpzStreamSource(path, chunk_size=CHUNK_SIZE), cadence=False
+        ).run()
+
+    start = time.perf_counter()
+    serial_result = serial_run()
+    serial_s = time.perf_counter() - start
+    serial = _grouped(serial_result)
+    _, _, serial_peak = _traced(serial_run)
+
+    # Sharded: plan once, fan the shards over one process each.
+    source = NpzStreamSource(path, chunk_size=CHUNK_SIZE)
+    manifest = ShardManifest.plan(source, n_shards, cadence=False)
+    shard_dir = root / "shards"
+    metrics = RunMetrics()
+    start = time.perf_counter()
+    run_all_shards(manifest, shard_dir, shard_workers=cpus, metrics=metrics)
+    sharded_s = time.perf_counter() - start
+    merged = merged_readout(manifest, shard_dir, metrics=metrics)
+    _assert_identical(_grouped(merged), serial)
+
+    # Per-shard peak memory: each executor re-run in-process under
+    # tracemalloc (fresh directory, so nothing is skipped). The peak
+    # must obey the same chunk-scaled bound as the unsharded ingest
+    # and stay flat across shards.
+    chunk_bytes = CHUNK_SIZE * PACKET_DTYPE.itemsize
+    bound = PEAK_FIXED_BYTES + PEAK_CHUNK_MULTIPLE * chunk_bytes
+    traced_dir = root / "traced"
+    shard_peaks = []
+    for index in range(manifest.n_shards):
+        _, _, peak = _traced(
+            lambda index=index: run_shard(
+                manifest, index, traced_dir, source=source
+            )
+        )
+        shard_peaks.append(peak)
+    peak_worst = max(shard_peaks)
+    assert peak_worst < bound, (
+        f"shard peak {peak_worst / 1e6:.1f} MB exceeds the chunk-scaled "
+        f"bound ({bound / 1e6:.1f} MB) — a shard is holding more than "
+        "its chunk + its own users"
+    )
+    assert peak_worst < serial_peak * 1.25, (
+        "a single shard's executor should not out-consume the whole "
+        "unsharded ingest"
+    )
+
+    speedup = serial_s / sharded_s
+    if cpus >= MIN_CPUS_FOR_SPEEDUP:
+        assert speedup >= MIN_SPEEDUP, (
+            f"sharded ingest is only {speedup:.2f}x the serial run on "
+            f"{cpus} CPUs (needed {MIN_SPEEDUP}x)"
+        )
+
+    # Steady-state cost of the merge itself (the only new serial step).
+    benchmark.pedantic(
+        lambda: merge_shard_checkpoints(manifest, shard_dir),
+        rounds=3,
+        iterations=1,
+    )
+
+    packets_per_s = metrics.as_dict()["derived"].get("shard_packets_per_s")
+    lines = [
+        "sharded vs serial streamed ingest — "
+        f"{n_packets:,} packets, {n_shards} shards, {cpus} CPUs",
+        f"  serial   wall {serial_s:7.2f} s   peak {serial_peak / 1e6:7.1f} MB",
+        f"  sharded  wall {sharded_s:7.2f} s   "
+        f"peak/shard {peak_worst / 1e6:7.1f} MB (worst of {n_shards})",
+        f"  speedup       {speedup:7.2f}x "
+        + (
+            "(asserted >= 2x)"
+            if cpus >= MIN_CPUS_FOR_SPEEDUP
+            else f"(not asserted: {cpus} CPU(s) < {MIN_CPUS_FOR_SPEEDUP})"
+        ),
+        f"  throughput    {packets_per_s or 0:9.0f} packets/s inside shards",
+        "  merged totals bit-identical to the serial run (array_equal)",
+    ]
+    write_artifact(output_dir, "bench_shard.txt", "\n".join(lines))
+
+    benchmark.extra_info.update(
+        {
+            "packets": n_packets,
+            "n_shards": n_shards,
+            "cpus": cpus,
+            "serial_wall_s": round(serial_s, 3),
+            "sharded_wall_s": round(sharded_s, 3),
+            "speedup": round(speedup, 2),
+            "serial_peak_mb": round(serial_peak / 1e6, 2),
+            "worst_shard_peak_mb": round(peak_worst / 1e6, 2),
+            "identical": True,
+        }
+    )

@@ -49,7 +49,12 @@ from typing import List, Optional
 
 from repro import RunMetrics, StudyConfig, StudyEnergy, generate_study
 from repro.core.readout import readout_from_checkpoint, require_packet_detail
-from repro.errors import AnalysisError, NeedsPacketDetail, ReproError
+from repro.errors import (
+    AnalysisError,
+    NeedsPacketDetail,
+    ReproError,
+    ShardIncomplete,
+)
 from repro.core import (
     background_energy_fraction,
     bytes_since_foreground,
@@ -72,6 +77,13 @@ from repro.units import battery_fraction
 from repro.core.longitudinal import weekly_background_energy, improved_apps
 from repro.core.recommend import recommendation_report
 from repro.radio.registry import available_models, get_model
+from repro.shard import (
+    ShardManifest,
+    default_shard_dir,
+    merge_to_checkpoint,
+    merged_readout,
+    run_all_shards,
+)
 from repro.stream import (
     DEFAULT_CHUNK_SIZE,
     CsvStreamSource,
@@ -106,6 +118,10 @@ EXIT_NEEDS_PACKET_DETAIL = 3
 
 #: Exit code when ``--store-only`` finds no cached entry for the key.
 EXIT_STORE_MISS = 4
+
+#: Exit code when ``repro shard merge`` (or ``repro ingest --shards``)
+#: finds a shard missing or not finished — re-run `repro shard run`.
+EXIT_SHARD_INCOMPLETE = 5
 
 #: Table 2's six apps.
 TABLE2_APPS = (
@@ -538,29 +554,60 @@ def _cmd_import(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_ingest(args: argparse.Namespace) -> int:
-    metrics = _metrics(args)
+def _stream_source(args: argparse.Namespace):
+    """Build the chunk source from ``--dataset``/``--user`` flags, or
+    ``None`` when neither was given (callers print usage and exit 2)."""
     chunk_size = args.chunk_size
     if args.dataset:
-        source = NpzStreamSource(args.dataset, chunk_size=chunk_size)
-    elif args.user:
+        return NpzStreamSource(args.dataset, chunk_size=chunk_size)
+    if args.user:
         pairs = []
         for spec in args.user:
             parts = spec.split(":")
             events = parts[1] if len(parts) > 1 and parts[1] else None
             pairs.append((parts[0], events))
-        source = CsvStreamSource(
+        return CsvStreamSource(
             pairs,
             chunk_size=chunk_size,
             duration=args.duration,
-            quarantine_rows=args.quarantine,
+            quarantine_rows=getattr(args, "quarantine", False),
         )
-    else:
+    return None
+
+
+def _print_readout_summary(result, registry, top: int, title: str) -> None:
+    """The per-app table + totals footer shared by the ingest paths."""
+    energy = result.energy_by_app()
+    ranked = sorted(energy.items(), key=lambda kv: kv[1], reverse=True)
+    rows = [
+        (registry.name_of(app), f"{joules / 1e3:.1f}")
+        for app, joules in ranked[:top]
+    ]
+    print(
+        report.render_table(
+            ["app", "kJ"],
+            rows,
+            title=f"{title} (top {min(top, len(rows))})",
+        )
+    )
+    print(
+        f"\nattributed: {result.attributed_energy / 1e3:.1f} kJ  "
+        f"idle: {result.idle_energy / 1e3:.1f} kJ  "
+        f"total: {result.total_energy / 1e3:.1f} kJ"
+    )
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    metrics = _metrics(args)
+    source = _stream_source(args)
+    if source is None:
         print(
             "ingest needs --dataset FILE or --user PACKETS_CSV[:EVENTS_CSV]",
             file=sys.stderr,
         )
         return 2
+    if args.shards:
+        return _ingest_sharded(args, source, metrics)
     ingestor = StreamIngestor(
         source,
         model=get_model(args.model),
@@ -613,6 +660,181 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         f"total: {result.total_energy / 1e3:.1f} kJ"
     )
     return 0
+
+
+def _ingest_sharded(
+    args: argparse.Namespace, source, metrics: RunMetrics
+) -> int:
+    """The one-box convenience path: plan + run + merge in one command.
+
+    ``--checkpoint`` names the *merged* whole-study checkpoint; the plan
+    lands next to it as ``<checkpoint>.plan.json`` and the per-shard
+    checkpoints under ``<checkpoint>.plan.json.shards/``. Re-running
+    the identical command resumes: complete shards are skipped, partial
+    ones continue, and the merge re-emits the same bytes.
+    """
+    from pathlib import Path
+
+    if not args.checkpoint:
+        print(
+            "--shards needs --checkpoint FILE (the merged study "
+            "checkpoint to write)",
+            file=sys.stderr,
+        )
+        return 2
+    manifest_path = Path(str(args.checkpoint) + ".plan.json")
+    with metrics.stage("shard.plan"):
+        if manifest_path.exists():
+            manifest = ShardManifest.load(manifest_path)
+            if (
+                manifest.signature != source.signature()
+                or manifest.n_shards != args.shards
+            ):
+                manifest = ShardManifest.plan(
+                    source,
+                    args.shards,
+                    model_name=args.model,
+                    cadence=not args.no_cadence,
+                )
+                manifest.save(manifest_path)
+        else:
+            manifest = ShardManifest.plan(
+                source,
+                args.shards,
+                model_name=args.model,
+                cadence=not args.no_cadence,
+            )
+            manifest.save(manifest_path)
+    shard_dir = default_shard_dir(manifest_path)
+    run_all_shards(
+        manifest,
+        shard_dir,
+        shard_workers=args.workers,
+        checkpoint_every=args.checkpoint_every,
+        metrics=metrics,
+        retries=args.retries,
+        task_timeout=args.task_timeout,
+        quarantine=args.quarantine,
+    )
+    merge_to_checkpoint(
+        manifest,
+        shard_dir,
+        args.checkpoint,
+        manifest_path=manifest_path,
+        metrics=metrics,
+    )
+    result = readout_from_checkpoint(args.checkpoint)
+    counters = metrics.as_dict()["counters"]
+    _print_readout_summary(
+        result,
+        result.registry,
+        args.top,
+        f"Sharded per-app energy ({manifest.n_shards} shards)",
+    )
+    print(
+        f"\nusers: {len(manifest.users)}  shards: {manifest.n_shards}  "
+        f"chunks: {counters.get('stream.chunks', 0)}  "
+        f"merged checkpoint: {args.checkpoint}"
+    )
+    return 0
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    metrics = _metrics(args)
+    if args.shard_command == "plan":
+        source = _stream_source(args)
+        if source is None:
+            print(
+                "shard plan needs --dataset FILE or --user "
+                "PACKETS_CSV[:EVENTS_CSV]",
+                file=sys.stderr,
+            )
+            return 2
+        with metrics.stage("shard.plan"):
+            manifest = ShardManifest.plan(
+                source,
+                args.shards,
+                model_name=args.model,
+                cadence=not args.no_cadence,
+            )
+            manifest.save(args.out)
+        sizes = [len(shard) for shard in manifest.shards]
+        print(
+            f"wrote {args.out}: {len(manifest.users)} users over "
+            f"{manifest.n_shards} shard(s) {sizes}, "
+            f"model={manifest.model_name}, digest={manifest.digest()}"
+        )
+        print(f"run with: repro shard run {args.out}")
+        return 0
+
+    manifest = ShardManifest.load(args.manifest)
+    shard_dir = (
+        Path(args.shard_dir)
+        if args.shard_dir
+        else default_shard_dir(args.manifest)
+    )
+    if args.shard_command == "run":
+        reports = run_all_shards(
+            manifest,
+            shard_dir,
+            indices=args.shard if args.shard else None,
+            shard_workers=args.shard_workers,
+            checkpoint_every=args.checkpoint_every,
+            metrics=metrics,
+            retries=args.retries,
+            task_timeout=args.task_timeout,
+            quarantine=args.quarantine,
+            on_report=(
+                None
+                if args.quiet
+                else lambda index, rep: print(
+                    f"shard {index}: "
+                    + (
+                        "failed"
+                        if not isinstance(rep, dict)
+                        else (
+                            "already complete"
+                            if rep["skipped"]
+                            else f"{rep['users']} user(s) ingested"
+                        )
+                    )
+                )
+            ),
+        )
+        done = sum(1 for rep in reports if rep["complete"])
+        print(
+            f"{done}/{len(reports)} shard(s) complete under {shard_dir}; "
+            f"merge with: repro shard merge {args.manifest} --out "
+            "MERGED.ckpt.npz"
+        )
+        return 0
+
+    if args.shard_command == "merge":
+        merge_to_checkpoint(
+            manifest,
+            shard_dir,
+            args.out,
+            manifest_path=args.manifest,
+            metrics=metrics,
+        )
+        result = readout_from_checkpoint(args.out)
+        print(
+            f"merged {manifest.n_shards} shard(s), "
+            f"{len(manifest.users)} user(s) into {args.out}"
+        )
+        print(
+            f"total: {result.total_energy / 1e3:.1f} kJ  "
+            f"(attributed {result.attributed_energy / 1e3:.1f} kJ, "
+            f"idle {result.idle_energy / 1e3:.1f} kJ)"
+        )
+        print(
+            "analyse with: repro figure fig3 --from-checkpoint "
+            f"{args.out}"
+        )
+        return 0
+    raise AssertionError(f"unknown shard command {args.shard_command!r}")
 
 
 def _cmd_app(args: argparse.Namespace) -> int:
@@ -997,6 +1219,16 @@ def build_parser() -> argparse.ArgumentParser:
             "needs the batch pipeline; Figs 1-3 are unaffected)"
         ),
     )
+    p.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        help=(
+            "one-box sharded ingest: plan N user-shards, run them in "
+            "parallel (--workers shard processes), merge into "
+            "--checkpoint — bit-identical to the unsharded run"
+        ),
+    )
     p.add_argument("--top", type=int, default=15, help="apps to print")
     p.add_argument(
         "--metrics-json",
@@ -1004,6 +1236,138 @@ def build_parser() -> argparse.ArgumentParser:
         help="write run metrics as JSON; '-' for stdout",
     )
     p.set_defaults(func=_cmd_ingest)
+
+    p = sub.add_parser(
+        "shard",
+        help="shard-parallel ingestion: plan, execute and merge",
+    )
+    shard_sub = p.add_subparsers(dest="shard_command", required=True)
+    sp = shard_sub.add_parser(
+        "plan", help="partition a study's users into shard manifests"
+    )
+    sp.add_argument("--dataset", help="shard a saved study (.npz)")
+    sp.add_argument(
+        "--user",
+        action="append",
+        help="shard one user's PACKETS_CSV[:EVENTS_CSV] (repeatable)",
+    )
+    sp.add_argument(
+        "--shards", type=int, required=True, metavar="N",
+        help="number of shards to plan",
+    )
+    sp.add_argument(
+        "--chunk-size",
+        type=int,
+        default=DEFAULT_CHUNK_SIZE,
+        help="maximum packets held in memory per chunk",
+    )
+    sp.add_argument(
+        "--duration",
+        type=float,
+        help="CSV observation window (default: latest event, ceil to day)",
+    )
+    sp.add_argument(
+        "--model",
+        default="lte",
+        choices=available_models(),
+        help="radio power model pinned into the plan",
+    )
+    sp.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="plan with malformed-CSV-row quarantine enabled",
+    )
+    sp.add_argument(
+        "--no-cadence",
+        action="store_true",
+        help="plan without background cadence tracking",
+    )
+    sp.add_argument("--out", default="plan.json", help="manifest file")
+    sp.add_argument(
+        "--metrics-json",
+        metavar="FILE",
+        help="write run metrics as JSON; '-' for stdout",
+    )
+    sp.set_defaults(func=_cmd_shard)
+    sp = shard_sub.add_parser(
+        "run", help="execute shards of a plan to per-shard checkpoints"
+    )
+    sp.add_argument("manifest", help="plan written by `repro shard plan`")
+    sp.add_argument(
+        "--shard-dir",
+        metavar="DIR",
+        help="per-shard checkpoint directory (default: <manifest>.shards)",
+    )
+    sp.add_argument(
+        "--shard",
+        type=int,
+        action="append",
+        metavar="K",
+        help="run only shard K (repeatable; default: all shards)",
+    )
+    sp.add_argument(
+        "--shard-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="shard processes at once (0 = one per CPU)",
+    )
+    sp.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="checkpoint each shard every N chunks (0 = only at the end)",
+    )
+    sp.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry a failed shard N times before reporting it",
+    )
+    sp.add_argument(
+        "--task-timeout",
+        type=float,
+        metavar="SECONDS",
+        help="per-chunk hang timeout inside each shard",
+    )
+    sp.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="drop malformed rows / poison users inside shards",
+    )
+    sp.add_argument(
+        "--quiet", action="store_true", help="no per-shard progress lines"
+    )
+    sp.add_argument(
+        "--metrics-json",
+        metavar="FILE",
+        help="write run metrics as JSON; '-' for stdout",
+    )
+    sp.set_defaults(func=_cmd_shard)
+    sp = shard_sub.add_parser(
+        "merge",
+        help="fold per-shard checkpoints into one study checkpoint",
+    )
+    sp.add_argument("manifest", help="plan written by `repro shard plan`")
+    sp.add_argument(
+        "--shard-dir",
+        metavar="DIR",
+        help="per-shard checkpoint directory (default: <manifest>.shards)",
+    )
+    sp.add_argument(
+        "--out",
+        required=True,
+        metavar="CK.npz",
+        help="merged whole-study checkpoint to write",
+    )
+    sp.add_argument(
+        "--metrics-json",
+        metavar="FILE",
+        help="write run metrics as JSON; '-' for stdout",
+    )
+    sp.set_defaults(func=_cmd_shard)
 
     p = sub.add_parser("app", help="single-app deep dive")
     p.add_argument("--app", required=True)
@@ -1038,6 +1402,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except NeedsPacketDetail as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_NEEDS_PACKET_DETAIL
+    except ShardIncomplete as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_SHARD_INCOMPLETE
     out = getattr(args, "metrics_json", None)
     if out:
         metrics.write_json(out)

@@ -569,6 +569,14 @@ def readout_from_checkpoint(path) -> TotalsReadout:
 
 def readout_from_loaded_checkpoint(checkpoint) -> TotalsReadout:
     """Build the readout from an already-loaded ``StreamCheckpoint``."""
+    shard = getattr(checkpoint, "shard", None)
+    if shard is not None:
+        raise StreamError(
+            f"checkpoint covers shard {shard.get('index')} of "
+            f"{shard.get('of')} — it holds only that shard's users; "
+            "merge the plan's shards with `repro shard merge` and "
+            "analyse the merged checkpoint"
+        )
     if checkpoint.registry_json is None:
         raise StreamError(
             "checkpoint predates format 2 (no app registry); re-run "

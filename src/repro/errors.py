@@ -68,6 +68,45 @@ class StreamError(ReproError):
     finished stream, a torn or truncated checkpoint file)."""
 
 
+class ShardError(StreamError):
+    """Invalid sharded-ingestion state: a torn or mismatched shard
+    manifest, a shard checkpoint whose header does not match the
+    manifest (wrong shard index, wrong parent signature, wrong user
+    set), or a merge attempted over checkpoints from different plans.
+    A :class:`StreamError` subclass so generic stream handlers keep
+    working."""
+
+
+class ShardIncomplete(ShardError):
+    """A merge found a shard that is missing or not finished.
+
+    Raised by :func:`repro.shard.merge_shard_checkpoints` when a
+    shard's checkpoint is absent, mid-run (users not all ``done``), or
+    readable only as a stale ``.prev`` generation — anything short of
+    every user of every shard being done. The merge refuses rather than
+    fold partial totals into a silently wrong study readout; re-run the
+    missing shards (``repro shard run``) and merge again. Exit code 5
+    on the CLI.
+    """
+
+    def __init__(self, manifest_path: str, indices, reason: str) -> None:
+        self.manifest_path = str(manifest_path)
+        self.indices = list(indices)
+        self.reason = reason
+        shard_list = ", ".join(str(i) for i in self.indices)
+        super().__init__(
+            f"shard(s) {shard_list} of plan {self.manifest_path} not "
+            f"mergeable: {reason}. Re-run them with `repro shard run "
+            f"{self.manifest_path}` and merge again."
+        )
+
+    def __reduce__(self):
+        return (
+            ShardIncomplete,
+            (self.manifest_path, self.indices, self.reason),
+        )
+
+
 class FaultInjected(ReproError):
     """An error thrown on purpose by :mod:`repro.faults` at an armed
     fault site. Only ever raised while a :class:`~repro.faults.FaultPlan`

@@ -55,6 +55,7 @@ SITES = (
     "io.packet_row",  # streamed CSV packet row (action: corrupt)
     "npz.member",  # streamed .npz packet member (action: truncate)
     "checkpoint.save",  # checkpoint write (action: torn)
+    "shard.manifest",  # shard manifest write (action: torn)
 )
 
 #: Which actions make sense at which sites. ``crash``/``hang``/``raise``
@@ -66,6 +67,7 @@ SITE_ACTIONS: Dict[str, Sequence[str]] = {
     "io.packet_row": ("corrupt",),
     "npz.member": ("truncate",),
     "checkpoint.save": ("torn",),
+    "shard.manifest": ("torn",),
 }
 
 #: Exit code of an injected ``crash`` — distinctive in worker logs.

@@ -34,6 +34,7 @@ DERIVED_RATES = (
     ("generate_packets_per_s", "generation.packets", "generate"),
     ("ingest_packets_per_s", "stream.packets", "stream.attribute"),
     ("serve_requests_per_s", "serve.requests", "serve.request"),
+    ("shard_packets_per_s", "stream.packets", "shard.execute"),
 )
 
 
@@ -75,6 +76,30 @@ class RunMetrics:
         bucket = self._samples.setdefault(name, [])
         if len(bucket) < limit:
             bucket.append(str(value))
+
+    def absorb(self, payload: dict) -> None:
+        """Merge another run's :meth:`as_dict` report into this one.
+
+        The shard executors run in worker processes, each with a
+        private ``RunMetrics``; their reports ride back on the result
+        and the parent folds them in here, so ``stream.*`` counters and
+        stage seconds reflect the whole sharded run. Stage seconds
+        *sum* (they are cumulative CPU-side effort, not wall clock —
+        with N parallel shards the sum exceeds elapsed time by design),
+        counters add, and samples top up to the usual limit.
+        """
+        for name, entry in payload.get("stages", {}).items():
+            self._stage_seconds[name] = (
+                self._stage_seconds.get(name, 0.0) + float(entry["seconds"])
+            )
+            self._stage_calls[name] = (
+                self._stage_calls.get(name, 0) + int(entry["calls"])
+            )
+        for name, value in payload.get("counters", {}).items():
+            self.count(name, int(value))
+        for name, values in payload.get("samples", {}).items():
+            for value in values:
+                self.sample(name, value)
 
     # ------------------------------------------------------------------
     # Reading

@@ -238,21 +238,34 @@ class TaskPool:
     # ------------------------------------------------------------------
     # Mapping
     # ------------------------------------------------------------------
-    def map(self, items: Sequence[T]) -> List[Union[R, TaskFailure]]:
+    def map(
+        self,
+        items: Sequence[T],
+        on_result: Optional[Callable[[int, Union[R, TaskFailure]], None]] = None,
+    ) -> List[Union[R, TaskFailure]]:
         """``[task(item) for item in items]``, order-preserving.
 
         Failed items follow the pool's retry/quarantine policy; in
         quarantine mode a failed slot holds its :class:`TaskFailure`.
+        ``on_result(index, result)`` is invoked in the parent as each
+        slot settles — including sealed quarantine failures, but not
+        slots still owed a retry — so long fan-outs (shard executors)
+        can report progress and absorb worker metrics without waiting
+        for the whole round.
         """
         items = list(items)
         if self.workers <= 1:
-            return self._map_serial(items)
+            return self._map_serial(items, on_result)
         # Even a one-item round goes through the pool: the failure
         # policy (task_timeout, crash isolation) must hold on the final
         # rounds of a streaming run, where one user is left active.
-        return self._map_pool(items)
+        return self._map_pool(items, on_result)
 
-    def _map_serial(self, items: Sequence[T]) -> List[Union[R, TaskFailure]]:
+    def _map_serial(
+        self,
+        items: Sequence[T],
+        on_result: Optional[Callable] = None,
+    ) -> List[Union[R, TaskFailure]]:
         results: List[Union[R, TaskFailure]] = []
         for index, item in enumerate(items):
             attempts = 0
@@ -272,9 +285,15 @@ class TaskPool:
                         results.append(failure)
                         break
                     raise
+            if on_result is not None:
+                on_result(index, results[-1])
         return results
 
-    def _map_pool(self, items: Sequence[T]) -> List[Union[R, TaskFailure]]:
+    def _map_pool(
+        self,
+        items: Sequence[T],
+        on_result: Optional[Callable] = None,
+    ) -> List[Union[R, TaskFailure]]:
         results: List[Union[R, TaskFailure]] = [None] * len(items)
         attempts = [0] * len(items)
         pending = set(range(len(items)))
@@ -306,6 +325,8 @@ class TaskPool:
                 if sealed is not None:
                     results[order[0]] = sealed
                     pending.discard(order[0])
+                    if on_result is not None:
+                        on_result(order[0], sealed)
                 continue
             rebuilt = False
             for index in order:
@@ -360,10 +381,14 @@ class TaskPool:
                 else:
                     results[index] = value
                     pending.discard(index)
+                    if on_result is not None:
+                        on_result(index, value)
                     continue
                 if sealed is not None:
                     results[index] = sealed
                     pending.discard(index)
+                    if on_result is not None:
+                        on_result(index, sealed)
                 if rebuilt:
                     # This round's remaining futures died with the
                     # pool; the while loop resubmits what's pending.

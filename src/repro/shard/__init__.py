@@ -1,0 +1,84 @@
+"""Shard-parallel ingestion: plan → execute → merge.
+
+The streaming stack ingests one study as one sequential run; this
+package partitions the study **by user** across independent executors
+and folds their checkpoints back into one readout, bit-identical to
+the unsharded run. Three layers, each usable on its own:
+
+* **plan** (:class:`ShardManifest`): a deterministic, persisted
+  partition of the study's users (stable hash → shard), pinned to the
+  source signature, radio model and tail policy.
+* **execute** (:func:`run_shard` / :func:`run_all_shards`): each shard
+  is an ordinary :class:`~repro.stream.ingest.StreamIngestor` run over
+  a :class:`ShardSource`, with its own checkpoint/resume, quarantine
+  and metrics; idempotent re-runs skip complete shards and resume
+  partial ones.
+* **merge** (:func:`merge_shard_checkpoints` / :func:`merged_readout`):
+  reassembles the per-shard checkpoints into one whole-study
+  checkpoint in canonical user order — ``array_equal`` totals, and the
+  same :class:`~repro.store.keys.StoreKey`/ETag as an unsharded
+  ingest, so `repro serve` and the result store are shard-oblivious.
+
+Typical use (the CLI surface is ``repro shard plan|run|merge`` and
+``repro ingest --shards N``)::
+
+    from repro.shard import ShardManifest, run_all_shards, merge_to_checkpoint
+    from repro.stream import NpzStreamSource
+
+    source = NpzStreamSource("study.npz")
+    manifest = ShardManifest.plan(source, n_shards=8)
+    manifest.save("plan.json")
+    run_all_shards(manifest, "plan.json.shards")
+    merge_to_checkpoint(manifest, "plan.json.shards", "study.ckpt.npz")
+
+Why the merge is exact: each user's totals are computed independently,
+and the only study-wide float fold
+(:func:`~repro.core.readout.merge_keyed_totals`) happens at readout
+time in user order — which the merge restores from the manifest.
+"""
+
+from repro.shard.execute import (
+    ShardExecTask,
+    default_shard_dir,
+    run_all_shards,
+    run_shard,
+    shard_checkpoint_path,
+    shard_is_complete,
+)
+from repro.shard.merge import (
+    merge_shard_checkpoints,
+    merge_to_checkpoint,
+    merged_readout,
+)
+from repro.shard.plan import (
+    MANIFEST_FORMAT,
+    ShardManifest,
+    ShardSource,
+    build_source,
+    plan_shards,
+    shard_header,
+    shard_of,
+    shard_signature,
+    source_spec,
+)
+
+__all__ = [
+    "MANIFEST_FORMAT",
+    "ShardExecTask",
+    "ShardManifest",
+    "ShardSource",
+    "build_source",
+    "default_shard_dir",
+    "merge_shard_checkpoints",
+    "merge_to_checkpoint",
+    "merged_readout",
+    "plan_shards",
+    "run_all_shards",
+    "run_shard",
+    "shard_checkpoint_path",
+    "shard_header",
+    "shard_is_complete",
+    "shard_of",
+    "shard_signature",
+    "source_spec",
+]

@@ -22,6 +22,14 @@ A batch study and an ingest checkpoint over the same packets key
 separately (a dataset content digest vs. a source signature), so both
 pipelines cache side by side; their rendered bytes are identical
 either way (asserted in ``benchmarks/bench_serve.py``).
+
+Sharding is invisible here by construction: a checkpoint merged by
+``repro shard merge`` carries the **parent** source signature (per-shard
+signatures exist only inside shard checkpoints, which refuse to become
+readouts), so its provenance triple — and therefore its key and ETag —
+is identical to an unsharded ``repro ingest`` over the same source. A
+store or ``repro serve`` instance warmed by either pipeline answers for
+both.
 """
 
 from __future__ import annotations

@@ -23,6 +23,12 @@ Typical use::
 The same surface is exposed on the command line as ``repro ingest``.
 """
 
+from repro.stream.accumulate import (
+    StreamResult,
+    UserStreamAccumulator,
+    UserStreamResult,
+)
+from repro.stream.cadence import CadenceTracker
 from repro.stream.checkpoint import StreamCheckpoint, UserCheckpoint
 from repro.stream.chunks import (
     DEFAULT_CHUNK_SIZE,
@@ -30,14 +36,7 @@ from repro.stream.chunks import (
     NpzStreamSource,
     RowQuarantine,
 )
-from repro.stream.ingest import (
-    CadenceTracker,
-    StreamChunkTask,
-    StreamIngestor,
-    StreamResult,
-    UserStreamAccumulator,
-    UserStreamResult,
-)
+from repro.stream.ingest import StreamChunkTask, StreamIngestor
 
 __all__ = [
     "CadenceTracker",

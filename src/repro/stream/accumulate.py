@@ -1,0 +1,210 @@
+"""Per-user streaming accumulators and the finished study readout.
+
+The accumulation tier of the streaming stack, split out of
+``stream.ingest`` so shard executors and mergers (:mod:`repro.shard`)
+can reuse it without importing the driver: one
+:class:`UserStreamAccumulator` per user carries the radio state and the
+:class:`~repro.core.readout.KeyedTotals` partials across chunks, and a
+completed run's accumulators become a :class:`StreamResult` — a
+totals-tier :class:`~repro.core.readout.EnergyReadout` whose every
+reduction is bit-identical to the batch engine's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.periodicity import DEFAULT_BURST_GAP
+from repro.core.readout import (
+    DEFAULT_FLOW_GAP,
+    KeyedTotals,
+    TotalsReadout,
+    UserTotalsView,
+    combined_app_state_keys,
+)
+from repro.errors import StreamError, TaskFailure
+from repro.radio.attribution import TailPolicy
+from repro.radio.base import RadioModel
+from repro.radio.streaming import RadioCarry, StreamingAttribution
+from repro.stream.cadence import CadenceTracker
+from repro.stream.checkpoint import UserCheckpoint
+from repro.trace.arrays import PacketArray
+
+
+class UserStreamAccumulator:
+    """One user's in-flight state: radio carry plus partial totals."""
+
+    def __init__(
+        self,
+        user_id: int,
+        window: Tuple[float, float],
+        cadence: bool = True,
+    ) -> None:
+        self.user_id = user_id
+        self.window = window
+        self.carry: Optional[Dict[str, np.ndarray]] = None
+        self.rows_consumed = 0
+        self.done = False
+        self.idle_energy = 0.0
+        self.energy = KeyedTotals()
+        self.app_state = KeyedTotals()
+        self.bytes = KeyedTotals(dtype=np.int64)
+        self.cadence: Optional[CadenceTracker] = (
+            CadenceTracker() if cadence else None
+        )
+
+    def adopt(
+        self,
+        settled: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        carry: Optional[Dict[str, np.ndarray]],
+    ) -> None:
+        """Fold one round's settled packets in; take the new carry."""
+        apps, states, sizes, per_packet = settled
+        self.energy.add(apps, per_packet)
+        self.app_state.add(combined_app_state_keys(apps, states), per_packet)
+        self.bytes.add(
+            combined_app_state_keys(apps, states), sizes.astype(np.int64)
+        )
+        if carry is not None:
+            self.carry = carry
+
+    def observe_chunk(self, packets: PacketArray) -> None:
+        """Feed one raw chunk to the cadence tracker (if enabled)."""
+        if self.cadence is not None:
+            self.cadence.observe(packets)
+
+    def finish(self, model: RadioModel, policy: TailPolicy) -> None:
+        """Settle the pending packet and the idle floor."""
+        carry = (
+            RadioCarry.from_payload(self.carry)
+            if self.carry is not None
+            else None
+        )
+        sim = StreamingAttribution(model, policy, self.window, carry)
+        settled, idle = sim.finish()
+        self.adopt(
+            (settled.apps, settled.states, settled.sizes, settled.per_packet),
+            None,
+        )
+        self.idle_energy = idle
+        self.done = True
+
+    # ------------------------------------------------------------------
+    # Checkpoint round-trip
+    # ------------------------------------------------------------------
+    def to_checkpoint(self) -> UserCheckpoint:
+        if self.done:
+            status = "done"
+        elif self.rows_consumed or self.carry is not None:
+            status = "running"
+        else:
+            status = "pending"
+        energy_keys, energy_values = self.energy.payload()
+        state_keys, state_values = self.app_state.payload()
+        bytes_keys, bytes_values = self.bytes.payload()
+        return UserCheckpoint(
+            user_id=self.user_id,
+            status=status,
+            rows_consumed=self.rows_consumed,
+            carry=self.carry,
+            energy_keys=energy_keys,
+            energy_values=energy_values,
+            state_keys=state_keys,
+            state_values=state_values,
+            bytes_keys=bytes_keys,
+            bytes_values=bytes_values,
+            idle_energy=self.idle_energy,
+            window=self.window,
+            cadence=(
+                self.cadence.payload() if self.cadence is not None else None
+            ),
+        )
+
+    @classmethod
+    def from_checkpoint(
+        cls, saved: UserCheckpoint, window: Tuple[float, float]
+    ) -> "UserStreamAccumulator":
+        acc = cls(saved.user_id, window, cadence=saved.cadence is not None)
+        acc.rows_consumed = saved.rows_consumed
+        acc.carry = saved.carry
+        acc.done = saved.status == "done"
+        acc.idle_energy = saved.idle_energy
+        acc.energy = KeyedTotals(saved.energy_keys, saved.energy_values)
+        acc.app_state = KeyedTotals(saved.state_keys, saved.state_values)
+        acc.bytes = KeyedTotals(
+            saved.bytes_keys, saved.bytes_values, dtype=np.int64
+        )
+        if saved.cadence is not None:
+            acc.cadence = CadenceTracker.from_payload(saved.cadence)
+        return acc
+
+
+class UserStreamResult(UserTotalsView):
+    """One user's finished streaming totals (grouped views).
+
+    A :class:`~repro.core.readout.UserTotalsView` built from the
+    accumulator's finished :class:`~repro.core.readout.KeyedTotals` —
+    the identical view :meth:`StudyEnergy.user_totals
+    <repro.core.accounting.StudyEnergy.user_totals>` derives from the
+    batch arrays.
+    """
+
+    def __init__(self, acc: UserStreamAccumulator) -> None:
+        super().__init__(
+            acc.user_id,
+            acc.energy.as_dict(),
+            acc.app_state.as_dict(),
+            acc.bytes.as_dict(),
+            acc.idle_energy,
+        )
+
+
+class StreamResult(TotalsReadout):
+    """Study-wide totals of one completed streaming ingestion.
+
+    A totals-tier :class:`~repro.core.readout.EnergyReadout`: every
+    reduction replays the exact fold
+    :class:`~repro.core.accounting.StudyEnergy` performs — users in
+    ingestion order through
+    :func:`~repro.core.readout.merge_keyed_totals`, idle via a
+    sequential ``sum`` — so each is bit-identical to its batch
+    counterpart. ``attributed_energy`` is the one exception: the batch
+    scalar sums per-packet arrays whole, an association no stream can
+    replay, so here it is defined as the fold of the (bit-identical)
+    per-app totals.
+    """
+
+    def __init__(
+        self,
+        users: List[UserStreamResult],
+        failures: Optional[Dict[int, TaskFailure]] = None,
+        *,
+        registry=None,
+        windows=None,
+        cadences=None,
+        flow_gap: float = DEFAULT_FLOW_GAP,
+        burst_gap: float = DEFAULT_BURST_GAP,
+    ) -> None:
+        super().__init__(
+            users,
+            registry=registry,
+            windows=windows,
+            cadences=cadences,
+            flow_gap=flow_gap,
+            burst_gap=burst_gap,
+        )
+        self.users = users
+        self._by_id = {u.user_id: u for u in users}
+        #: Quarantined users: ``{user_id: TaskFailure}``. Only populated
+        #: when the ingestor ran with ``quarantine=True``; these users'
+        #: partial totals are *excluded* from every reduction.
+        self.failures: Dict[int, TaskFailure] = dict(failures or {})
+
+    def user(self, user_id: int) -> UserStreamResult:
+        """One user's totals."""
+        try:
+            return self._by_id[user_id]
+        except KeyError:
+            raise StreamError(f"unknown user id {user_id}") from None

@@ -33,7 +33,7 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -147,6 +147,7 @@ class StreamCheckpoint:
         has_cadence: bool = False,
         cadence_flow_gap: float = DEFAULT_FLOW_GAP,
         cadence_burst_gap: float = DEFAULT_BURST_GAP,
+        shard: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.signature = signature
         self.model_repr = repr(model)
@@ -160,6 +161,12 @@ class StreamCheckpoint:
         self.has_cadence = bool(has_cadence)
         self.cadence_flow_gap = float(cadence_flow_gap)
         self.cadence_burst_gap = float(cadence_burst_gap)
+        #: Shard header when this checkpoint covers one shard of a
+        #: sharded plan (``index``/``of``/``manifest``/
+        #: ``parent_signature``, see :mod:`repro.shard`); ``None`` for
+        #: a whole-study checkpoint. Readout construction refuses shard
+        #: checkpoints — merge them first (``repro shard merge``).
+        self.shard = dict(shard) if shard is not None else None
 
     # ------------------------------------------------------------------
     # Persistence
@@ -178,6 +185,7 @@ class StreamCheckpoint:
             "has_cadence": self.has_cadence,
             "flow_gap": self.cadence_flow_gap,
             "burst_gap": self.cadence_burst_gap,
+            "shard": self.shard,
             "users": [],
         }
         for user in self.users:
@@ -344,6 +352,7 @@ class StreamCheckpoint:
         checkpoint.cadence_burst_gap = float(
             header.get("burst_gap", DEFAULT_BURST_GAP)
         )
+        checkpoint.shard = header.get("shard")
         checkpoint.loaded_from_fallback = False
         return checkpoint
 

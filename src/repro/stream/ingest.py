@@ -1,28 +1,30 @@
-"""Streaming ingestion with incremental, batch-identical accounting.
+"""Streaming ingestion driver with incremental, batch-identical accounting.
 
 :class:`StreamIngestor` drives a chunk source
 (:class:`~repro.stream.chunks.CsvStreamSource` or
 :class:`~repro.stream.chunks.NpzStreamSource`) through the resumable
 radio layer (:class:`~repro.radio.streaming.StreamingAttribution`) and
-folds every settled packet into per-user partial totals
-(:class:`~repro.core.readout.KeyedTotals` — the carry-bincount
-accumulator whose float additions replay the batch engine's exactly).
-The finished :class:`StreamResult` is a totals-tier
-:class:`~repro.core.readout.EnergyReadout`: it reports per-app,
-per-(app, state) and per-state energy, byte volumes and idle floors
-**bit-identical** to :class:`~repro.core.accounting.StudyEnergy` over
-the same data — ``array_equal``, not ``allclose`` — while peak memory
-stays O(workers × chunk), and every totals-tier analysis (Figs 1-3,
-Table 1, headlines) consumes it directly.
+folds every settled packet into per-user partial totals via
+:class:`~repro.stream.accumulate.UserStreamAccumulator`. The finished
+:class:`~repro.stream.accumulate.StreamResult` is a totals-tier
+:class:`~repro.core.readout.EnergyReadout`: per-app, per-(app, state)
+and per-state energy, byte volumes and idle floors **bit-identical** to
+:class:`~repro.core.accounting.StudyEnergy` over the same data —
+``array_equal``, not ``allclose`` — while peak memory stays
+O(workers × chunk).
 
-Table 1 additionally needs flow counts and burst intervals; the
-:class:`CadenceTracker` accumulates those incrementally at the paper's
-default gaps while the packets go by, so the streamed result still
-renders a byte-identical Table 1.
+The accounting tiers live in sibling modules so the shard layer
+(:mod:`repro.shard`) can reuse them without the driver:
+:mod:`repro.stream.cadence` (incremental Table 1 cadence) and
+:mod:`repro.stream.accumulate` (per-user partials + study readout).
+Their public names are re-exported here for backward compatibility.
 
 Periodic :class:`~repro.stream.checkpoint.StreamCheckpoint` snapshots
 make the run killable: ``run(resume=True)`` reloads the carries and
 partials and continues without recomputing a single settled packet.
+When the ingestor runs as one shard of a sharded plan, ``shard_info``
+stamps every snapshot with the shard header so a partial checkpoint can
+never be mistaken for (or merged as) a whole-study one.
 
 Parallelism: chunk rounds fan out over a persistent
 :class:`~repro.parallel.TaskPool` — workers do the vector math
@@ -34,427 +36,35 @@ sequentially, so results are identical for any worker count.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
-
-import numpy as np
+from typing import Any, Dict, List, Optional, Union
 
 from repro.core.periodicity import DEFAULT_BURST_GAP
-from repro.core.readout import (
-    DEFAULT_FLOW_GAP,
-    KeyedTotals,
-    TotalsReadout,
-    UserTotalsView,
-    combined_app_state_keys,
-)
+from repro.core.readout import DEFAULT_FLOW_GAP
 from repro.errors import ReproError, StreamError, TaskFailure
 from repro.metrics import RunMetrics
 from repro.parallel import TaskPool, resolve_workers
 from repro.radio.attribution import TailPolicy
 from repro.radio.base import RadioModel
 from repro.radio.lte import LTE_DEFAULT
-from repro.radio.streaming import (
-    FinalizedChunk,
-    RadioCarry,
-    StreamingAttribution,
+from repro.radio.streaming import RadioCarry, StreamingAttribution
+from repro.stream.accumulate import (
+    StreamResult,
+    UserStreamAccumulator,
+    UserStreamResult,
 )
-from repro.stream.checkpoint import StreamCheckpoint, UserCheckpoint
+from repro.stream.cadence import CadenceTracker
+from repro.stream.checkpoint import StreamCheckpoint
 from repro.stream.chunks import StreamSource
 from repro.trace.arrays import PacketArray
-from repro.trace.events import state_background_mask
 
-
-class CadenceTracker:
-    """Incremental background flow/burst cadence for one user.
-
-    Tracks, chunk by chunk, exactly what the batch
-    :meth:`~repro.core.accounting.StudyEnergy.background_cadence`
-    computes from the full arrays: per-app background flow counts (an
-    ``(app, conn)`` pair starts a new flow after ``flow_gap`` of
-    silence — the strict ``>`` rule of
-    :func:`~repro.trace.flow.reconstruct_flows`) and per-app burst
-    starts plus inter-burst intervals (the strict ``>`` rule of
-    :func:`~repro.core.periodicity.burst_starts`). Counts are integers,
-    so chunking-exact; intervals are differences of the same ``float64``
-    timestamps the batch path subtracts, so the pooled arrays are
-    bit-identical too. The carried last-timestamps make every
-    chunk-boundary gap the identical subtraction the whole-trace
-    ``np.diff`` performs.
-    """
-
-    def __init__(
-        self,
-        flow_gap: float = DEFAULT_FLOW_GAP,
-        burst_gap: float = DEFAULT_BURST_GAP,
-    ) -> None:
-        self.flow_gap = float(flow_gap)
-        self.burst_gap = float(burst_gap)
-        #: ``(app << 32) | conn`` -> last background packet timestamp.
-        self._flow_last: Dict[int, float] = {}
-        #: app -> background flows opened so far.
-        self._flow_counts: Dict[int, int] = {}
-        #: app -> last background packet timestamp (burst clustering).
-        self._burst_last_ts: Dict[int, float] = {}
-        #: app -> start time of the latest burst.
-        self._burst_last_start: Dict[int, float] = {}
-        #: app -> bursts counted so far.
-        self._burst_counts: Dict[int, int] = {}
-        #: app -> chronological list of inter-burst interval arrays.
-        self._intervals: Dict[int, List[np.ndarray]] = {}
-
-    def observe(self, packets: PacketArray) -> None:
-        """Fold one raw (time-sorted) chunk into the cadence state."""
-        if len(packets) == 0:
-            return
-        mask = state_background_mask(packets.states)
-        if not mask.any():
-            return
-        ts = packets.timestamps[mask]
-        apps = packets.apps.astype(np.int64)[mask]
-        conns = packets.conns.astype(np.int64)[mask]
-        self._observe_bursts(apps, ts)
-        self._observe_flows(apps, conns, ts)
-
-    def _observe_bursts(self, apps: np.ndarray, ts: np.ndarray) -> None:
-        order = np.argsort(apps, kind="stable")
-        s_apps = apps[order]
-        s_ts = ts[order]
-        group_starts = np.flatnonzero(
-            np.concatenate([[True], s_apps[1:] != s_apps[:-1]])
-        )
-        bounds = np.append(group_starts, len(s_apps))
-        for i, lo in enumerate(group_starts):
-            app = int(s_apps[lo])
-            t = s_ts[lo : bounds[i + 1]]
-            last_ts = self._burst_last_ts.get(app)
-            if last_ts is None:
-                is_start = np.concatenate(
-                    [[True], np.diff(t) > self.burst_gap]
-                )
-            else:
-                prev = np.concatenate([[last_ts], t[:-1]])
-                is_start = (t - prev) > self.burst_gap
-            starts = t[is_start]
-            if len(starts):
-                last_start = self._burst_last_start.get(app)
-                seq = (
-                    starts
-                    if last_start is None
-                    else np.concatenate([[last_start], starts])
-                )
-                intervals = np.diff(seq)
-                if len(intervals):
-                    self._intervals.setdefault(app, []).append(intervals)
-                self._burst_counts[app] = self._burst_counts.get(
-                    app, 0
-                ) + len(starts)
-                self._burst_last_start[app] = float(starts[-1])
-            self._burst_last_ts[app] = float(t[-1])
-
-    def _observe_flows(
-        self, apps: np.ndarray, conns: np.ndarray, ts: np.ndarray
-    ) -> None:
-        order = np.lexsort((conns, apps))
-        s_apps = apps[order]
-        s_conns = conns[order]
-        s_ts = ts[order]
-        group_starts = np.flatnonzero(
-            np.concatenate(
-                [
-                    [True],
-                    (s_apps[1:] != s_apps[:-1])
-                    | (s_conns[1:] != s_conns[:-1]),
-                ]
-            )
-        )
-        bounds = np.append(group_starts, len(s_apps))
-        for i, lo in enumerate(group_starts):
-            app = int(s_apps[lo])
-            key = (app << 32) | int(s_conns[lo])
-            t = s_ts[lo : bounds[i + 1]]
-            new_flows = int(np.count_nonzero(np.diff(t) > self.flow_gap))
-            last = self._flow_last.get(key)
-            if last is None or (t[0] - last) > self.flow_gap:
-                new_flows += 1
-            if new_flows:
-                self._flow_counts[app] = (
-                    self._flow_counts.get(app, 0) + new_flows
-                )
-            self._flow_last[key] = float(t[-1])
-
-    def summary(self) -> Dict[int, Tuple[int, int, np.ndarray]]:
-        """app -> (n_flows, n_bursts, intervals), for the readout."""
-        out: Dict[int, Tuple[int, int, np.ndarray]] = {}
-        for app in sorted(self._burst_last_ts):
-            parts = self._intervals.get(app)
-            intervals = (
-                np.concatenate(parts) if parts else np.empty(0, np.float64)
-            )
-            out[app] = (
-                self._flow_counts.get(app, 0),
-                self._burst_counts.get(app, 0),
-                intervals,
-            )
-        return out
-
-    # ------------------------------------------------------------------
-    # Checkpoint round-trip
-    # ------------------------------------------------------------------
-    def payload(self) -> Dict[str, np.ndarray]:
-        """Fixed-name array members (checkpoint serialisation)."""
-        flow_keys = np.array(sorted(self._flow_last), dtype=np.int64)
-        burst_apps = np.array(sorted(self._burst_last_ts), dtype=np.int64)
-        flow_count_apps = np.array(sorted(self._flow_counts), dtype=np.int64)
-        parts = [
-            (
-                np.concatenate(self._intervals[int(app)])
-                if int(app) in self._intervals
-                else np.empty(0, np.float64)
-            )
-            for app in burst_apps
-        ]
-        offsets = np.zeros(len(parts) + 1, dtype=np.int64)
-        if parts:
-            offsets[1:] = np.cumsum([len(p) for p in parts])
-        return {
-            "flow_keys": flow_keys,
-            "flow_last": np.array(
-                [self._flow_last[int(k)] for k in flow_keys], dtype=np.float64
-            ),
-            "flow_count_apps": flow_count_apps,
-            "flow_counts": np.array(
-                [self._flow_counts[int(a)] for a in flow_count_apps],
-                dtype=np.int64,
-            ),
-            "burst_apps": burst_apps,
-            "burst_counts": np.array(
-                [self._burst_counts.get(int(a), 0) for a in burst_apps],
-                dtype=np.int64,
-            ),
-            "burst_last_ts": np.array(
-                [self._burst_last_ts[int(a)] for a in burst_apps],
-                dtype=np.float64,
-            ),
-            "burst_last_start": np.array(
-                [
-                    self._burst_last_start.get(int(a), np.nan)
-                    for a in burst_apps
-                ],
-                dtype=np.float64,
-            ),
-            "interval_offsets": offsets,
-            "intervals": (
-                np.concatenate(parts) if parts else np.empty(0, np.float64)
-            ),
-        }
-
-    @classmethod
-    def from_payload(
-        cls,
-        payload: Dict[str, np.ndarray],
-        flow_gap: float = DEFAULT_FLOW_GAP,
-        burst_gap: float = DEFAULT_BURST_GAP,
-    ) -> "CadenceTracker":
-        tracker = cls(flow_gap, burst_gap)
-        for k, v in zip(payload["flow_keys"], payload["flow_last"]):
-            tracker._flow_last[int(k)] = float(v)
-        for a, c in zip(payload["flow_count_apps"], payload["flow_counts"]):
-            tracker._flow_counts[int(a)] = int(c)
-        offsets = np.asarray(payload["interval_offsets"], np.int64)
-        intervals = np.asarray(payload["intervals"], np.float64)
-        for i, (app, count, last_ts, last_start) in enumerate(
-            zip(
-                payload["burst_apps"],
-                payload["burst_counts"],
-                payload["burst_last_ts"],
-                payload["burst_last_start"],
-            )
-        ):
-            app = int(app)
-            tracker._burst_counts[app] = int(count)
-            tracker._burst_last_ts[app] = float(last_ts)
-            if not np.isnan(last_start):
-                tracker._burst_last_start[app] = float(last_start)
-            lo, hi = int(offsets[i]), int(offsets[i + 1])
-            if hi > lo:
-                tracker._intervals[app] = [intervals[lo:hi].copy()]
-        return tracker
-
-
-class UserStreamAccumulator:
-    """One user's in-flight state: radio carry plus partial totals."""
-
-    def __init__(
-        self,
-        user_id: int,
-        window: Tuple[float, float],
-        cadence: bool = True,
-    ) -> None:
-        self.user_id = user_id
-        self.window = window
-        self.carry: Optional[Dict[str, np.ndarray]] = None
-        self.rows_consumed = 0
-        self.done = False
-        self.idle_energy = 0.0
-        self.energy = KeyedTotals()
-        self.app_state = KeyedTotals()
-        self.bytes = KeyedTotals(dtype=np.int64)
-        self.cadence: Optional[CadenceTracker] = (
-            CadenceTracker() if cadence else None
-        )
-
-    def adopt(
-        self,
-        settled: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
-        carry: Optional[Dict[str, np.ndarray]],
-    ) -> None:
-        """Fold one round's settled packets in; take the new carry."""
-        apps, states, sizes, per_packet = settled
-        self.energy.add(apps, per_packet)
-        self.app_state.add(combined_app_state_keys(apps, states), per_packet)
-        self.bytes.add(
-            combined_app_state_keys(apps, states), sizes.astype(np.int64)
-        )
-        if carry is not None:
-            self.carry = carry
-
-    def observe_chunk(self, packets: PacketArray) -> None:
-        """Feed one raw chunk to the cadence tracker (if enabled)."""
-        if self.cadence is not None:
-            self.cadence.observe(packets)
-
-    def finish(self, model: RadioModel, policy: TailPolicy) -> None:
-        """Settle the pending packet and the idle floor."""
-        carry = (
-            RadioCarry.from_payload(self.carry)
-            if self.carry is not None
-            else None
-        )
-        sim = StreamingAttribution(model, policy, self.window, carry)
-        settled, idle = sim.finish()
-        self.adopt(
-            (settled.apps, settled.states, settled.sizes, settled.per_packet),
-            None,
-        )
-        self.idle_energy = idle
-        self.done = True
-
-    # ------------------------------------------------------------------
-    # Checkpoint round-trip
-    # ------------------------------------------------------------------
-    def to_checkpoint(self) -> UserCheckpoint:
-        if self.done:
-            status = "done"
-        elif self.rows_consumed or self.carry is not None:
-            status = "running"
-        else:
-            status = "pending"
-        energy_keys, energy_values = self.energy.payload()
-        state_keys, state_values = self.app_state.payload()
-        bytes_keys, bytes_values = self.bytes.payload()
-        return UserCheckpoint(
-            user_id=self.user_id,
-            status=status,
-            rows_consumed=self.rows_consumed,
-            carry=self.carry,
-            energy_keys=energy_keys,
-            energy_values=energy_values,
-            state_keys=state_keys,
-            state_values=state_values,
-            bytes_keys=bytes_keys,
-            bytes_values=bytes_values,
-            idle_energy=self.idle_energy,
-            window=self.window,
-            cadence=(
-                self.cadence.payload() if self.cadence is not None else None
-            ),
-        )
-
-    @classmethod
-    def from_checkpoint(
-        cls, saved: UserCheckpoint, window: Tuple[float, float]
-    ) -> "UserStreamAccumulator":
-        acc = cls(saved.user_id, window, cadence=saved.cadence is not None)
-        acc.rows_consumed = saved.rows_consumed
-        acc.carry = saved.carry
-        acc.done = saved.status == "done"
-        acc.idle_energy = saved.idle_energy
-        acc.energy = KeyedTotals(saved.energy_keys, saved.energy_values)
-        acc.app_state = KeyedTotals(saved.state_keys, saved.state_values)
-        acc.bytes = KeyedTotals(
-            saved.bytes_keys, saved.bytes_values, dtype=np.int64
-        )
-        if saved.cadence is not None:
-            acc.cadence = CadenceTracker.from_payload(saved.cadence)
-        return acc
-
-
-class UserStreamResult(UserTotalsView):
-    """One user's finished streaming totals (grouped views).
-
-    A :class:`~repro.core.readout.UserTotalsView` built from the
-    accumulator's finished :class:`~repro.core.readout.KeyedTotals` —
-    the identical view :meth:`StudyEnergy.user_totals
-    <repro.core.accounting.StudyEnergy.user_totals>` derives from the
-    batch arrays.
-    """
-
-    def __init__(self, acc: UserStreamAccumulator) -> None:
-        super().__init__(
-            acc.user_id,
-            acc.energy.as_dict(),
-            acc.app_state.as_dict(),
-            acc.bytes.as_dict(),
-            acc.idle_energy,
-        )
-
-
-class StreamResult(TotalsReadout):
-    """Study-wide totals of one completed streaming ingestion.
-
-    A totals-tier :class:`~repro.core.readout.EnergyReadout`: every
-    reduction replays the exact fold
-    :class:`~repro.core.accounting.StudyEnergy` performs — users in
-    ingestion order through
-    :func:`~repro.core.readout.merge_keyed_totals`, idle via a
-    sequential ``sum`` — so each is bit-identical to its batch
-    counterpart. ``attributed_energy`` is the one exception: the batch
-    scalar sums per-packet arrays whole, an association no stream can
-    replay, so here it is defined as the fold of the (bit-identical)
-    per-app totals.
-    """
-
-    def __init__(
-        self,
-        users: List[UserStreamResult],
-        failures: Optional[Dict[int, TaskFailure]] = None,
-        *,
-        registry=None,
-        windows=None,
-        cadences=None,
-        flow_gap: float = DEFAULT_FLOW_GAP,
-        burst_gap: float = DEFAULT_BURST_GAP,
-    ) -> None:
-        super().__init__(
-            users,
-            registry=registry,
-            windows=windows,
-            cadences=cadences,
-            flow_gap=flow_gap,
-            burst_gap=burst_gap,
-        )
-        self.users = users
-        self._by_id = {u.user_id: u for u in users}
-        #: Quarantined users: ``{user_id: TaskFailure}``. Only populated
-        #: when the ingestor ran with ``quarantine=True``; these users'
-        #: partial totals are *excluded* from every reduction.
-        self.failures: Dict[int, TaskFailure] = dict(failures or {})
-
-    def user(self, user_id: int) -> UserStreamResult:
-        """One user's totals."""
-        try:
-            return self._by_id[user_id]
-        except KeyError:
-            raise StreamError(f"unknown user id {user_id}") from None
+__all__ = [
+    "CadenceTracker",
+    "StreamChunkTask",
+    "StreamIngestor",
+    "StreamResult",
+    "UserStreamAccumulator",
+    "UserStreamResult",
+]
 
 
 class StreamChunkTask:
@@ -518,6 +128,10 @@ class StreamIngestor:
             paper's default gaps) so the streamed readout can render
             Table 1. Disable to shave the tracker's memory when only
             Figs 1-3 are needed.
+        shard_info: When this ingestor runs one shard of a sharded
+            plan, the shard header dict (``index``/``of``/``manifest``/
+            ``parent_signature``) stamped into every checkpoint it
+            writes. Whole-study runs leave it ``None``.
     """
 
     def __init__(
@@ -534,6 +148,7 @@ class StreamIngestor:
         task_timeout: Optional[float] = None,
         quarantine: bool = False,
         cadence: bool = True,
+        shard_info: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.source = source
         self.model = model
@@ -548,6 +163,7 @@ class StreamIngestor:
         self.task_timeout = task_timeout
         self.quarantine = bool(quarantine)
         self.cadence = bool(cadence)
+        self.shard_info = dict(shard_info) if shard_info is not None else None
         if self.checkpoint_every and self.checkpoint_path is None:
             raise StreamError("checkpoint_every needs a checkpoint_path")
 
@@ -705,6 +321,11 @@ class StreamIngestor:
         checkpoint.verify(
             self.source.signature(), self.model, self.policy
         )
+        if checkpoint.shard != self.shard_info:
+            raise StreamError(
+                "checkpoint shard header does not match this run: "
+                f"checkpoint {checkpoint.shard!r}, run {self.shard_info!r}"
+            )
         saved = {user.user_id: user for user in checkpoint.users}
         if set(saved) != set(order):
             raise StreamError(
@@ -732,6 +353,7 @@ class StreamIngestor:
                 ),
                 cadence_flow_gap=DEFAULT_FLOW_GAP,
                 cadence_burst_gap=DEFAULT_BURST_GAP,
+                shard=self.shard_info,
             )
             checkpoint.save(self.checkpoint_path)
             self.metrics.count("stream.checkpoints")

@@ -22,10 +22,23 @@ import random
 import pytest
 
 from repro import StudyConfig, StudyEnergy, generate_study
-from repro.errors import StreamError, TaskFailure
+from repro.errors import (
+    ShardError,
+    ShardIncomplete,
+    StreamError,
+    TaskFailure,
+)
 from repro.faults import FaultPlan, FaultSpec
 from repro import faults
 from repro.metrics import RunMetrics
+from repro.shard import (
+    ShardManifest,
+    merge_shard_checkpoints,
+    merged_readout,
+    run_all_shards,
+    run_shard,
+    shard_checkpoint_path,
+)
 from repro.stream import CsvStreamSource, NpzStreamSource, StreamIngestor
 from repro.trace.io_text import (
     dataset_from_csv,
@@ -235,6 +248,100 @@ def test_torn_checkpoint_plans(seed, npz_study, tmp_path):
         result = make_ingestor(metrics).run(resume=True)
         assert metrics.counter("faults.checkpoint_fallback") == 1
     assert_streams_equal_batch(result, study)
+
+
+# ----------------------------------------------------------------------
+# Sharded ingestion under fire (repro.shard)
+# ----------------------------------------------------------------------
+SHARD_KILL_SEEDS = [200, 201, 202]
+
+
+@pytest.mark.parametrize("seed", SHARD_KILL_SEEDS)
+def test_shard_worker_killed_mid_ingest(seed, npz_study, tmp_path):
+    """A shard-executor process crashes mid-ingest. The run surfaces a
+    typed ShardError naming the shard, the merge refuses the partial
+    state, and the documented recovery — rerun the same command —
+    resumes from the per-shard checkpoints to an exact merge."""
+    path, study = npz_study
+    rng = random.Random(seed)
+    manifest = ShardManifest.plan(
+        NpzStreamSource(path, chunk_size=CHUNK), 3
+    )
+    shard_dir = tmp_path / "shards"
+    plan = FaultPlan(
+        [
+            FaultSpec(
+                "parallel.worker", "crash", hit=1 + rng.randint(0, 2)
+            )
+        ],
+        seed=seed,
+    )
+    with faults.installed(plan):
+        try:
+            run_all_shards(
+                manifest,
+                shard_dir,
+                shard_workers=2,
+                checkpoint_every=1,
+            )
+            completed = True
+        except ShardError:
+            completed = False
+    if not completed:
+        # The partial state must never merge silently.
+        with pytest.raises((ShardIncomplete, StreamError)):
+            merge_shard_checkpoints(manifest, shard_dir)
+        run_all_shards(
+            manifest, shard_dir, shard_workers=2, checkpoint_every=1
+        )
+    result = merged_readout(manifest, shard_dir)
+    assert_streams_equal_batch(result, study)
+
+
+def test_torn_shard_manifest_refused(npz_study, tmp_path):
+    """A manifest write torn mid-file (the ``shard.manifest`` fault
+    site) fails digest verification on load — never a half-read plan."""
+    path, _ = npz_study
+    manifest = ShardManifest.plan(
+        NpzStreamSource(path, chunk_size=CHUNK), 2
+    )
+    out = tmp_path / "plan.json"
+    plan = FaultPlan(
+        [FaultSpec("shard.manifest", "torn", hit=1, arg=0.5)], seed=5
+    )
+    with faults.installed(plan):
+        manifest.save(out)
+    with pytest.raises(StreamError):
+        ShardManifest.load(out)
+    # The rewrite (disarmed) heals the plan in place.
+    manifest.save(out)
+    assert ShardManifest.load(out).digest() == manifest.digest()
+
+
+def test_corrupt_shard_checkpoint_never_merges_wrong(npz_study, tmp_path):
+    """Corrupt bytes in one shard's checkpoint: the merge refuses with
+    a typed error naming the shard, the rerun fails typed too (the
+    corruption is detected, not resumed into), and after clearing the
+    bad file the plan converges to an exact merge."""
+    path, study = npz_study
+    manifest = ShardManifest.plan(
+        NpzStreamSource(path, chunk_size=CHUNK), 2
+    )
+    shard_dir = tmp_path / "shards"
+    for index in range(2):
+        run_shard(manifest, index, shard_dir)
+    victim = shard_checkpoint_path(shard_dir, 1)
+    victim.write_bytes(b"\x00" * 128)
+    with pytest.raises(ShardIncomplete) as excinfo:
+        merge_shard_checkpoints(manifest, shard_dir)
+    assert excinfo.value.indices == [1]
+    with pytest.raises(StreamError):
+        run_shard(manifest, 1, shard_dir)
+    victim.unlink()
+    run_shard(manifest, 1, shard_dir)
+    assert_streams_equal_batch(
+        merged_readout(manifest, shard_dir), study
+    )
 
 
 # ----------------------------------------------------------------------

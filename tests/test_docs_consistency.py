@@ -1,14 +1,16 @@
-"""docs/API.md and docs/SERVING.md cannot rot.
+"""docs/API.md, docs/SERVING.md and docs/SCALING.md cannot rot.
 
-Three contracts are enforced on every tier-1 run:
+Four contracts are enforced on every tier-1 run:
 
 * Every code span in the first column of a ``## `repro...```-titled
-  section table (in either file) is an attribute of that section's
-  package or a dotted module path, and must import.
+  section table (in any of the three files) is an attribute of that
+  section's package or a dotted module path, and must import.
 * docs/SERVING.md's endpoint table documents exactly the routes the
   server implements (``repro.store.server.ROUTES``).
-* docs/SERVING.md's exit-code table matches the constants the CLI
-  actually exits with.
+* docs/SERVING.md's and docs/SCALING.md's exit-code tables match the
+  constants the CLI actually exits with.
+* docs/SCALING.md's manifest format number matches
+  ``repro.shard.MANIFEST_FORMAT``.
 
 The CLI block in docs/API.md is checked too: every ``repro <command>``
 line must name real subcommands.
@@ -23,6 +25,7 @@ import pytest
 DOCS = Path(__file__).resolve().parent.parent / "docs"
 API_MD = DOCS / "API.md"
 SERVING_MD = DOCS / "SERVING.md"
+SCALING_MD = DOCS / "SCALING.md"
 SECTION_RE = re.compile(r"^## `(repro[a-z_.]*)`")
 HEADING_RE = re.compile(r"^#{1,6} ")
 CODE_RE = re.compile(r"`([^`]+)`")
@@ -54,7 +57,9 @@ def _documented_symbols(path):
 
 
 SYMBOLS = sorted(
-    set(_documented_symbols(API_MD)) | set(_documented_symbols(SERVING_MD))
+    set(_documented_symbols(API_MD))
+    | set(_documented_symbols(SERVING_MD))
+    | set(_documented_symbols(SCALING_MD))
 )
 
 
@@ -64,6 +69,7 @@ def test_docs_were_parsed():
     packages = {package for package, _ in SYMBOLS}
     assert len(packages) >= 8
     assert "repro.store" in packages
+    assert "repro.shard" in packages
 
 
 @pytest.mark.parametrize(
@@ -127,6 +133,31 @@ def test_serving_md_exit_codes_match_cli_constants():
     assert "NeedsPacketDetail" in rows[str(cli.EXIT_NEEDS_PACKET_DETAIL)]
     assert cli.EXIT_STORE_MISS == 4
     assert "--store-only" in rows[str(cli.EXIT_STORE_MISS)]
+
+
+def test_scaling_md_exit_codes_match_cli_constants():
+    """docs/SCALING.md documents the full exit-code set including the
+    shard-merge refusal code."""
+    from repro import cli
+
+    rows = {
+        span: line
+        for span, line in _table_first_cells(SCALING_MD, "CLI exit codes")
+    }
+    assert set(rows) == {"0", "2", "3", "4", "5"}
+    assert cli.EXIT_SHARD_INCOMPLETE == 5
+    assert "ShardIncomplete" in rows[str(cli.EXIT_SHARD_INCOMPLETE)]
+    assert "repro shard run" in rows[str(cli.EXIT_SHARD_INCOMPLETE)]
+
+
+def test_scaling_md_manifest_format_is_current():
+    from repro.shard import MANIFEST_FORMAT
+
+    text = SCALING_MD.read_text()
+    assert f"reads format `{MANIFEST_FORMAT}`" in text, (
+        "docs/SCALING.md must document the current manifest format "
+        f"({MANIFEST_FORMAT})"
+    )
 
 
 def test_serving_md_analysis_names_are_current():

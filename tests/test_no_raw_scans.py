@@ -24,6 +24,7 @@ import pytest
 
 CORE = Path(__file__).resolve().parents[1] / "src" / "repro" / "core"
 STREAM = Path(__file__).resolve().parents[1] / "src" / "repro" / "stream"
+SHARD = Path(__file__).resolve().parents[1] / "src" / "repro" / "shard"
 
 #: Patterns that indicate an ad-hoc per-app or per-state scan.
 FORBIDDEN = (
@@ -48,6 +49,10 @@ def _stream_sources():
     return sorted(STREAM.glob("*.py"))
 
 
+def _shard_sources():
+    return sorted(SHARD.glob("*.py"))
+
+
 def _scan(path):
     offending = []
     for lineno, line in enumerate(path.read_text().splitlines(), start=1):
@@ -68,6 +73,10 @@ def test_stream_package_exists():
     assert _stream_sources(), f"no sources under {STREAM}"
 
 
+def test_shard_package_exists():
+    assert _shard_sources(), f"no sources under {SHARD}"
+
+
 @pytest.mark.parametrize("path", _core_sources(), ids=lambda p: p.name)
 def test_no_raw_scans_in_core(path):
     offending = _scan(path)
@@ -86,9 +95,16 @@ FAULT_PATH_SOURCES = (
     SRC / "faults.py",
     SRC / "parallel.py",
     SRC / "trace" / "io_text.py",
+    SRC / "stream" / "accumulate.py",
+    SRC / "stream" / "cadence.py",
     SRC / "stream" / "checkpoint.py",
     SRC / "stream" / "chunks.py",
     SRC / "stream" / "ingest.py",
+    # The shard layers exist to refuse partial state with typed
+    # errors; a swallowed exception there is a wrong merge waiting.
+    SRC / "shard" / "plan.py",
+    SRC / "shard" / "execute.py",
+    SRC / "shard" / "merge.py",
     # The readout layer gates per-packet analyses with typed errors;
     # swallowing one would hide the gate and return wrong answers.
     SRC / "core" / "readout.py",
@@ -140,5 +156,18 @@ def test_no_raw_scans_in_stream(path):
     assert not offending, (
         "raw per-app/per-state scans in repro.stream — accumulate through "
         "KeyedTotals / the carry-bincount path instead:\n"
+        + "\n".join(offending)
+    )
+
+
+@pytest.mark.parametrize("path", _shard_sources(), ids=lambda p: p.name)
+def test_no_raw_scans_in_shard(path):
+    """The shard layers only route users and fold checkpoints; any
+    per-app/per-state scan here would mean analysis logic leaked out
+    of the accumulators into the orchestration layer."""
+    offending = _scan(path)
+    assert not offending, (
+        "raw per-app/per-state scans in repro.shard — shard code routes "
+        "users and merges checkpoints, it never touches packet columns:\n"
         + "\n".join(offending)
     )
