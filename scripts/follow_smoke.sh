@@ -1,0 +1,192 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the live-monitoring contract
+# (docs/MONITORING.md): tail growing per-user CSVs with `repro follow`,
+# see a streaming headline, SIGTERM the follower (exit 6), resume it
+# (`--resume`), and prove the published live windows are byte-identical
+# to a follower that was never interrupted. Finishes by serving the
+# live store with `repro serve --live` and curling the /live routes.
+#
+# Run from anywhere; needs only python + numpy + curl. CI runs this as
+# the follow-smoke job.
+set -eu
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d)"
+follow_pid=""
+serve_pid=""
+cleanup() {
+    [ -n "$follow_pid" ] && kill "$follow_pid" 2>/dev/null || true
+    [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+WINDOW="short=14400:3600"
+
+echo "==> synthesise a tiny study as per-user CSV tails"
+# The live-store key fingerprints fold in the tailed paths (the
+# source signature), so the reference run and the interrupted run must
+# tail the SAME files: write the full CSVs, run the reference over
+# them, then truncate the packets back to half for the live run.
+python - "$workdir" <<'EOF'
+import sys
+from pathlib import Path
+
+from repro import StudyConfig, generate_study
+from repro.trace.io_text import write_events_csv, write_packets_csv
+
+work = Path(sys.argv[1])
+dataset = generate_study(StudyConfig(n_users=2, duration_days=2.0, seed=23))
+(work / "live").mkdir()
+for user in dataset.users:
+    packets = work / "live" / f"u{user.user_id}.csv"
+    events = work / "live" / f"u{user.user_id}.events.csv"
+    write_packets_csv(packets, user.packets, dataset.registry)
+    write_events_csv(events, user.events, dataset.registry)
+    # Stash the halves: the live run starts from ~half the packet
+    # lines (header included, always whole lines) and the rest gets
+    # appended mid-follow; events stay complete throughout.
+    lines = packets.read_text().splitlines(keepends=True)
+    half = 1 + (len(lines) - 1) // 2
+    (work / f"half_u{user.user_id}").write_text("".join(lines[:half]))
+    (work / f"rest_u{user.user_id}").write_text("".join(lines[half:]))
+EOF
+
+users_live=""
+for u in "$workdir"/live/u*.csv; do
+    [ "${u%.events.csv}" = "$u" ] || continue
+    name="$(basename "$u")"
+    users_live="$users_live --user $workdir/live/$name:$workdir/live/${name%.csv}.events.csv"
+done
+
+echo "==> reference: follow the complete tails to idle, publish to a store"
+# shellcheck disable=SC2086
+python -m repro.cli follow $users_live \
+    --checkpoint "$workdir/ref.ckpt.npz" --store "$workdir/refstore" \
+    --window "$WINDOW" --poll-interval 0.05 --idle-exit 2 \
+    >"$workdir/ref.out"
+grep -q "\[short #" "$workdir/ref.out" || {
+    echo "FAIL: reference run emitted no headline"; cat "$workdir/ref.out"; exit 1;
+}
+
+echo "==> rewind the packet tails to their first half"
+for half in "$workdir"/half_u*; do
+    uid="${half##*half_}"
+    cp "$half" "$workdir/live/$uid.csv"
+done
+
+echo "==> live: follow the half-written tails in the background"
+# shellcheck disable=SC2086
+python -m repro.cli follow $users_live \
+    --checkpoint "$workdir/live.ckpt.npz" --store "$workdir/livestore" \
+    --window "$WINDOW" --poll-interval 0.1 \
+    >"$workdir/live.out" 2>&1 &
+follow_pid=$!
+
+for _ in $(seq 1 100); do
+    grep -q "\[short #" "$workdir/live.out" 2>/dev/null && break
+    kill -0 "$follow_pid" 2>/dev/null || {
+        echo "follower exited early:"; cat "$workdir/live.out"; exit 1;
+    }
+    sleep 0.2
+done
+grep -q "\[short #" "$workdir/live.out" || {
+    echo "FAIL: no live headline appeared"; cat "$workdir/live.out"; exit 1;
+}
+echo "    live headline seen: $(grep -m1 '\[short #' "$workdir/live.out")"
+
+echo "==> append the rest of the rows while the follower runs"
+for rest in "$workdir"/rest_u*; do
+    uid="${rest##*rest_}"
+    cat "$rest" >> "$workdir/live/$uid.csv"
+done
+sleep 1
+
+echo "==> SIGTERM the follower: it must checkpoint and exit 6"
+kill -TERM "$follow_pid"
+rc=0; wait "$follow_pid" || rc=$?
+follow_pid=""
+[ "$rc" = 6 ] || {
+    echo "FAIL: SIGTERM exit code $rc, wanted 6"; cat "$workdir/live.out"; exit 1;
+}
+[ -f "$workdir/live.ckpt.npz" ] || { echo "FAIL: no checkpoint"; exit 1; }
+echo "    exit 6, checkpoint on disk"
+
+echo "==> resume to idle; the published windows must match the reference"
+# shellcheck disable=SC2086
+python -m repro.cli follow $users_live \
+    --checkpoint "$workdir/live.ckpt.npz" --store "$workdir/livestore" \
+    --window "$WINDOW" --poll-interval 0.05 --idle-exit 2 --resume \
+    >"$workdir/resume.out"
+
+cmp "$workdir/refstore/live.json" "$workdir/livestore/live.json" || {
+    echo "FAIL: live.json differs between interrupted and reference runs"
+    diff "$workdir/refstore/live.json" "$workdir/livestore/live.json" || true
+    exit 1
+}
+echo "    live.json byte-identical"
+
+# Blob files are named by the store-key digest, and live keys fold the
+# window's fold digest into the fingerprint — so an interrupted-and-
+# resumed follower must produce the *same file names with the same
+# bytes* as the uninterrupted reference.
+python - "$workdir" <<'EOF'
+import sys
+from pathlib import Path
+
+work = Path(sys.argv[1])
+def blobs(store):
+    return {
+        p.name: p.read_bytes()
+        for p in sorted((work / store / "blobs").iterdir())
+        if p.suffix in (".txt", ".json")
+    }
+ref, live = blobs("refstore"), blobs("livestore")
+assert ref, "reference store published nothing"
+assert ref.keys() == live.keys(), (
+    f"blob sets differ: {sorted(ref.keys() ^ live.keys())}"
+)
+for name, data in ref.items():
+    assert live[name] == data, f"blob {name} differs byte-wise"
+print(f"    {len(ref)} published blob(s) byte-identical across runs")
+EOF
+
+echo "==> serve the live store and curl the /live routes"
+python -m repro.cli serve --live --store "$workdir/livestore" --port 0 --quiet \
+    >"$workdir/serve.out" 2>&1 &
+serve_pid=$!
+base=""
+for _ in $(seq 1 50); do
+    if grep -q "serving live windows" "$workdir/serve.out" 2>/dev/null; then
+        base="$(sed -n 's/.* on \(http:[^ ]*\).*/\1/p' "$workdir/serve.out")"
+        break
+    fi
+    kill -0 "$serve_pid" 2>/dev/null || {
+        echo "serve exited early:"; cat "$workdir/serve.out"; exit 1;
+    }
+    sleep 0.2
+done
+[ -n "$base" ] || { echo "no serve banner:"; cat "$workdir/serve.out"; exit 1; }
+
+expect_status() {
+    url="$1"; want="$2"; shift 2
+    got="$(curl -s -o /dev/null -w '%{http_code}' "$@" "$url")"
+    if [ "$got" != "$want" ]; then
+        echo "FAIL: $url returned $got, wanted $want"
+        exit 1
+    fi
+    echo "    $want $url"
+}
+
+expect_status "$base/live/" 200
+expect_status "$base/live/short/headlines" 200
+etag="$(curl -s -D - -o /dev/null "$base/live/short/headlines" \
+    | tr -d '\r' | sed -n 's/^ETag: //p')"
+[ -n "$etag" ] || { echo "FAIL: no ETag on /live/short/headlines"; exit 1; }
+expect_status "$base/live/short/headlines" 304 -H "If-None-Match: $etag"
+expect_status "$base/live/nope/headlines" 404
+expect_status "$base/headlines" 404   # live-only server: no study loaded
+
+echo "follow smoke: OK"

@@ -54,6 +54,23 @@ from repro.errors import (
     NeedsPacketDetail,
     ReproError,
     ShardIncomplete,
+    SourceTruncated,
+)
+from repro.exitcodes import (
+    EXIT_FOLLOW_INTERRUPTED,
+    EXIT_NEEDS_PACKET_DETAIL,
+    EXIT_OK,
+    EXIT_SHARD_INCOMPLETE,
+    EXIT_SOURCE_TRUNCATED,
+    EXIT_STORE_MISS,
+    EXIT_USAGE,
+)
+from repro.follow import (
+    DEFAULT_WINDOWS,
+    Follower,
+    NpzDropSource,
+    TailCsvSource,
+    parse_window_spec,
 )
 from repro.core import (
     background_energy_fraction,
@@ -112,16 +129,9 @@ from repro.lab import (
 )
 from repro.trace.dataset import Dataset
 
-#: Exit code when an analysis needs per-packet arrays the given source
-#: (a totals-tier checkpoint) cannot provide.
-EXIT_NEEDS_PACKET_DETAIL = 3
-
-#: Exit code when ``--store-only`` finds no cached entry for the key.
-EXIT_STORE_MISS = 4
-
-#: Exit code when ``repro shard merge`` (or ``repro ingest --shards``)
-#: finds a shard missing or not finished — re-run `repro shard run`.
-EXIT_SHARD_INCOMPLETE = 5
+# Exit codes live in repro.exitcodes (the one table docs and tests
+# check against); the names above are re-exported here because this
+# module has always been their import site.
 
 #: Table 2's six apps.
 TABLE2_APPS = (
@@ -926,18 +936,35 @@ def _cmd_lab(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    source = _store_source(args)
+    if args.live:
+        if not args.store:
+            print(
+                "serve --live needs --store DIR (the store a `repro "
+                "follow` publisher writes into)",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        source = None
+    else:
+        source = _store_source(args)
     store_dir = args.store or tempfile.mkdtemp(prefix="repro-store-")
     store = ResultStore(store_dir, metrics=_metrics(args))
     server = make_server(
         source, store, host=args.host, port=args.port, quiet=args.quiet
     )
     host, port = server.server_address
-    print(
-        f"serving study {server.study_id} on http://{host}:{port} "
-        f"(store: {store_dir})",
-        flush=True,
-    )
+    if args.live:
+        print(
+            f"serving live windows on http://{host}:{port} "
+            f"(store: {store_dir})",
+            flush=True,
+        )
+    else:
+        print(
+            f"serving study {server.study_id} on http://{host}:{port} "
+            f"(store: {store_dir})",
+            flush=True,
+        )
     try:
         if args.max_requests:
             for _ in range(args.max_requests):
@@ -949,6 +976,62 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.server_close()
     return 0
+
+
+def _cmd_follow(args: argparse.Namespace) -> int:
+    metrics = _metrics(args)
+    if bool(args.user) == bool(args.drops):
+        print(
+            "follow needs exactly one of --user PACKETS_CSV[:EVENTS_CSV] "
+            "(repeatable) or --drops DIR",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    if args.drops:
+        source = NpzDropSource(args.drops, chunk_size=args.chunk_size)
+    else:
+        pairs = []
+        for spec in args.user:
+            parts = spec.split(":")
+            events = parts[1] if len(parts) > 1 and parts[1] else None
+            pairs.append((parts[0], events))
+        source = TailCsvSource(pairs, chunk_size=args.chunk_size)
+    windows = (
+        tuple(parse_window_spec(text) for text in args.window)
+        if args.window
+        else DEFAULT_WINDOWS
+    )
+    store = (
+        ResultStore(args.store, metrics=metrics) if args.store else None
+    )
+    follower = Follower(
+        source,
+        checkpoint_path=args.checkpoint,
+        model=get_model(args.model),
+        windows=windows,
+        store=store,
+        checkpoint_every=args.checkpoint_every,
+        poll_interval=args.poll_interval,
+        max_pending=args.max_pending,
+        top_n=args.top_n,
+        metrics=metrics,
+    )
+    why = follower.run(
+        resume=args.resume,
+        max_polls=args.max_polls,
+        idle_exit=args.idle_exit,
+    )
+    counters = metrics.as_dict()["counters"]
+    print(
+        f"follow {why}: {counters.get('follow.chunks', 0)} chunk(s), "
+        f"{counters.get('follow.packets', 0)} packet(s), "
+        f"{len(follower.headline_log)} headline(s); checkpoint "
+        f"{args.checkpoint} (continue with --resume)",
+        flush=True,
+    )
+    if why == "interrupted":
+        return EXIT_FOLLOW_INTERRUPTED
+    return EXIT_OK
 
 
 def _cmd_store(args: argparse.Namespace) -> int:
@@ -1079,7 +1162,118 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--quiet", action="store_true", help="suppress per-request logs"
     )
+    p.add_argument(
+        "--live",
+        action="store_true",
+        help=(
+            "serve only the /live/ routes over the windows a `repro "
+            "follow` publisher maintains in --store (no study readout)"
+        ),
+    )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "follow",
+        help=(
+            "live monitoring: tail a growing source, keep rolling "
+            "windows, emit headlines"
+        ),
+    )
+    p.add_argument(
+        "--user",
+        action="append",
+        help="tail one user's PACKETS_CSV[:EVENTS_CSV] (repeatable)",
+    )
+    p.add_argument(
+        "--drops",
+        metavar="DIR",
+        help="follow a directory collecting per-day .npz study drops",
+    )
+    p.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        required=True,
+        help="follow state file (windows, cursors, headline state)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from --checkpoint instead of starting over",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=16,
+        metavar="N",
+        help="checkpoint every N processed chunks (and on SIGTERM/SIGINT)",
+    )
+    p.add_argument(
+        "--store",
+        metavar="DIR",
+        help=(
+            "results store to publish live windows into (serve them "
+            "with `repro serve --live --store DIR`)"
+        ),
+    )
+    p.add_argument(
+        "--window",
+        action="append",
+        metavar="NAME=SPAN:BUCKET",
+        help=(
+            "maintain this rolling window (seconds; repeatable; "
+            "default hour=3600:300 day=86400:7200 week=604800:43200)"
+        ),
+    )
+    p.add_argument(
+        "--poll-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="sleep this long between polls that found no new data",
+    )
+    p.add_argument(
+        "--max-polls",
+        type=int,
+        metavar="N",
+        help="stop after N poll iterations (for tests and smoke runs)",
+    )
+    p.add_argument(
+        "--idle-exit",
+        type=int,
+        metavar="N",
+        help="exit once N consecutive polls found no new data",
+    )
+    p.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        metavar="N",
+        help=(
+            "bound on queued chunks awaiting attribution (backpressure: "
+            "polling pauses at the bound; see the follow.lag_chunks gauge)"
+        ),
+    )
+    p.add_argument(
+        "--top-n", type=int, default=5, help="headline top-N size"
+    )
+    p.add_argument(
+        "--chunk-size",
+        type=int,
+        default=DEFAULT_CHUNK_SIZE,
+        help="maximum packets held in memory per chunk",
+    )
+    p.add_argument(
+        "--model",
+        default="lte",
+        choices=available_models(),
+        help="radio power model for energy attribution",
+    )
+    p.add_argument(
+        "--metrics-json",
+        metavar="FILE",
+        help="write run metrics as JSON; '-' for stdout",
+    )
+    p.set_defaults(func=_cmd_follow)
 
     p = sub.add_parser(
         "store", help="inspect and maintain a persistent results store"
@@ -1405,6 +1599,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ShardIncomplete as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_SHARD_INCOMPLETE
+    except SourceTruncated as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_SOURCE_TRUNCATED
     out = getattr(args, "metrics_json", None)
     if out:
         metrics.write_json(out)

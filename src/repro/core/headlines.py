@@ -21,7 +21,7 @@ from repro.core.transitions import (
     fraction_of_apps_above,
 )
 from repro.core.whatif import savings_on_affected_days, total_savings
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, StreamError, TraceError
 
 
 @dataclass(frozen=True)
@@ -41,22 +41,32 @@ def totals_headline_stats(readout: EnergyReadout) -> List[Headline]:
     state) energy totals, so a checkpoint-loaded ingest renders them
     byte-identically to the batch engine. The remaining headlines
     (first-minute criterion, what-if savings) replay packets;
-    :func:`headline_stats` appends those.
+    :func:`headline_stats` appends those. Sources whose registry has
+    no Chrome at all (real traces, live windows) skip the Chrome line
+    rather than fail — same rule as the Weibo headline below.
     """
-    return [
+    headlines = [
         Headline(
             "background_fraction",
             "fraction of network energy in background states",
             0.84,
             background_energy_fraction(readout),
         ),
-        Headline(
-            "chrome_background_fraction",
-            "fraction of Chrome's energy in background states",
-            0.30,
-            background_energy_fraction(readout, "com.android.chrome"),
-        ),
     ]
+    try:
+        headlines.append(
+            Headline(
+                "chrome_background_fraction",
+                "fraction of Chrome's energy in background states",
+                0.30,
+                background_energy_fraction(readout, "com.android.chrome"),
+            )
+        )
+    except (AnalysisError, TraceError, StreamError):
+        # Registry or app absent, or the app spent nothing in this
+        # window (live folds) — nothing to measure.
+        pass
+    return headlines
 
 
 def headline_stats(study: StudyEnergy) -> List[Headline]:

@@ -546,6 +546,45 @@ class TotalsReadout:
         return AppCadence(app_id, flow_gap, burst_gap, tuple(per_user))
 
 
+class WindowedTotalsReadout(TotalsReadout):
+    """A rolling-window slice of the stream as a first-class readout.
+
+    Built by :class:`repro.follow.WindowRing` from the buckets of one
+    sealed window: the same :class:`UserTotalsView` per user (folded
+    bucket-by-bucket through :func:`merge_keyed_totals`), so every
+    totals-tier analysis and every renderer in
+    :data:`repro.store.render.ANALYSES` works on it unchanged. Idle
+    energy is 0.0 — tails are only final when the stream ends, so a
+    live window reports attributed energy only. Cadence is ``None``
+    (windows carry no flow/burst history), so Table 1 correctly
+    refuses with :class:`~repro.errors.NeedsPacketDetail`.
+    """
+
+    def __init__(
+        self,
+        totals: Iterable[UserTotalsView],
+        *,
+        window_name: str,
+        window_start: float,
+        window_end: float,
+        registry: Optional[AppRegistry] = None,
+        provenance: Optional[ReadoutProvenance] = None,
+    ) -> None:
+        span = (float(window_start), float(window_end))
+        totals = list(totals)
+        super().__init__(
+            totals,
+            registry=registry,
+            windows={t.user_id: span for t in totals},
+            cadences=None,
+            provenance=provenance,
+        )
+        #: Which configured window this is (``"hour"``, ``"day"``, ...).
+        self.window_name = str(window_name)
+        #: Wall-clock (trace-time) bounds of the window, seconds.
+        self.window_start, self.window_end = span
+
+
 def readout_from_checkpoint(path) -> TotalsReadout:
     """Load a finished ingest checkpoint as a totals-tier readout.
 

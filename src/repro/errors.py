@@ -107,6 +107,42 @@ class ShardIncomplete(ShardError):
         )
 
 
+class FollowError(StreamError):
+    """Invalid live-follow state: a tail cursor that no longer matches
+    the file behind it, an npz drop directory whose app registry is not
+    an extension of the one already followed, or a follow checkpoint
+    from a different source/window configuration. A
+    :class:`StreamError` subclass so generic stream handlers keep
+    working."""
+
+
+class SourceTruncated(FollowError):
+    """A tailed source shrank underneath the follower.
+
+    Raised by the tailing sources when a stat of the followed file
+    reports fewer bytes than the cursor already consumed — the file was
+    truncated or replaced, so the cursor's byte offset no longer points
+    at the data whose totals were folded. The follower checkpoints and
+    stops rather than fold a rewritten history into the windows; point
+    ``repro follow`` at the new file with a fresh checkpoint. Exit
+    code 7 on the CLI.
+    """
+
+    def __init__(self, path: str, consumed: int, size: int) -> None:
+        self.path = str(path)
+        self.consumed = int(consumed)
+        self.size = int(size)
+        super().__init__(
+            f"tailed file {self.path} shrank from {self.consumed} "
+            f"consumed byte(s) to {self.size} — it was truncated or "
+            "replaced, so the follow cursor is invalid. Start a fresh "
+            "follow (new --checkpoint) against the current file."
+        )
+
+    def __reduce__(self):
+        return (SourceTruncated, (self.path, self.consumed, self.size))
+
+
 class FaultInjected(ReproError):
     """An error thrown on purpose by :mod:`repro.faults` at an armed
     fault site. Only ever raised while a :class:`~repro.faults.FaultPlan`

@@ -56,6 +56,8 @@ SITES = (
     "npz.member",  # streamed .npz packet member (action: truncate)
     "checkpoint.save",  # checkpoint write (action: torn)
     "shard.manifest",  # shard manifest write (action: torn)
+    "follow.tail",  # live-follow tail poll, before any read
+    "follow.evict",  # live-follow ring eviction, before buckets drop
 )
 
 #: Which actions make sense at which sites. ``crash``/``hang``/``raise``
@@ -68,6 +70,8 @@ SITE_ACTIONS: Dict[str, Sequence[str]] = {
     "npz.member": ("truncate",),
     "checkpoint.save": ("torn",),
     "shard.manifest": ("torn",),
+    "follow.tail": ("raise", "crash"),
+    "follow.evict": ("raise", "crash"),
 }
 
 #: Exit code of an injected ``crash`` — distinctive in worker logs.

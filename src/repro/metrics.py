@@ -35,6 +35,7 @@ DERIVED_RATES = (
     ("ingest_packets_per_s", "stream.packets", "stream.attribute"),
     ("serve_requests_per_s", "serve.requests", "serve.request"),
     ("shard_packets_per_s", "stream.packets", "shard.execute"),
+    ("follow_packets_per_s", "follow.packets", "follow.attribute"),
 )
 
 
@@ -47,6 +48,7 @@ class RunMetrics:
         self._stage_calls: Dict[str, int] = {}
         self._counters: Dict[str, int] = {}
         self._samples: Dict[str, List[str]] = {}
+        self._gauges: Dict[str, tuple] = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -77,6 +79,29 @@ class RunMetrics:
         if len(bucket) < limit:
             bucket.append(str(value))
 
+    def gauge(self, name: str, value: float) -> None:
+        """Record an instantaneous level under ``name``.
+
+        Unlike a counter, a gauge is a *current* value — queue depth,
+        lag, resident set — so the report keeps both the last reading
+        and the worst (maximum) one. ``repro follow`` uses this for
+        ``follow.lag_chunks``, the pending-chunk backlog after each
+        poll.
+        """
+        _, worst = self._gauges.get(name, (0.0, float("-inf")))
+        value = float(value)
+        self._gauges[name] = (value, max(worst, value))
+
+    def gauge_last(self, name: str) -> Optional[float]:
+        """Last reading of gauge ``name`` (None if never set)."""
+        entry = self._gauges.get(name)
+        return None if entry is None else entry[0]
+
+    def gauge_max(self, name: str) -> Optional[float]:
+        """Worst (maximum) reading of gauge ``name`` (None if never set)."""
+        entry = self._gauges.get(name)
+        return None if entry is None else entry[1]
+
     def absorb(self, payload: dict) -> None:
         """Merge another run's :meth:`as_dict` report into this one.
 
@@ -100,6 +125,12 @@ class RunMetrics:
         for name, values in payload.get("samples", {}).items():
             for value in values:
                 self.sample(name, value)
+        for name, entry in payload.get("gauges", {}).items():
+            last, worst = self._gauges.get(name, (0.0, float("-inf")))
+            self._gauges[name] = (
+                float(entry["last"]),
+                max(worst, float(entry["max"])),
+            )
 
     # ------------------------------------------------------------------
     # Reading
@@ -149,6 +180,10 @@ class RunMetrics:
             "samples": {
                 name: list(values)
                 for name, values in sorted(self._samples.items())
+            },
+            "gauges": {
+                name: {"last": last, "max": worst}
+                for name, (last, worst) in sorted(self._gauges.items())
             },
             "derived": derived,
         }

@@ -33,7 +33,13 @@ from repro.store.render import (
     render_analysis,
     render_headline_rows,
 )
-from repro.store.server import ROUTES, StudyServer, make_server
+from repro.store.server import (
+    LIVE_MANIFEST_NAME,
+    ROUTES,
+    StudyServer,
+    etag_matches,
+    make_server,
+)
 
 __all__ = [
     "ANALYSES",
@@ -41,6 +47,7 @@ __all__ = [
     "ANALYSIS_NAMES",
     "BlobStore",
     "IndexEntry",
+    "LIVE_MANIFEST_NAME",
     "ResultStore",
     "ROUTES",
     "StoreIndex",
@@ -48,6 +55,7 @@ __all__ = [
     "StoredResult",
     "StudyServer",
     "content_checksum",
+    "etag_matches",
     "make_server",
     "media_type",
     "readout_payload",

@@ -338,9 +338,15 @@ class ResultStore:
     def gc(self) -> Tuple[int, int]:
         """Reclaim inconsistent state; returns ``(rows, files)`` removed.
 
-        Drops index rows whose blob is missing or fails its checksum
-        on both generations, blob files no index row references, and
-        compute locks past :data:`LOCK_TIMEOUT_S`.
+        Drops index rows whose blob is missing or fails its checksum on
+        both generations; blob files no index row references (including
+        their ``.prev``/``.tmp`` companions); a live entry's ``.prev``
+        rotation whose bytes no longer match the row's checksum (reads
+        verify against the row, so such a rotation can never be
+        served); ``.tmp`` spills and compute locks older than
+        :data:`LOCK_TIMEOUT_S`. Young ``.tmp`` files survive either
+        way — they may be an in-flight publish whose index row simply
+        has not landed yet.
         """
         rows = self.index.entries()
         dead_rows = [
@@ -349,20 +355,32 @@ class ResultStore:
             if self.blobs.read(e.digest, e.kind, e.checksum) is None
         ]
         removed_rows = self.index.delete(dead_rows)
-        live = {e.digest for e in rows if e.digest not in set(dead_rows)}
+        dead = set(dead_rows)
+        live = {e.digest: e for e in rows if e.digest not in dead}
         removed_files = 0
+        now = time.time()
         for blob in sorted(self.blobs.directory.iterdir()):
-            digest = blob.name.split(".", 1)[0]
-            if digest not in live:
-                try:
+            name = blob.name
+            entry = live.get(name.split(".", 1)[0])
+            try:
+                if name.endswith(".tmp"):
+                    if now - blob.stat().st_mtime > LOCK_TIMEOUT_S:
+                        blob.unlink()
+                        removed_files += 1
+                elif entry is None:
                     blob.unlink()
                     removed_files += 1
-                except OSError:
-                    pass
+                elif name.endswith(".prev"):
+                    if content_checksum(blob.read_bytes()) != entry.checksum:
+                        blob.unlink()
+                        removed_files += 1
+            except OSError:
+                pass
         for lock in sorted(self._locks.glob("*.lock")):
             try:
-                if time.time() - lock.stat().st_mtime > LOCK_TIMEOUT_S:
+                if now - lock.stat().st_mtime > LOCK_TIMEOUT_S:
                     lock.unlink()
+                    removed_files += 1
             except OSError:
                 pass
         return removed_rows, removed_files

@@ -8,28 +8,36 @@ for a multi-month study are answered without a packet in memory.
 Routes (:data:`ROUTES`; the serving contract lives in
 docs/SERVING.md):
 
-========================  =============================================
-``GET /``                 JSON index: study id, model/policy, endpoints
-``GET /figures/{fig}``    rendered Fig 1/2/3 text (``fig1|fig2|fig3``)
-``GET /tables/table1``    rendered Table 1 text
-``GET /headlines``        the totals-tier headline block
-``GET /readouts/{study}`` study-wide aggregates as JSON (the study id
-                          from ``GET /``; any other id is a 404)
-========================  =============================================
+=============================  ========================================
+``GET /``                      JSON index: study id, model/policy,
+                               endpoints, published live windows
+``GET /figures/{fig}``         rendered Fig 1/2/3 text (``fig1|fig2|fig3``)
+``GET /tables/table1``         rendered Table 1 text
+``GET /headlines``             the totals-tier headline block
+``GET /readouts/{study}``      study-wide aggregates as JSON (the study
+                               id from ``GET /``; any other id is a 404)
+``GET /live/``                 the live-window manifest a ``repro
+                               follow`` publisher maintains in this store
+``GET /live/{window}/{analysis}``  one live window's artefact
+=============================  ========================================
 
 Every artefact response carries a **strong ETag** — the quoted store-
 key digest (:meth:`repro.store.keys.StoreKey.etag`). Because the key
 digests everything the artefact depends on, a matching
-``If-None-Match`` answers ``304 Not Modified`` from string comparison
-alone: no store lookup, no blob read, no render. Cold keys render
-once (single-flight, see :class:`repro.store.index.ResultStore`) and
-every later request is one index SELECT plus one verified file read.
+``If-None-Match`` (compared by :func:`etag_matches`) answers ``304 Not
+Modified`` from string comparison alone: no store lookup, no blob
+read, no render. Cold keys render once (single-flight, see
+:class:`repro.store.index.ResultStore`) and every later request is one
+index SELECT plus one verified file read. A live window's fingerprint
+embeds its fold digest, so its ETag moves exactly when some window
+total moves — pollers revalidate for free between seals.
 
 Status codes are deliberately few: ``200`` (artefact served), ``304``
-(conditional hit), ``404`` — unknown route, unknown study id, *or* an
+(conditional hit), ``404`` — unknown route, unknown study id, an
 artefact this readout cannot produce (a per-packet figure, or Table 1
 cadence after ``repro ingest --no-cadence``; the body names the
-reason), ``405`` for non-GET methods.
+reason), or a live window not (yet) published, ``405`` for non-GET
+methods.
 """
 
 from __future__ import annotations
@@ -54,10 +62,41 @@ ROUTES = (
     "/tables/table1",
     "/headlines",
     "/readouts/{study}",
+    "/live/",
+    "/live/{window}/{analysis}",
 )
 
 #: The figure names under ``/figures/``.
 SERVABLE_FIGURES = ("fig1", "fig2", "fig3")
+
+#: The live-window manifest filename inside a store directory — the
+#: file :class:`repro.follow.Follower` rewrites atomically on every
+#: publish. (The string is repeated here rather than imported: the
+#: store must not depend on the follow subsystem, which builds on it.)
+LIVE_MANIFEST_NAME = "live.json"
+
+
+def etag_matches(header: Optional[str], etag: str) -> bool:
+    """Does an ``If-None-Match`` header match one strong ETag?
+
+    Implements the RFC 7232 comparison the conditional-GET paths rely
+    on: the header is a comma-separated list of entity tags; ``*``
+    matches anything; a ``W/`` weak-validator prefix is ignored
+    (``If-None-Match`` uses weak comparison, and our tags are content
+    digests either way). Anything else must equal the quoted digest
+    *exactly* — a tag for a different artefact never revalidates.
+    """
+    if header is None:
+        return False
+    for candidate in header.split(","):
+        candidate = candidate.strip()
+        if candidate == "*":
+            return True
+        if candidate.startswith("W/"):
+            candidate = candidate[2:].strip()
+        if candidate == etag:
+            return True
+    return False
 
 
 class StudyServer(ThreadingHTTPServer):
@@ -78,26 +117,57 @@ class StudyServer(ThreadingHTTPServer):
         metrics: Optional[RunMetrics] = None,
         quiet: bool = False,
     ) -> None:
-        provenance = getattr(readout, "provenance", None)
-        if provenance is None:
-            raise AnalysisError(
-                "cannot serve a readout without provenance (fingerprint/"
-                "model/policy) — load it from a checkpoint or a StudyEnergy"
-            )
+        if readout is None:
+            # Live-only mode (``repro serve --live``): no study readout,
+            # just the /live/ routes over whatever a follower publishes.
+            self.study_id = None
+        else:
+            provenance = getattr(readout, "provenance", None)
+            if provenance is None:
+                raise AnalysisError(
+                    "cannot serve a readout without provenance (fingerprint/"
+                    "model/policy) — load it from a checkpoint or a "
+                    "StudyEnergy"
+                )
+            #: The study id clients address ``/readouts/{study}`` with.
+            self.study_id = provenance.fingerprint
         self.readout = readout
         self.store = store
         self.metrics = metrics if metrics is not None else store.metrics
         self.quiet = quiet
-        #: The study id clients address ``/readouts/{study}`` with.
-        self.study_id = provenance.fingerprint
         super().__init__(address, _Handler)
 
     def key_for(self, analysis: str) -> StoreKey:
         """The store key of one servable analysis over this study."""
         return store_key_for(self.readout, analysis)
 
+    def live_manifest(self) -> Optional[dict]:
+        """The store's live-window manifest, or ``None`` when absent.
+
+        Re-read on every request: the follower replaces the file
+        atomically, so a read sees either the old or the new complete
+        manifest, never a torn one.
+        """
+        path = self.store.directory / LIVE_MANIFEST_NAME
+        try:
+            return json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+
     def index_payload(self) -> dict:
         """What ``GET /`` returns: discovery for curl-level clients."""
+        manifest = self.live_manifest()
+        live = sorted(manifest.get("windows", {})) if manifest else []
+        if self.readout is None:
+            return {
+                "study": None,
+                "model": manifest["model"] if manifest else None,
+                "policy": manifest["policy"] if manifest else None,
+                "users": 0,
+                "endpoints": ["/live/"]
+                + [f"/live/{name}/{{analysis}}" for name in live],
+                "live": live,
+            }
         provenance = self.readout.provenance
         return {
             "study": self.study_id,
@@ -112,6 +182,7 @@ class StudyServer(ThreadingHTTPServer):
                 "/headlines",
                 f"/readouts/{self.study_id}",
             ],
+            "live": live,
         }
 
 
@@ -192,22 +263,26 @@ class _Handler(BaseHTTPRequestHandler):
                 ).encode("utf-8")
                 self._send(200, body, "application/json")
                 return
+            if path == "/live" or path.startswith("/live/"):
+                self._serve_live(path)
+                return
             analysis, reason = self._resolve(path)
             if analysis is None:
                 self._send_not_found(reason)
                 return
+            if self.server.readout is None:
+                self._send_not_found(
+                    "no study loaded (live-only server; see GET /live/)"
+                )
+                return
             key = self.server.key_for(analysis)
             etag = key.etag()
-            conditional = self.headers.get("If-None-Match")
-            if conditional is not None:
-                offered = {v.strip() for v in conditional.split(",")}
-                if etag in offered or "*" in offered:
-                    # The ETag *is* the key digest: equality alone
-                    # proves the client's copy is current — no store
-                    # round trip.
-                    metrics.count("serve.not_modified")
-                    self._send_not_modified(etag)
-                    return
+            if etag_matches(self.headers.get("If-None-Match"), etag):
+                # The ETag *is* the key digest: equality alone proves
+                # the client's copy is current — no store round trip.
+                metrics.count("serve.not_modified")
+                self._send_not_modified(etag)
+                return
             kind = ANALYSIS_KINDS[analysis]
             try:
                 result = self.server.store.get_or_render(
@@ -221,6 +296,67 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_not_found(str(exc))
                 return
             self._send(200, result.data, media_type(kind), etag=etag)
+
+    def _serve_live(self, path: str) -> None:
+        """The ``/live/`` routes: manifest-driven, publisher-rendered.
+
+        Nothing renders here — the follower already rendered and
+        ``put`` every artefact; this side only resolves the manifest to
+        a store key and serves the blob. A manifest entry whose blob is
+        gone (mid-invalidate race) is a plain 404; the next poll sees
+        the new generation.
+        """
+        metrics = self.server.metrics
+        manifest = self.server.live_manifest()
+        if manifest is None:
+            self._send_not_found(
+                "no live windows (no follower has published to this store)"
+            )
+            return
+        parts = [p for p in path.split("/") if p]
+        if parts == ["live"]:
+            body = (json.dumps(manifest, indent=2) + "\n").encode("utf-8")
+            self._send(200, body, "application/json")
+            return
+        if len(parts) != 3:
+            self._send_not_found(
+                f"no route for {path!r} (GET /live/ lists live windows)"
+            )
+            return
+        _, window, analysis = parts
+        entry = manifest.get("windows", {}).get(window)
+        if entry is None:
+            known = ", ".join(sorted(manifest.get("windows", {}))) or "none"
+            self._send_not_found(
+                f"unknown live window {window!r} (published: {known})"
+            )
+            return
+        analyses = manifest.get("analyses", [])
+        if analysis not in analyses:
+            self._send_not_found(
+                f"analysis {analysis!r} is not published live "
+                f"({', '.join(analyses)})"
+            )
+            return
+        key = StoreKey(
+            entry["fingerprint"],
+            manifest["model"],
+            manifest["policy"],
+            analysis,
+        )
+        etag = key.etag()
+        if etag_matches(self.headers.get("If-None-Match"), etag):
+            metrics.count("serve.not_modified")
+            self._send_not_modified(etag)
+            return
+        result = self.server.store.get(key)
+        if result is None:
+            self._send_not_found(
+                f"live window {window!r} has no stored {analysis!r} "
+                "(superseded mid-request; refetch GET /live/)"
+            )
+            return
+        self._send(200, result.data, media_type(result.kind), etag=etag)
 
     def do_HEAD(self) -> None:  # noqa: N802
         self.send_response(405)
@@ -247,6 +383,8 @@ def make_server(
 
     The caller drives it: ``serve_forever()`` until interrupted, or
     ``handle_request()`` N times for bounded runs; ``server_address``
-    reveals the bound port either way.
+    reveals the bound port either way. ``readout=None`` binds a
+    live-only server (``repro serve --live``): just the ``/live/``
+    routes over whatever a follower publishes into ``store``.
     """
     return StudyServer((host, port), readout, store, metrics, quiet=quiet)

@@ -148,6 +148,8 @@ class StreamCheckpoint:
         cadence_flow_gap: float = DEFAULT_FLOW_GAP,
         cadence_burst_gap: float = DEFAULT_BURST_GAP,
         shard: Optional[Dict[str, Any]] = None,
+        extra_json: Optional[str] = None,
+        extra_arrays: Optional[Dict[str, np.ndarray]] = None,
     ) -> None:
         self.signature = signature
         self.model_repr = repr(model)
@@ -167,6 +169,15 @@ class StreamCheckpoint:
         #: a whole-study checkpoint. Readout construction refuses shard
         #: checkpoints — merge them first (``repro shard merge``).
         self.shard = dict(shard) if shard is not None else None
+        #: Subsystem-private extension state riding on the format-2
+        #: machinery: a JSON string in the header plus named arrays
+        #: stored as ``x_``-prefixed members (a namespace no core
+        #: member uses). ``repro follow`` keeps its window rings and
+        #: tail cursors here; readers that do not know the extras
+        #: simply never look at them, and the content checksum covers
+        #: them like everything else.
+        self.extra_json = extra_json
+        self.extra_arrays = dict(extra_arrays) if extra_arrays else {}
 
     # ------------------------------------------------------------------
     # Persistence
@@ -186,8 +197,11 @@ class StreamCheckpoint:
             "flow_gap": self.cadence_flow_gap,
             "burst_gap": self.cadence_burst_gap,
             "shard": self.shard,
+            "extra": self.extra_json,
             "users": [],
         }
+        for name, value in self.extra_arrays.items():
+            arrays[f"x_{name}"] = np.asarray(value)
         for user in self.users:
             uid = user.user_id
             header["users"].append(
@@ -353,6 +367,12 @@ class StreamCheckpoint:
             header.get("burst_gap", DEFAULT_BURST_GAP)
         )
         checkpoint.shard = header.get("shard")
+        checkpoint.extra_json = header.get("extra")
+        checkpoint.extra_arrays = {
+            name[2:]: value
+            for name, value in members.items()
+            if name.startswith("x_")
+        }
         checkpoint.loaded_from_fallback = False
         return checkpoint
 

@@ -76,6 +76,29 @@ def _app_id(registry: AppRegistry, name: str) -> int:
 #: One parsed packets-CSV row: (timestamp, size, direction, app id, conn).
 PacketRow = Tuple[float, int, int, int, int]
 
+#: The packets-CSV schema's required columns.
+PACKET_COLUMNS = frozenset({"timestamp", "size", "direction", "app"})
+
+
+def parse_packet_fields(row, registry: AppRegistry) -> PacketRow:
+    """Parse one raw packets-CSV row dict into a :data:`PacketRow`.
+
+    The single parse used by every packet reader — batch, streaming and
+    the live tail (:class:`repro.follow.TailCsvSource`). Field order
+    matters: timestamp, size and direction parse *before* the app name
+    registers, so a row rejected on those fields leaves the registry
+    untouched and surviving rows get identical app ids everywhere.
+    Raises :class:`TraceError` (or ``ValueError``/``TypeError`` from
+    the numeric casts) on a malformed row.
+    """
+    return (
+        float(row["timestamp"]),
+        int(row["size"]),
+        int(_parse_direction(row["direction"])),
+        _app_id(registry, row["app"]),
+        int(row.get("conn") or 0),
+    )
+
 
 def iter_packet_rows(
     path: PathLike,
@@ -121,13 +144,7 @@ def iter_packet_rows(
                 if spec is not None and spec.action == "corrupt":
                     row = faults.corrupt_row(row)
             try:
-                parsed = (
-                    float(row["timestamp"]),
-                    int(row["size"]),
-                    int(_parse_direction(row["direction"])),
-                    _app_id(registry, row["app"]),
-                    int(row.get("conn") or 0),
-                )
+                parsed = parse_packet_fields(row, registry)
             except (TraceError, ValueError, TypeError) as exc:
                 error = TraceError(f"{path.name}:{reader.line_num}: {exc}")
                 if on_bad_row is not None:

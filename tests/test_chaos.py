@@ -23,6 +23,7 @@ import pytest
 
 from repro import StudyConfig, StudyEnergy, generate_study
 from repro.errors import (
+    FaultInjected,
     ShardError,
     ShardIncomplete,
     StreamError,
@@ -30,6 +31,7 @@ from repro.errors import (
 )
 from repro.faults import FaultPlan, FaultSpec
 from repro import faults
+from repro.follow import Follower, TailCsvSource, WindowSpec
 from repro.metrics import RunMetrics
 from repro.shard import (
     ShardManifest,
@@ -342,6 +344,121 @@ def test_corrupt_shard_checkpoint_never_merges_wrong(npz_study, tmp_path):
     assert_streams_equal_batch(
         merged_readout(manifest, shard_dir), study
     )
+
+
+# ----------------------------------------------------------------------
+# Live-follow kills (repro.follow): eviction, checkpoint rotation, tail
+# ----------------------------------------------------------------------
+FOLLOW_EVICT_SEEDS = [300, 301]
+FOLLOW_TORN_SEEDS = [310, 311]
+FOLLOW_TAIL_SEEDS = [320, 321]
+
+FOLLOW_WINDOWS = (WindowSpec("lastfour", 14400, 3600),)
+
+
+def make_follower(pairs, checkpoint, metrics=None):
+    """A follower with cadence checkpoints off — every save in these
+    plans is a deliberate one (on stop, error, or idle)."""
+    return Follower(
+        TailCsvSource(pairs, chunk_size=512),
+        checkpoint_path=checkpoint,
+        windows=FOLLOW_WINDOWS,
+        checkpoint_every=10**6,
+        poll_interval=0.0,
+        metrics=metrics,
+        emit=lambda line: None,
+    )
+
+
+def follow_state(follower):
+    """What resume identity is judged on: the headline log plus each
+    ring's final evaluated bucket and exact fold digest."""
+    return (
+        list(follower.headline_log),
+        {
+            name: (ring.last_evaluated, ring.fold_digest(ring.last_evaluated))
+            for name, ring in follower.rings.items()
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def follow_reference(csv_study, tmp_path_factory):
+    """The uninterrupted follow over the chaos CSVs."""
+    pairs, _ = csv_study
+    checkpoint = tmp_path_factory.mktemp("follow_ref") / "follow.npz"
+    follower = make_follower(pairs, checkpoint)
+    assert follower.run(idle_exit=2) == "idle"
+    return follow_state(follower)
+
+
+@pytest.mark.parametrize("seed", FOLLOW_EVICT_SEEDS)
+def test_follow_killed_during_eviction(seed, csv_study, follow_reference, tmp_path):
+    """The fault strikes inside ``WindowRing.evict_through`` — after a
+    window evaluation, before its buckets drop. The error path must
+    still checkpoint, and the resume must replay to the exact windows
+    and headlines of the uninterrupted run."""
+    pairs, _ = csv_study
+    checkpoint = tmp_path / "follow.npz"
+    plan = FaultPlan([FaultSpec("follow.evict", "raise", hit=1)], seed=seed)
+    with faults.installed(plan):
+        with pytest.raises(FaultInjected):
+            make_follower(pairs, checkpoint).run(idle_exit=2)
+    assert checkpoint.exists()
+    resumed = make_follower(pairs, checkpoint)
+    assert resumed.run(resume=True, idle_exit=2) == "idle"
+    assert follow_state(resumed) == follow_reference
+
+
+@pytest.mark.parametrize("seed", FOLLOW_TORN_SEEDS)
+def test_follow_torn_checkpoint_rotation(seed, csv_study, follow_reference, tmp_path):
+    """A checkpoint save torn mid-rotation: the torn file has replaced
+    the good generation, which survives as ``.prev``. Resume falls back
+    to it silently and converges to the uninterrupted state."""
+    pairs, _ = csv_study
+    checkpoint = tmp_path / "follow.npz"
+    rng = random.Random(seed)
+    first = make_follower(pairs, checkpoint)
+    assert first.run(max_polls=1) == "stopped"  # save #1, intact
+    plan = FaultPlan(
+        [
+            FaultSpec(
+                "checkpoint.save", "torn", hit=1, arg=rng.uniform(0.2, 0.8)
+            )
+        ],
+        seed=seed,
+    )
+    with faults.installed(plan):
+        # This run's only save (at stop) tears, rotating save #1 to
+        # ``.prev`` and leaving a corrupt current file.
+        second = make_follower(pairs, checkpoint)
+        assert second.run(resume=True, max_polls=1) == "stopped"
+    metrics = RunMetrics()
+    final = make_follower(pairs, checkpoint, metrics=metrics)
+    assert final.run(resume=True, idle_exit=2) == "idle"
+    assert metrics.counter("faults.checkpoint_fallback") == 1
+    assert follow_state(final) == follow_reference
+
+
+@pytest.mark.parametrize("seed", FOLLOW_TAIL_SEEDS)
+def test_follow_killed_during_partial_tail_read(
+    seed, csv_study, follow_reference, tmp_path
+):
+    """The fault strikes a tail poll — after some users were polled,
+    with their chunks pending but unprocessed. Dropped pending chunks
+    were never cursor-adopted, so the resumed tail re-reads them."""
+    pairs, _ = csv_study
+    checkpoint = tmp_path / "follow.npz"
+    plan = FaultPlan(
+        [FaultSpec("follow.tail", "raise", hit=1 + seed % 2)], seed=seed
+    )
+    with faults.installed(plan):
+        with pytest.raises(FaultInjected):
+            make_follower(pairs, checkpoint).run(idle_exit=2)
+    assert checkpoint.exists()
+    resumed = make_follower(pairs, checkpoint)
+    assert resumed.run(resume=True, idle_exit=2) == "idle"
+    assert follow_state(resumed) == follow_reference
 
 
 # ----------------------------------------------------------------------

@@ -1,16 +1,20 @@
-"""docs/API.md, docs/SERVING.md and docs/SCALING.md cannot rot.
+"""docs/API.md, SERVING.md, SCALING.md and MONITORING.md cannot rot.
 
-Four contracts are enforced on every tier-1 run:
+Five contracts are enforced on every tier-1 run:
 
 * Every code span in the first column of a ``## `repro...```-titled
-  section table (in any of the three files) is an attribute of that
+  section table (in any of the four files) is an attribute of that
   section's package or a dotted module path, and must import.
 * docs/SERVING.md's endpoint table documents exactly the routes the
   server implements (``repro.store.server.ROUTES``).
-* docs/SERVING.md's and docs/SCALING.md's exit-code tables match the
-  constants the CLI actually exits with.
+* Each file's exit-code table matches the constants the CLI actually
+  exits with, and the union of the three tables equals the
+  ``repro.exitcodes`` module exactly — no orphan constants, no
+  undocumented codes.
 * docs/SCALING.md's manifest format number matches
   ``repro.shard.MANIFEST_FORMAT``.
+* docs/MONITORING.md's published-analysis list matches
+  ``repro.follow.LIVE_ANALYSES``.
 
 The CLI block in docs/API.md is checked too: every ``repro <command>``
 line must name real subcommands.
@@ -26,6 +30,7 @@ DOCS = Path(__file__).resolve().parent.parent / "docs"
 API_MD = DOCS / "API.md"
 SERVING_MD = DOCS / "SERVING.md"
 SCALING_MD = DOCS / "SCALING.md"
+MONITORING_MD = DOCS / "MONITORING.md"
 SECTION_RE = re.compile(r"^## `(repro[a-z_.]*)`")
 HEADING_RE = re.compile(r"^#{1,6} ")
 CODE_RE = re.compile(r"`([^`]+)`")
@@ -60,6 +65,7 @@ SYMBOLS = sorted(
     set(_documented_symbols(API_MD))
     | set(_documented_symbols(SERVING_MD))
     | set(_documented_symbols(SCALING_MD))
+    | set(_documented_symbols(MONITORING_MD))
 )
 
 
@@ -70,6 +76,7 @@ def test_docs_were_parsed():
     assert len(packages) >= 8
     assert "repro.store" in packages
     assert "repro.shard" in packages
+    assert "repro.follow" in packages
 
 
 @pytest.mark.parametrize(
@@ -148,6 +155,55 @@ def test_scaling_md_exit_codes_match_cli_constants():
     assert cli.EXIT_SHARD_INCOMPLETE == 5
     assert "ShardIncomplete" in rows[str(cli.EXIT_SHARD_INCOMPLETE)]
     assert "repro shard run" in rows[str(cli.EXIT_SHARD_INCOMPLETE)]
+
+
+def test_monitoring_md_exit_codes_match_cli_constants():
+    """docs/MONITORING.md documents the follow-specific codes."""
+    from repro import exitcodes
+
+    rows = {
+        span: line
+        for span, line in _table_first_cells(MONITORING_MD, "CLI exit codes")
+    }
+    assert set(rows) == {"0", "2", "6", "7"}
+    assert exitcodes.EXIT_FOLLOW_INTERRUPTED == 6
+    follow_row = rows[str(exitcodes.EXIT_FOLLOW_INTERRUPTED)]
+    assert "SIGTERM" in follow_row and "--resume" in follow_row
+    assert exitcodes.EXIT_SOURCE_TRUNCATED == 7
+    assert "SourceTruncated" in rows[str(exitcodes.EXIT_SOURCE_TRUNCATED)]
+
+
+def test_documented_exit_codes_cover_exitcodes_module_exactly():
+    """The union of the three exit-code tables is the whole vocabulary:
+    every ``EXIT_*`` constant in ``repro.exitcodes`` appears in some
+    docs table, and no table invents a code the module lacks."""
+    from repro import exitcodes
+
+    defined = {
+        str(value)
+        for name, value in vars(exitcodes).items()
+        if name.startswith("EXIT_")
+    }
+    documented = {
+        span
+        for path in (SERVING_MD, SCALING_MD, MONITORING_MD)
+        for span, _ in _table_first_cells(path, "CLI exit codes")
+    }
+    assert documented == defined, (
+        f"undocumented codes: {defined - documented}; "
+        f"documented-but-undefined: {documented - defined}"
+    )
+
+
+def test_monitoring_md_live_analyses_are_current():
+    """The documented published-analysis list is the implemented one."""
+    from repro.follow import LIVE_ANALYSES
+
+    text = MONITORING_MD.read_text()
+    assert f"`{' '.join(LIVE_ANALYSES)}`" in text, (
+        "docs/MONITORING.md must list the live analyses exactly as "
+        f"{' '.join(LIVE_ANALYSES)}"
+    )
 
 
 def test_scaling_md_manifest_format_is_current():

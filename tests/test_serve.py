@@ -11,13 +11,24 @@ from repro import StudyConfig, StudyEnergy, generate_study
 from repro.cli import main
 from repro.core.readout import readout_from_checkpoint
 from repro.errors import AnalysisError
+from repro.follow import Follower, TailCsvSource, WindowSpec
 from repro.store import ResultStore, make_server
-from repro.store.server import ROUTES, SERVABLE_FIGURES
+from repro.store.server import (
+    LIVE_MANIFEST_NAME,
+    ROUTES,
+    SERVABLE_FIGURES,
+    etag_matches,
+)
+from repro.trace.io_text import write_events_csv, write_packets_csv
 
 
 @pytest.fixture(scope="module")
-def study():
-    dataset = generate_study(StudyConfig(n_users=2, duration_days=4.0, seed=11))
+def dataset():
+    return generate_study(StudyConfig(n_users=2, duration_days=4.0, seed=11))
+
+
+@pytest.fixture(scope="module")
+def study(dataset):
     return StudyEnergy(dataset, lazy=True)
 
 
@@ -50,6 +61,8 @@ def test_routes_tuple_matches_handler():
         "/tables/table1",
         "/headlines",
         "/readouts/{study}",
+        "/live/",
+        "/live/{window}/{analysis}",
     )
     assert SERVABLE_FIGURES == ("fig1", "fig2", "fig3")
 
@@ -92,6 +105,59 @@ def test_conditional_request_returns_304(served):
     status, _, _ = fetch(base + "/headlines", {"If-None-Match": "*"})
     assert status == 304
     assert store.metrics.counter("serve.not_modified") == 2
+
+
+def test_etag_matches_covers_rfc7232_shapes():
+    etag = '"abc123"'
+    assert etag_matches(etag, etag)
+    assert etag_matches("*", etag)
+    assert etag_matches(f'W/{etag}', etag)  # weak comparison
+    assert etag_matches(f'"zzz", {etag}', etag)  # comma list
+    assert etag_matches(f'W/"zzz", W/{etag}, "yyy"', etag)
+    assert not etag_matches(None, etag)
+    assert not etag_matches("", etag)
+    assert not etag_matches('"zzz"', etag)
+    assert not etag_matches('"abc123', etag)  # malformed quoting
+    assert not etag_matches('abc123', etag)  # unquoted never matches
+
+
+def test_if_none_match_comma_lists_and_weak_validators(served):
+    """Satellite regression: comma-separated lists and W/ weak
+    validators revalidate; a wrong key never 304s."""
+    base, _, _ = served
+    status, headers, _ = fetch(base + "/headlines")
+    assert status == 200
+    etag = headers["ETag"]
+    for header in (
+        etag,
+        f'W/{etag}',
+        f'"deadbeef", {etag}',
+        f'W/"deadbeef", W/{etag}',
+        "*",
+    ):
+        status, _, body = fetch(
+            base + "/headlines", {"If-None-Match": header}
+        )
+        assert status == 304, header
+        assert body == b""
+    for header in ('"deadbeef"', 'W/"deadbeef"', etag.strip('"')):
+        status, _, body = fetch(
+            base + "/headlines", {"If-None-Match": header}
+        )
+        assert status == 200, header
+        assert body
+
+
+def test_wrong_key_never_304s_across_routes(served):
+    """An ETag taken from one artefact must not revalidate another."""
+    base, _, _ = served
+    _, headers, _ = fetch(base + "/figures/fig1")
+    fig1_etag = headers["ETag"]
+    status, _, body = fetch(
+        base + "/headlines", {"If-None-Match": fig1_etag}
+    )
+    assert status == 200
+    assert body
 
 
 def test_304_answers_without_touching_the_store(served):
@@ -183,6 +249,128 @@ def test_parallel_cold_requests_render_once(served):
     assert len({bytes(b) for b in bodies}) == 1
     # Single-flight: exactly one render/publish despite the race.
     assert store.metrics.counter("store.puts") == 1
+
+
+# ----------------------------------------------------------------------
+# Live windows (/live/...)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def live_store(dataset, tmp_path_factory):
+    """A store a follower has published live windows into."""
+    root = tmp_path_factory.mktemp("live")
+    pairs = []
+    for user in dataset.users:
+        packets = root / f"u{user.user_id}.csv"
+        events = root / f"u{user.user_id}_events.csv"
+        write_packets_csv(packets, user.packets, dataset.registry)
+        write_events_csv(events, user.events, dataset.registry)
+        pairs.append((packets, events))
+    store = ResultStore(root / "store")
+    follower = Follower(
+        TailCsvSource(pairs, chunk_size=2048),
+        checkpoint_path=root / "follow.npz",
+        windows=(WindowSpec("short", 43200, 7200),),
+        store=store,
+        poll_interval=0.0,
+        emit=lambda line: None,
+    )
+    assert follower.run(idle_exit=2) == "idle"
+    return store
+
+
+@pytest.fixture
+def live_served(live_store):
+    """A live-only server (no study loaded) over the published store."""
+    server = make_server(None, live_store, quiet=True)
+    host, port = server.server_address
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://{host}:{port}", server, live_store
+    server.shutdown()
+    server.server_close()
+
+
+def test_live_only_index_and_manifest(live_served):
+    base, _, store = live_served
+    status, _, body = fetch(base + "/")
+    assert status == 200
+    payload = json.loads(body)
+    assert payload["study"] is None
+    assert payload["live"] == ["short"]
+    assert "/live/" in payload["endpoints"]
+
+    status, headers, body = fetch(base + "/live/")
+    assert status == 200
+    assert headers["Content-Type"] == "application/json"
+    manifest = json.loads(body)
+    assert manifest == json.loads(
+        (store.directory / LIVE_MANIFEST_NAME).read_text()
+    )
+    assert "short" in manifest["windows"]
+
+
+def test_live_window_serves_with_stable_etag(live_served):
+    base, _, _ = live_served
+    status, headers, body = fetch(base + "/live/short/fig2")
+    assert status == 200
+    assert body
+    etag = headers["ETag"]
+    # The ETag is stable while the fold is: refetch matches.
+    again_status, again_headers, again_body = fetch(base + "/live/short/fig2")
+    assert again_status == 200
+    assert again_headers["ETag"] == etag
+    assert again_body == body
+    for header in (etag, f'W/{etag}', f'"nope", {etag}', "*"):
+        status, _, _ = fetch(
+            base + "/live/short/fig2", {"If-None-Match": header}
+        )
+        assert status == 304, header
+    status, _, _ = fetch(
+        base + "/live/short/fig2", {"If-None-Match": '"nope"'}
+    )
+    assert status == 200
+
+
+def test_live_404s_name_the_problem(live_served):
+    base, _, _ = live_served
+    for path, marker in [
+        ("/live/month/fig1", "short"),  # unknown window lists published
+        ("/live/short/table1", "not published live"),
+        ("/headlines", "no study loaded"),  # live-only server
+        ("/figures/fig1", "no study loaded"),
+    ]:
+        status, _, body = fetch(base + path)
+        assert status == 404, path
+        assert marker in body.decode(), path
+
+
+def test_live_routes_coexist_with_a_study(study, live_store):
+    """A study server over a store with live publishes serves both."""
+    server = make_server(study, live_store, quiet=True)
+    host, port = server.server_address
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://{host}:{port}"
+    try:
+        status, _, body = fetch(base + "/")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["study"] == server.study_id
+        assert payload["live"] == ["short"]
+        status, _, _ = fetch(base + "/live/short/headlines")
+        assert status == 200
+        status, _, _ = fetch(base + "/headlines")
+        assert status == 200
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_live_404_when_store_has_no_manifest(served):
+    base, _, _ = served
+    status, _, body = fetch(base + "/live/")
+    assert status == 404
+    assert "no live windows" in body.decode()
 
 
 def test_server_requires_provenance(tmp_path):

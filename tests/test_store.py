@@ -219,6 +219,60 @@ def test_gc_reclaims_orphans_and_dead_rows(store, study):
     assert len(store.entries()) == 2
 
 
+def test_gc_reclaims_prev_rotations_and_stale_locks(store, study):
+    """Regression: gc also removes a live entry's mismatched ``.prev``
+    rotation, stale ``.tmp`` spills and compute locks past the
+    single-flight timeout — while sparing everything still useful."""
+    import os
+    import time
+
+    from repro.store.index import LOCK_TIMEOUT_S
+
+    mismatched = store_key_for(study, "fig1")
+    store.put(mismatched, b"generation one")
+    store.put(mismatched, b"generation two")  # .prev no longer matches
+    matching = store_key_for(study, "fig3")
+    store.put(matching, b"same bytes")
+    store.put(matching, b"same bytes")  # .prev matches the row
+
+    blobs = store.blobs.directory
+    bad_prev = blobs / (
+        store.blobs.path_for(mismatched.digest(), "text").name + ".prev"
+    )
+    good_prev = blobs / (
+        store.blobs.path_for(matching.digest(), "text").name + ".prev"
+    )
+    assert bad_prev.exists() and good_prev.exists()
+
+    old = time.time() - LOCK_TIMEOUT_S - 10.0
+    stale_tmp = blobs / "feedface.txt.tmp"
+    stale_tmp.write_bytes(b"abandoned spill")
+    os.utime(stale_tmp, (old, old))
+    young_tmp = blobs / "cafebabe.txt.tmp"
+    young_tmp.write_bytes(b"in-flight publish")
+
+    locks = store.directory / "locks"
+    locks.mkdir(exist_ok=True)
+    stale_lock = locks / "feedface.lock"
+    stale_lock.write_bytes(b"")
+    os.utime(stale_lock, (old, old))
+    fresh_lock = locks / "cafebabe.lock"
+    fresh_lock.write_bytes(b"")
+
+    rows, files = store.gc()
+    assert rows == 0
+    assert files == 3  # bad .prev + stale .tmp + stale lock
+    assert not bad_prev.exists()
+    assert not stale_tmp.exists()
+    assert not stale_lock.exists()
+    assert good_prev.exists()
+    assert young_tmp.exists()  # may be an in-flight publish
+    assert fresh_lock.exists()  # its holder may still be rendering
+    # Both entries still serve after the sweep.
+    assert store.get(mismatched).data == b"generation two"
+    assert store.get(matching).data == b"same bytes"
+
+
 # ----------------------------------------------------------------------
 # Fingerprint invalidation end to end (append_user regression)
 # ----------------------------------------------------------------------
