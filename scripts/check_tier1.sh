@@ -5,10 +5,29 @@
 # --chaos runs only the seeded fault-injection suite (fixed seeds are
 # baked into tests/test_chaos.py, so every invocation replays the same
 # fault schedule); see docs/ROBUSTNESS.md.
+#
+# --cov runs the policy/radio test subset under coverage and fails
+# below 90% line coverage of src/repro/policy and src/repro/radio —
+# the two packages whose correctness rests on the property/differential
+# layer (docs/POLICIES.md). Needs pytest-cov; skipped (exit 0, with a
+# note) where it is not installed, so plain containers stay green.
 set -e
 cd "$(dirname "$0")/.."
 if [ "$1" = "--chaos" ]; then
     shift
     set -- tests/test_chaos.py "$@"
+fi
+if [ "$1" = "--cov" ]; then
+    shift
+    if ! python -c "import pytest_cov" 2>/dev/null; then
+        echo "check_tier1: pytest-cov not installed; skipping coverage gate"
+        exit 0
+    fi
+    set -- \
+        --cov=repro.policy --cov=repro.radio \
+        --cov-report=term-missing --cov-fail-under=90 \
+        tests/test_policy_properties.py tests/test_core_whatif.py \
+        tests/test_radio_agreement.py tests/test_radio_vectorized.py \
+        tests/test_radio_machine.py tests/test_stream.py "$@"
 fi
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} exec python -m pytest -x -q "$@"

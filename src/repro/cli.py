@@ -93,6 +93,12 @@ from repro.core.headlines import headline_stats, totals_headline_stats
 from repro.units import battery_fraction
 from repro.core.longitudinal import weekly_background_energy, improved_apps
 from repro.core.recommend import recommendation_report
+from repro.policy import (
+    available_policies,
+    evaluate_policy,
+    get_policy,
+    parse_params,
+)
 from repro.radio.registry import available_models, get_model
 from repro.shard import (
     ShardManifest,
@@ -383,8 +389,17 @@ def _cmd_table(args: argparse.Namespace) -> int:
     if args.number == 1:
         print(report.render_table1(case_study_table(study)))
     elif args.number == 2:
-        results = [kill_policy_savings(study, app) for app in TABLE2_APPS]
-        print(report.render_table2(results))
+        if args.policy:
+            try:
+                policy = get_policy(args.policy, parse_params(args.param))
+            except AnalysisError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return EXIT_USAGE
+            result = evaluate_policy(study, policy, apps=TABLE2_APPS)
+            print(report.render_policy_table(result))
+        else:
+            results = [kill_policy_savings(study, app) for app in TABLE2_APPS]
+            print(report.render_table2(results))
     else:
         print(f"unknown table {args.number}", file=sys.stderr)
         return 2
@@ -468,19 +483,38 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_whatif(args: argparse.Namespace) -> int:
+    params = parse_params(args.param)
+    if args.policy == "kill" and "idle_days" not in params:
+        params["idle_days"] = args.idle_days
+    try:
+        policy = get_policy(args.policy, params)
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.from_checkpoint:
+        # Counterfactuals replay packets: the gate refuses totals-only
+        # checkpoints with a typed NeedsPacketDetail (exit 3).
+        readout = _checkpoint_readout(args)
+        evaluate_policy(readout, policy)
+        return 0
     dataset = _load_dataset(args)
     study = _study(args, dataset)
-    result = kill_policy_savings(study, args.app, idle_days=args.idle_days)
-    print(report.render_table2([result]))
-    print()
-    try:
-        pct = savings_on_affected_days(study, args.app, args.idle_days)
-        print(f"affected-days total savings: {pct:.1f}%")
-    except AnalysisError:
-        print(
-            "affected-days total savings: policy never activates in this "
-            "study (no 3-day idle stretch)"
-        )
+    if args.policy == "kill" and args.app:
+        result = kill_policy_savings(study, args.app, idle_days=args.idle_days)
+        print(report.render_table2([result]))
+        print()
+        try:
+            pct = savings_on_affected_days(study, args.app, args.idle_days)
+            print(f"affected-days total savings: {pct:.1f}%")
+        except AnalysisError:
+            print(
+                "affected-days total savings: policy never activates in this "
+                "study (no 3-day idle stretch)"
+            )
+        return 0
+    detail = (args.app,) if args.app else TABLE2_APPS
+    result = evaluate_policy(study, policy, apps=detail)
+    print(report.render_policy_table(result))
     return 0
 
 
@@ -892,8 +926,13 @@ def _cmd_summary(args: argparse.Namespace) -> int:
 
 
 def _cmd_coalesce(args: argparse.Namespace) -> int:
-    dataset = _load_dataset(args)
-    study = _study(args, dataset)
+    if args.from_checkpoint:
+        # Same typed refusal as `whatif`: coalescing re-attributes a
+        # shifted timeline, which a totals checkpoint cannot replay.
+        study = _checkpoint_readout(args)
+    else:
+        dataset = _load_dataset(args)
+        study = _study(args, dataset)
     result = os_coalescing_savings(study, period=args.period)
     print(
         f"OS-coalesced background scheduling (window {args.period:.0f}s):\n"
@@ -1117,6 +1156,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "number", type=_table_number, help="1-2, 'table1' also accepted"
     )
+    p.add_argument(
+        "--policy",
+        choices=available_policies(),
+        help="render table 2 for one counterfactual policy",
+    )
+    p.add_argument(
+        "--param",
+        action="append",
+        metavar="KEY=VALUE",
+        help="policy parameter override (repeatable)",
+    )
     _add_study_args(p)
     _add_checkpoint_arg(p)
     _add_store_args(p)
@@ -1302,10 +1352,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_store)
 
-    p = sub.add_parser("whatif", help="kill-idle-app policy for one app")
-    p.add_argument("--app", required=True)
+    p = sub.add_parser(
+        "whatif", help="counterfactual policy savings (kill, doze, ...)"
+    )
+    p.add_argument("--app", help="break out one app Table-2 style")
     p.add_argument("--idle-days", type=int, default=3)
+    p.add_argument(
+        "--policy",
+        default="kill",
+        choices=available_policies(),
+        help="counterfactual policy to evaluate",
+    )
+    p.add_argument(
+        "--param",
+        action="append",
+        metavar="KEY=VALUE",
+        help="policy parameter override (repeatable)",
+    )
     _add_study_args(p)
+    _add_checkpoint_arg(p)
     p.set_defaults(func=_cmd_whatif)
 
     p = sub.add_parser(
@@ -1577,6 +1642,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--period", type=float, default=1800.0)
     _add_study_args(p)
+    _add_checkpoint_arg(p)
     p.set_defaults(func=_cmd_coalesce)
 
     p = sub.add_parser("lab", help="in-lab browser & push-library experiments")

@@ -234,6 +234,47 @@ def render_table2(results: List[KillPolicyResult]) -> str:
     )
 
 
+def render_policy_table(result) -> str:
+    """Table-2-style rendering of any counterfactual policy's effect.
+
+    Takes a :class:`repro.policy.PolicyResult`: per-app rows (when the
+    evaluation broke apps out) and the study-wide summary, under any
+    radio model.
+    """
+    lines = []
+    if result.app_rows:
+        headers = ["row"] + [r.app.split(".")[-1] for r in result.app_rows]
+        rows = [
+            ["users with app energy"]
+            + [str(r.users) for r in result.app_rows],
+            ["app energy before (kJ)"]
+            + [f"{r.energy_before / 1e3:.1f}" for r in result.app_rows],
+            ["avg % energy cut"]
+            + [f"{r.avg_reduction_pct:.1f}" for r in result.app_rows],
+            ["overall % energy cut"]
+            + [f"{r.overall_pct:.1f}" for r in result.app_rows],
+        ]
+        lines.append(
+            render_table(
+                headers,
+                rows,
+                title=f"Policy {result.policy} on {result.model}: per-app effect",
+            )
+        )
+        lines.append("")
+    savings = result.savings
+    lines.append(
+        f"Policy {result.policy} on {result.model}, study-wide:\n"
+        f"  energy saved: {savings.overall_pct:.2f}% of attributed total "
+        f"(mean per-user {savings.mean_user_pct:.2f}%)\n"
+        f"  packets dropped: {result.dropped_packets} "
+        f"({result.dropped_bytes} bytes)\n"
+        f"  packets delayed: {result.moved_packets} "
+        f"(mean added delay {result.mean_delay:.0f}s)"
+    )
+    return "\n".join(lines)
+
+
 def render_headlines(stats: Dict[str, float]) -> str:
     """Key single-number findings, name -> value."""
     return render_table(

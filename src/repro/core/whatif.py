@@ -1,501 +1,46 @@
-"""§5 what-if analysis: preemptively killing idle background apps.
+"""§5 what-if analysis — compatibility surface over :mod:`repro.policy`.
 
-The paper proposes that the OS kill apps that have stayed in the
-background for several consecutive days without foreground use, and
-simulates a 3-day threshold on the traces (Table 2). We reproduce that
-simulation — dropping the background packets the policy would have
-prevented and re-running the full radio energy attribution, so tail
-effects across concurrent apps are handled honestly — plus two
-extensions the paper discusses qualitatively: a Doze-like screen-off
-restriction and background-batching estimates.
+The hand-rolled drop-mask simulations that used to live here were
+ported onto the :class:`~repro.policy.CounterfactualPolicy` protocol
+(bit-identically — asserted in ``tests/test_policy_properties.py``)
+and now evaluate through the one policy engine,
+:func:`repro.policy.evaluate_policy`. This module keeps the historical
+import site: every name below is the same object the policy package
+defines.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from repro.policy.engine import TotalSavings
+from repro.policy.kill import (
+    DEFAULT_IDLE_DAYS,
+    KillPolicyResult,
+    UserKillOutcome,
+    kill_policy_savings,
+    killed_days as _killed_days,
+    killed_drop_mask as _killed_drop_mask,
+    max_bounded_run as _max_bounded_run,
+    savings_on_affected_days,
+    total_savings,
+)
+from repro.policy.drops import doze_savings, frequency_cap_savings
+from repro.policy.shifts import (
+    CoalescingResult,
+    batching_savings,
+    os_coalescing_savings,
+)
 
-import numpy as np
-
-from repro.core.accounting import StudyEnergy
-from repro.core.periodicity import burst_starts
-from repro.core.readout import require_packet_detail
-from repro.errors import AnalysisError
-from repro.radio.attribution import attribute_energy
-from repro.trace.arrays import PacketArray
-from repro.trace.dataset import Dataset
-from repro.trace.index import TraceIndex
-from repro.units import DAY
-
-#: The paper's proposed idle threshold, days.
-DEFAULT_IDLE_DAYS = 3
-
-
-@dataclass(frozen=True)
-class UserKillOutcome:
-    """Per-user effect of the kill policy on one app."""
-
-    user_id: int
-    app_energy_before: float
-    app_energy_after: float
-    killed_days: int
-    bg_only_days: int
-    traffic_days: int
-    max_consecutive_bg_only: int
-
-    @property
-    def reduction(self) -> float:
-        """Fractional app-energy reduction for this user."""
-        if self.app_energy_before <= 0:
-            return 0.0
-        return 1.0 - self.app_energy_after / self.app_energy_before
-
-
-@dataclass(frozen=True)
-class KillPolicyResult:
-    """Table 2 row: one app under the kill-after-N-idle-days policy."""
-
-    app: str
-    idle_days: int
-    per_user: Tuple[UserKillOutcome, ...]
-
-    @property
-    def pct_background_only_days(self) -> float:
-        """Row A: % of traffic days with only background traffic."""
-        bg = sum(u.bg_only_days for u in self.per_user)
-        days = sum(u.traffic_days for u in self.per_user)
-        return 100.0 * bg / days if days else 0.0
-
-    @property
-    def max_consecutive_background_days(self) -> int:
-        """Row B: longest fg-bounded run of background-only days."""
-        if not self.per_user:
-            return 0
-        return max(u.max_consecutive_bg_only for u in self.per_user)
-
-    @property
-    def avg_energy_reduction_pct(self) -> float:
-        """Row C: per-user average % reduction of the app's energy."""
-        if not self.per_user:
-            return 0.0
-        return 100.0 * float(np.mean([u.reduction for u in self.per_user]))
-
-
-def _day_classification(
-    study: StudyEnergy, user_id: int, app_id: int
-) -> Tuple[np.ndarray, np.ndarray]:
-    """(fg-day, bg-day) boolean masks for one user's app."""
-    return study.app_days_with_traffic(user_id, app_id)
-
-
-def _max_bounded_run(fg: np.ndarray, bg_only: np.ndarray) -> int:
-    """Longest run of bg-only days with foreground days on both sides.
-
-    Days with neither foreground nor background traffic break a run —
-    the app was not producing anything to save.
-    """
-    best = 0
-    run = 0
-    seen_fg = False
-    for day in range(len(fg)):
-        if fg[day]:
-            if seen_fg:
-                best = max(best, run)
-            run = 0
-            seen_fg = True
-        elif bg_only[day] and seen_fg:
-            run += 1
-        else:
-            run = 0
-    return best
-
-
-def _killed_days(fg: np.ndarray, bg: np.ndarray, idle_days: int) -> np.ndarray:
-    """Days on which the policy would have the app dead.
-
-    The idle counter counts consecutive days without foreground use
-    while the app is emitting background traffic; once it reaches
-    ``idle_days`` the app is killed until the next foreground day.
-    """
-    n = len(fg)
-    killed = np.zeros(n, dtype=bool)
-    idle = 0
-    dead = False
-    for day in range(n):
-        if fg[day]:
-            idle = 0
-            dead = False
-            continue
-        if bg[day] or dead:
-            idle += 1
-        if idle >= idle_days:
-            dead = True
-            killed[day] = True
-    return killed
-
-
-def _killed_drop_mask(
-    index: TraceIndex, app_id: int, killed: np.ndarray, start: float
-) -> np.ndarray:
-    """Boolean drop mask over the trace's original packets: the app's
-    background packets on killed days."""
-    packets = index.packets
-    idx = index.app_background_indices(app_id)
-    days = ((packets.timestamps[idx] - start) // DAY).astype(np.int64)
-    days = np.clip(days, 0, len(killed) - 1)
-    drop = np.zeros(len(packets), dtype=bool)
-    drop[idx[killed[days]]] = True
-    return drop
-
-
-def kill_policy_savings(
-    study: StudyEnergy,
-    app: str,
-    idle_days: int = DEFAULT_IDLE_DAYS,
-) -> KillPolicyResult:
-    """Table 2: simulate killing ``app`` after ``idle_days`` idle days.
-
-    The modified trace is re-attributed through the full radio model so
-    that removed tails and promotions are credited exactly.
-    """
-    require_packet_detail(study, "kill_policy_savings")
-    if idle_days < 1:
-        raise AnalysisError(f"idle_days must be >= 1: {idle_days}")
-    app_id = study.dataset.registry.id_of(app)
-    outcomes: List[UserKillOutcome] = []
-    for trace in study.dataset:
-        before = study.user_app_energy(trace.user_id, app_id)
-        if before <= 0:
-            continue
-        fg, bg = _day_classification(study, trace.user_id, app_id)
-        bg_only = bg & ~fg
-        killed = _killed_days(fg, bg, idle_days)
-        if killed.any():
-            drop = _killed_drop_mask(
-                study.index_for(trace.user_id), app_id, killed, trace.start
-            )
-            kept = trace.packets.select(~drop)
-            result = attribute_energy(
-                study.model, kept, window=(trace.start, trace.end), policy=study.policy
-            )
-            after = result.energy_by_app().get(app_id, 0.0)
-        else:
-            after = before
-        outcomes.append(
-            UserKillOutcome(
-                user_id=trace.user_id,
-                app_energy_before=before,
-                app_energy_after=after,
-                killed_days=int(killed.sum()),
-                bg_only_days=int(bg_only.sum()),
-                traffic_days=int((fg | bg).sum()),
-                max_consecutive_bg_only=_max_bounded_run(fg, bg_only),
-            )
-        )
-    if not outcomes:
-        raise AnalysisError(f"no user has energy attributed to {app!r}")
-    return KillPolicyResult(app=app, idle_days=idle_days, per_user=tuple(outcomes))
-
-
-@dataclass(frozen=True)
-class TotalSavings:
-    """Device-level effect of a policy across all users."""
-
-    total_before: float
-    total_after: float
-    per_user_pct: Tuple[float, ...]
-
-    @property
-    def overall_pct(self) -> float:
-        """Total % reduction across the study."""
-        if self.total_before <= 0:
-            return 0.0
-        return 100.0 * (1.0 - self.total_after / self.total_before)
-
-    @property
-    def mean_user_pct(self) -> float:
-        """Average per-user % reduction."""
-        return float(np.mean(self.per_user_pct)) if self.per_user_pct else 0.0
-
-
-def total_savings(
-    study: StudyEnergy,
-    idle_days: int = DEFAULT_IDLE_DAYS,
-    apps: Optional[Sequence[str]] = None,
-) -> TotalSavings:
-    """Apply the kill policy to every app (or ``apps``) simultaneously
-    and measure total attributed-energy savings.
-
-    The paper finds this is <1% on average — each individual app is a
-    small share of a device's total — even though per-app savings
-    (Table 2 row C) can exceed 50%.
-    """
-    require_packet_detail(study, "total_savings")
-    registry = study.dataset.registry
-    if apps is None:
-        app_ids = None
-    else:
-        app_ids = [registry.id_of(a) for a in apps]
-    total_before = 0.0
-    total_after = 0.0
-    per_user = []
-    for trace in study.dataset:
-        before = study.user_result(trace.user_id).attributed_energy
-        index = study.index_for(trace.user_id)
-        drop = np.zeros(len(trace.packets), dtype=bool)
-        candidates = app_ids if app_ids is not None else trace.app_ids()
-        for app_id in candidates:
-            fg, bg = _day_classification(study, trace.user_id, app_id)
-            killed = _killed_days(fg, bg, idle_days)
-            if killed.any():
-                # Each app's drop mask touches only that app's rows, so
-                # the union equals applying the drops one after another.
-                drop |= _killed_drop_mask(index, app_id, killed, trace.start)
-        kept = trace.packets.select(~drop)
-        after = attribute_energy(
-            study.model, kept, window=(trace.start, trace.end), policy=study.policy
-        ).attributed_energy
-        total_before += before
-        total_after += after
-        per_user.append(100.0 * (1.0 - after / before) if before > 0 else 0.0)
-    return TotalSavings(total_before, total_after, tuple(per_user))
-
-
-def savings_on_affected_days(
-    study: StudyEnergy, app: str, idle_days: int = DEFAULT_IDLE_DAYS
-) -> float:
-    """% reduction of users' *total* energy on days the kill is active.
-
-    The paper's strongest single number: for users running Weibo,
-    disabling it after 3 idle days cut their total network energy on
-    those days by 16%.
-    """
-    require_packet_detail(study, "savings_on_affected_days")
-    app_id = study.dataset.registry.id_of(app)
-    affected_before = 0.0
-    affected_after = 0.0
-    for trace in study.dataset:
-        fg, bg = _day_classification(study, trace.user_id, app_id)
-        killed = _killed_days(fg, bg, idle_days)
-        if not killed.any():
-            continue
-        daily_before = study.daily_energy(trace.user_id)
-        drop = _killed_drop_mask(
-            study.index_for(trace.user_id), app_id, killed, trace.start
-        )
-        kept = trace.packets.select(~drop)
-        result = attribute_energy(
-            study.model, kept, window=(trace.start, trace.end), policy=study.policy
-        )
-        days = ((kept.timestamps - trace.start) // DAY).astype(np.int64)
-        daily_after = np.bincount(
-            days, weights=result.per_packet, minlength=len(daily_before)
-        )[: len(daily_before)]
-        affected_before += float(daily_before[killed].sum())
-        affected_after += float(daily_after[killed].sum())
-    if affected_before <= 0:
-        raise AnalysisError(f"the policy never activates for {app!r}")
-    return 100.0 * (1.0 - affected_after / affected_before)
-
-
-def doze_savings(
-    study: StudyEnergy,
-    screen_off_threshold: float = 3600.0,
-    whitelist: Iterable[str] = (),
-) -> TotalSavings:
-    """Doze-like extension: suppress all background traffic once the
-    screen has been off for ``screen_off_threshold`` seconds.
-
-    Whitelisted apps (the paper suggests widgets may legitimately need
-    exemptions) are untouched. Models Android M's announced behaviour.
-    """
-    require_packet_detail(study, "doze_savings")
-    registry = study.dataset.registry
-    exempt = {registry.id_of(a) for a in whitelist}
-    total_before = 0.0
-    total_after = 0.0
-    per_user = []
-    for trace in study.dataset:
-        before = study.user_result(trace.user_id).attributed_energy
-        ts = trace.packets.timestamps
-        # Time since the screen last turned off (inf while on).
-        screen = trace.events.screen_events
-        ev_times = np.array([e.timestamp for e in screen])
-        ev_on = np.array([e.on for e in screen], dtype=bool)
-        idx = np.searchsorted(ev_times, ts, side="right") - 1
-        off_since = np.where(
-            (idx >= 0) & ~ev_on[np.clip(idx, 0, None)],
-            ts - ev_times[np.clip(idx, 0, None)],
-            0.0,
-        )
-        is_bg = study.index_for(trace.user_id).background_mask
-        drop = is_bg & (off_since > screen_off_threshold)
-        if exempt:
-            drop &= ~np.isin(trace.packets.apps, np.array(sorted(exempt)))
-        kept = trace.packets.select(~drop)
-        after = attribute_energy(
-            study.model, kept, window=(trace.start, trace.end), policy=study.policy
-        ).attributed_energy
-        total_before += before
-        total_after += after
-        per_user.append(100.0 * (1.0 - after / before) if before > 0 else 0.0)
-    return TotalSavings(total_before, total_after, tuple(per_user))
-
-
-def batching_savings(
-    study: StudyEnergy, app: str, target_period: float
-) -> float:
-    """Estimated % energy saving from batching an app's background
-    bursts to one transfer every ``target_period`` seconds.
-
-    A first-order model of §6's recommendation: each eliminated burst
-    saves roughly one radio tail plus one promotion (the transfer bytes
-    still have to move). Returns the saving as % of the app's current
-    energy.
-    """
-    require_packet_detail(study, "batching_savings")
-    if target_period <= 0:
-        raise AnalysisError(f"target_period must be positive: {target_period}")
-    app_id = study.dataset.registry.id_of(app)
-    tail_cost = study.model.full_tail_energy + study.model.promotion_energy
-    app_energy = 0.0
-    saved = 0.0
-    for trace in study.dataset:
-        idx = study.index_for(trace.user_id).app_background_indices(app_id)
-        if len(idx) == 0:
-            continue
-        result = study.user_result(trace.user_id)
-        app_energy += float(result.per_packet[idx].sum())
-        ts = trace.packets.timestamps[idx]
-        starts = burst_starts(ts)
-        if len(starts) < 2:
-            continue
-        # Batch within each day: background activity is often
-        # concentrated (lingering episodes, waking hours), so comparing
-        # against a uniform whole-study schedule would under-count.
-        days = ((starts - trace.start) // DAY).astype(np.int64)
-        for day in np.unique(days):
-            day_starts = starts[days == day]
-            if len(day_starts) < 2:
-                continue
-            span = float(day_starts[-1] - day_starts[0])
-            batched = max(1, int(np.ceil(span / target_period)) + 1)
-            eliminated = max(0, len(day_starts) - batched)
-            saved += eliminated * tail_cost
-    if app_energy <= 0:
-        raise AnalysisError(f"no background energy attributed to {app!r}")
-    return 100.0 * min(saved / app_energy, 1.0)
-
-
-@dataclass(frozen=True)
-class CoalescingResult:
-    """Effect of OS-level background batching (§6's iOS discussion)."""
-
-    period: float
-    total_before: float
-    total_after: float
-    moved_packets: int
-    mean_delay: float
-
-    @property
-    def savings_pct(self) -> float:
-        """% of attributed energy removed by coalescing."""
-        if self.total_before <= 0:
-            return 0.0
-        return 100.0 * (1.0 - self.total_after / self.total_before)
-
-
-def os_coalescing_savings(
-    study: StudyEnergy, period: float = 1800.0
-) -> CoalescingResult:
-    """Simulate OS-managed background scheduling.
-
-    §6: "OS management allows transfers to be batched, providing
-    opportunities for energy consumption optimization" (the iOS model).
-    Every background-state packet is delayed to the next multiple of
-    ``period`` from the trace start, so all apps' background transfers
-    on a device fire together and share promotions and tails; the
-    modified timeline is re-attributed through the full radio model.
-
-    Unlike the kill policy, no traffic is dropped — the cost is
-    freshness (mean added delay ~ period/2), which is also reported.
-    """
-    require_packet_detail(study, "os_coalescing_savings")
-    if period <= 0:
-        raise AnalysisError(f"period must be positive: {period}")
-    total_before = 0.0
-    total_after = 0.0
-    moved = 0
-    delay_sum = 0.0
-    for trace in study.dataset:
-        total_before += study.user_result(trace.user_id).attributed_energy
-        packets = trace.packets
-        data = packets.data.copy()
-        ts = data["timestamp"]
-        is_bg = study.index_for(trace.user_id).background_mask
-        rel = ts[is_bg] - trace.start
-        shifted = np.ceil(rel / period) * period + trace.start
-        # Keep everything inside the observation window.
-        shifted = np.minimum(shifted, trace.end - 1e-6)
-        delay_sum += float((shifted - ts[is_bg]).sum())
-        moved += int(is_bg.sum())
-        data["timestamp"][is_bg] = shifted
-        coalesced = PacketArray(data).sorted_by_time()
-        total_after += attribute_energy(
-            study.model,
-            coalesced,
-            window=(trace.start, trace.end),
-            policy=study.policy,
-        ).attributed_energy
-    return CoalescingResult(
-        period=period,
-        total_before=total_before,
-        total_after=total_after,
-        moved_packets=moved,
-        mean_delay=delay_sum / moved if moved else 0.0,
-    )
-
-
-def frequency_cap_savings(
-    study: StudyEnergy, min_period: float = 1800.0
-) -> TotalSavings:
-    """Windows-Phone-style policy: cap background task frequency.
-
-    §6 notes Windows Phone "limit[s] the frequency with which
-    background apps can run" (30-minute scheduled agents). Simulated by
-    keeping, per app and device, only the background bursts that start
-    at least ``min_period`` after the previous surviving burst; later
-    packets of a surviving burst (within 30 s) are kept too. The
-    modified traces are re-attributed through the full radio model.
-    """
-    require_packet_detail(study, "frequency_cap_savings")
-    if min_period <= 0:
-        raise AnalysisError(f"min_period must be positive: {min_period}")
-    total_before = 0.0
-    total_after = 0.0
-    per_user = []
-    for trace in study.dataset:
-        before = study.user_result(trace.user_id).attributed_energy
-        packets = trace.packets
-        index = study.index_for(trace.user_id)
-        keep = np.ones(len(packets), dtype=bool)
-        ts = packets.timestamps
-        for app_id in index:
-            idx = index.app_background_indices(app_id)
-            if len(idx) == 0:
-                continue
-            app_ts = ts[idx]
-            last_kept = -np.inf
-            for i, t in enumerate(app_ts):
-                if t - last_kept >= min_period:
-                    last_kept = t  # a new permitted task window opens
-                elif t - last_kept > 30.0:
-                    keep[idx[i]] = False  # outside the task's burst
-        kept = packets.select(keep)
-        after = attribute_energy(
-            study.model, kept, window=(trace.start, trace.end), policy=study.policy
-        ).attributed_energy
-        total_before += before
-        total_after += after
-        per_user.append(100.0 * (1.0 - after / before) if before > 0 else 0.0)
-    return TotalSavings(total_before, total_after, tuple(per_user))
+__all__ = [
+    "DEFAULT_IDLE_DAYS",
+    "CoalescingResult",
+    "KillPolicyResult",
+    "TotalSavings",
+    "UserKillOutcome",
+    "batching_savings",
+    "doze_savings",
+    "frequency_cap_savings",
+    "kill_policy_savings",
+    "os_coalescing_savings",
+    "savings_on_affected_days",
+    "total_savings",
+]

@@ -1,0 +1,95 @@
+"""Counterfactual energy-optimization policies.
+
+One protocol (:class:`CounterfactualPolicy`), one evaluator
+(:func:`evaluate_policy`), seven policies: the paper's §5 kill
+simulation plus the batching/coalescing, doze, frequency-cap,
+push-conversion and delay-tolerant families from the optimization
+taxonomy literature. Every policy transforms a packet timeline and is
+re-attributed through the full radio model — per-app and study-wide
+savings come out Table-2 style for any policy, under any registered
+radio model (LTE/3G/WiFi/NR). See docs/POLICIES.md.
+"""
+
+from repro.policy.base import (
+    CounterfactualPolicy,
+    PolicyContext,
+    PolicyParams,
+    PolicyTransform,
+)
+from repro.policy.drops import (
+    DozePolicy,
+    FrequencyCapPolicy,
+    PushConversionPolicy,
+    doze_savings,
+    frequency_cap_savings,
+)
+from repro.policy.engine import (
+    AppPolicyRow,
+    PolicyResult,
+    TotalSavings,
+    evaluate_policy,
+)
+from repro.policy.kill import (
+    DEFAULT_IDLE_DAYS,
+    KillIdlePolicy,
+    KillPolicyResult,
+    UserKillOutcome,
+    app_traffic_days,
+    kill_policy_savings,
+    killed_days,
+    killed_drop_mask,
+    max_bounded_run,
+    savings_on_affected_days,
+    total_savings,
+)
+from repro.policy.registry import (
+    available_policies,
+    get_policy,
+    parse_params,
+    policy_class,
+)
+from repro.policy.shifts import (
+    AppBatchingPolicy,
+    CoalescingResult,
+    DelayTolerantPolicy,
+    OsCoalescingPolicy,
+    batching_savings,
+    os_coalescing_savings,
+)
+
+__all__ = [
+    "AppBatchingPolicy",
+    "AppPolicyRow",
+    "CoalescingResult",
+    "CounterfactualPolicy",
+    "DEFAULT_IDLE_DAYS",
+    "DelayTolerantPolicy",
+    "DozePolicy",
+    "FrequencyCapPolicy",
+    "KillIdlePolicy",
+    "KillPolicyResult",
+    "OsCoalescingPolicy",
+    "PolicyContext",
+    "PolicyParams",
+    "PolicyResult",
+    "PolicyTransform",
+    "PushConversionPolicy",
+    "TotalSavings",
+    "UserKillOutcome",
+    "app_traffic_days",
+    "available_policies",
+    "batching_savings",
+    "doze_savings",
+    "evaluate_policy",
+    "frequency_cap_savings",
+    "get_policy",
+    "kill_policy_savings",
+    "killed_days",
+    "killed_drop_mask",
+    "max_bounded_run",
+    "os_coalescing_savings",
+    "parse_params",
+    "policy_class",
+    "savings_on_affected_days",
+    "total_savings",
+]

@@ -1,0 +1,190 @@
+"""The one evaluator every counterfactual policy runs through.
+
+``evaluate_policy`` walks the study's traces in dataset order, asks the
+policy for each trace's counterfactual timeline, and re-attributes the
+transformed packets through the full radio model — the honest
+accounting the paper's §5 simulation established: removed or moved
+packets give up their tails and promotions only where no concurrent
+app still holds the radio up.
+
+The walk accumulates the same floats, in the same order, as the legacy
+``core.whatif`` entry points did, so the ported policies reproduce
+their numbers bit-identically (asserted in
+``tests/test_policy_properties.py``). When a transform returns the
+original array object, the engine reuses the study's already-computed
+attribution — no-op parameters cost nothing and save exactly zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.policy.base import CounterfactualPolicy, PolicyContext
+from repro.radio.attribution import attribute_energy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.accounting import StudyEnergy
+
+
+@dataclass(frozen=True)
+class TotalSavings:
+    """Device-level effect of a policy across all users."""
+
+    total_before: float
+    total_after: float
+    per_user_pct: Tuple[float, ...]
+
+    @property
+    def overall_pct(self) -> float:
+        """Total % reduction across the study."""
+        if self.total_before <= 0:
+            return 0.0
+        return 100.0 * (1.0 - self.total_after / self.total_before)
+
+    @property
+    def mean_user_pct(self) -> float:
+        """Average per-user % reduction."""
+        return float(np.mean(self.per_user_pct)) if self.per_user_pct else 0.0
+
+
+@dataclass(frozen=True)
+class AppPolicyRow:
+    """Table-2-style per-app effect of a policy."""
+
+    app: str
+    users: int
+    energy_before: float
+    energy_after: float
+    user_reductions: Tuple[float, ...]
+
+    @property
+    def avg_reduction_pct(self) -> float:
+        """Per-user average % reduction of the app's energy (row C)."""
+        if not self.user_reductions:
+            return 0.0
+        return 100.0 * float(np.mean(self.user_reductions))
+
+    @property
+    def overall_pct(self) -> float:
+        """% of the app's study-wide energy removed."""
+        if self.energy_before <= 0:
+            return 0.0
+        return 100.0 * (1.0 - self.energy_after / self.energy_before)
+
+
+@dataclass(frozen=True)
+class PolicyResult:
+    """One policy evaluated over one study."""
+
+    policy: str
+    model: str
+    savings: TotalSavings
+    moved_packets: int
+    delay_seconds: float
+    dropped_packets: int
+    dropped_bytes: int
+    app_rows: Tuple[AppPolicyRow, ...]
+
+    @property
+    def mean_delay(self) -> float:
+        """Average added delay per moved packet, seconds."""
+        if self.moved_packets <= 0:
+            return 0.0
+        return self.delay_seconds / self.moved_packets
+
+
+def evaluate_policy(
+    study: "StudyEnergy",
+    policy: CounterfactualPolicy,
+    apps: Sequence[str] = (),
+) -> PolicyResult:
+    """Evaluate one policy over a study, re-attributing transformed traces.
+
+    ``apps`` selects package names to break out Table-2 style (per-app
+    before/after energy and per-user reductions); study-wide savings
+    are always computed. Raises ``NeedsPacketDetail`` on totals-only
+    readouts — counterfactuals replay packets.
+    """
+    from repro.core.readout import require_packet_detail
+
+    require_packet_detail(study, f"policy {policy.name}")
+    registry = study.dataset.registry
+    app_ids = [(name, registry.id_of(name)) for name in apps]
+
+    total_before = 0.0
+    total_after = 0.0
+    per_user: List[float] = []
+    moved = 0
+    delay_sum = 0.0
+    dropped_packets = 0
+    dropped_bytes = 0
+    app_acc: Dict[str, List] = {
+        name: [0, 0.0, 0.0, []] for name, _ in app_ids
+    }
+
+    for trace in study.dataset:
+        before_result = study.user_result(trace.user_id)
+        before = before_result.attributed_energy
+        context = PolicyContext(
+            index=study.index_for(trace.user_id),
+            start=trace.start,
+            end=trace.end,
+            id_of=registry.id_of,
+        )
+        out = policy.transform(trace.packets, context)
+        if out.packets is trace.packets:
+            after_result = before_result
+        else:
+            after_result = attribute_energy(
+                study.model,
+                out.packets,
+                window=(trace.start, trace.end),
+                policy=study.policy,
+            )
+        after = after_result.attributed_energy
+        total_before += before
+        total_after += after
+        per_user.append(100.0 * (1.0 - after / before) if before > 0 else 0.0)
+        moved += out.moved_packets
+        delay_sum += out.delay_seconds
+        if out.packets is not trace.packets:
+            dropped_packets += len(trace.packets) - len(out.packets)
+            dropped_bytes += int(trace.packets.sizes.sum()) - int(
+                out.packets.sizes.sum()
+            )
+        if app_ids:
+            by_before = before_result.energy_by_app()
+            by_after = after_result.energy_by_app()
+            for name, app_id in app_ids:
+                app_before = by_before.get(app_id, 0.0)
+                if app_before <= 0:
+                    continue
+                app_after = by_after.get(app_id, 0.0)
+                acc = app_acc[name]
+                acc[0] += 1
+                acc[1] += app_before
+                acc[2] += app_after
+                acc[3].append(1.0 - app_after / app_before)
+
+    return PolicyResult(
+        policy=getattr(policy, "spec", policy.name),
+        model=study.model.name,
+        savings=TotalSavings(total_before, total_after, tuple(per_user)),
+        moved_packets=moved,
+        delay_seconds=delay_sum,
+        dropped_packets=dropped_packets,
+        dropped_bytes=dropped_bytes,
+        app_rows=tuple(
+            AppPolicyRow(
+                app=name,
+                users=acc[0],
+                energy_before=acc[1],
+                energy_after=acc[2],
+                user_reductions=tuple(acc[3]),
+            )
+            for name, acc in app_acc.items()
+        ),
+    )

@@ -1,0 +1,106 @@
+"""Policy registry: counterfactual policies by name for the CLI.
+
+Mirrors :mod:`repro.radio.registry`: ``available_policies()`` feeds
+``argparse`` choices, ``get_policy(name, params)`` builds a frozen
+policy from ``--param key=value`` strings, coercing each value against
+the policy dataclass's field types (so ``--param idle_days=7`` is an
+int, ``--param screen_off_threshold=inf`` a float, and
+``--param apps=a,b`` a tuple of package names).
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import Dict, List, Mapping, Type
+
+from repro.errors import AnalysisError
+from repro.policy.base import CounterfactualPolicy
+from repro.policy.drops import (
+    DozePolicy,
+    FrequencyCapPolicy,
+    PushConversionPolicy,
+)
+from repro.policy.kill import KillIdlePolicy
+from repro.policy.shifts import (
+    AppBatchingPolicy,
+    DelayTolerantPolicy,
+    OsCoalescingPolicy,
+)
+
+_POLICIES: Dict[str, Type] = {
+    KillIdlePolicy.name: KillIdlePolicy,
+    DozePolicy.name: DozePolicy,
+    AppBatchingPolicy.name: AppBatchingPolicy,
+    OsCoalescingPolicy.name: OsCoalescingPolicy,
+    FrequencyCapPolicy.name: FrequencyCapPolicy,
+    PushConversionPolicy.name: PushConversionPolicy,
+    DelayTolerantPolicy.name: DelayTolerantPolicy,
+}
+
+
+def available_policies() -> List[str]:
+    """Registered policy names."""
+    return sorted(_POLICIES)
+
+
+def policy_class(name: str) -> Type:
+    """The policy dataclass registered under ``name``."""
+    try:
+        return _POLICIES[name.strip().lower()]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown policy {name!r}; available: {available_policies()}"
+        ) from None
+
+
+def _coerce(field_type: str, value: object) -> object:
+    """Coerce one ``--param`` string against a dataclass field type."""
+    if not isinstance(value, str):
+        return value
+    if value in ("none", "None"):
+        return None
+    if field_type == "int":
+        return int(value)
+    if field_type == "float":
+        return float(value)
+    if "Tuple[str, ...]" in field_type:
+        if value in ("", "()"):
+            return ()
+        return tuple(part for part in value.split(",") if part)
+    return value
+
+
+def get_policy(
+    name: str, params: Mapping[str, object] = ()
+) -> CounterfactualPolicy:
+    """Build a policy by name from (possibly string-valued) params."""
+    cls = policy_class(name)
+    known = {f.name: str(f.type) for f in fields(cls)}
+    kwargs = {}
+    for key, value in dict(params).items():
+        if key not in known:
+            raise AnalysisError(
+                f"policy {cls.name!r} has no parameter {key!r}; "
+                f"parameters: {sorted(known)}"
+            )
+        try:
+            kwargs[key] = _coerce(known[key], value)
+        except ValueError:
+            raise AnalysisError(
+                f"bad value {value!r} for {cls.name} parameter {key!r} "
+                f"(expected {known[key]})"
+            ) from None
+    return cls(**kwargs)
+
+
+def parse_params(pairs) -> Dict[str, str]:
+    """``["k=v", ...]`` -> dict, as typed on the command line."""
+    out: Dict[str, str] = {}
+    for pair in pairs or ():
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise AnalysisError(
+                f"bad --param {pair!r}: expected key=value"
+            )
+        out[key] = value
+    return out

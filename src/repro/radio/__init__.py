@@ -19,8 +19,15 @@ rule: transfer energy per packet, tail energy to the last packet before
 the tail, promotion energy to the packet that triggered it.
 """
 
-from repro.radio.base import RadioModel, TailPhase, RadioState, RadioInterval
+from repro.radio.base import (
+    RadioModel,
+    TailPhase,
+    RadioState,
+    RadioInterval,
+    energy_per_byte_from_throughput_curve,
+)
 from repro.radio.lte import lte_model, LTE_DEFAULT, lte_fast_dormancy_model
+from repro.radio.nr import nr_model, NR_DEFAULT
 from repro.radio.umts import umts_model, UMTS_DEFAULT
 from repro.radio.wifi import wifi_model, WIFI_DEFAULT
 from repro.radio.machine import RadioStateMachine, SimulationResult
@@ -47,6 +54,7 @@ __all__ = [
     "result_payload",
     "FinalizedChunk",
     "LTE_DEFAULT",
+    "NR_DEFAULT",
     "PacketEnergy",
     "RadioCarry",
     "RadioInterval",
@@ -62,10 +70,12 @@ __all__ = [
     "attribute_energy",
     "available_models",
     "blocked_sum",
+    "energy_per_byte_from_throughput_curve",
     "get_model",
     "compute_packet_energy",
     "lte_fast_dormancy_model",
     "lte_model",
+    "nr_model",
     "umts_model",
     "wifi_model",
 ]

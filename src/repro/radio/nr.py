@@ -1,0 +1,85 @@
+"""5G NR power model with CDRX sleep states.
+
+The paper predates 5G; this model extends its per-radio comparison the
+same way the UMTS/WiFi modules do, with constants drawn from the 5G
+measurement literature (Narayanan et al., "A variegated look at 5G in
+the wild", IMC 2021; 3GPP TS 38.321 CDRX):
+
+* idle (RRC_IDLE with paging)        ~ 20 mW — 5G modems idle deeper
+  than LTE's always-on baseline but page more often.
+* promotion IDLE -> CONNECTED        110 ms at 1530 mW — RRC setup is
+  faster than LTE's 260 ms but burns more instantaneous power.
+* tail: Connected-mode DRX (CDRX) steps the modem down through three
+  sleep states instead of LTE's flat tail — 10 s total, front-loaded:
+
+  - inactivity timer, continuous reception  100 ms at 1750 mW
+  - Short CDRX cycles                       2.9 s at 1210 mW
+  - Long CDRX light sleep                   7.0 s at 640 mW
+
+* uplink power    P = 240 mW/Mbps * tput + 1580 mW
+* downlink power  P = 7.6 mW/Mbps * tput + 1580 mW
+
+The higher base power is offset by far higher nominal link rates, so
+per-byte transfer energy is well below LTE while tails and promotions
+stay expensive — the regime where counterfactual scheduling policies
+(batching, coalescing) matter most.
+"""
+
+from __future__ import annotations
+
+from repro.radio.base import (
+    RadioModel,
+    TailPhase,
+    energy_per_byte_from_throughput_curve,
+)
+from repro.units import ms, mw
+
+#: NR constants (see module docstring).
+IDLE_POWER_W = mw(20.0)
+PROMOTION_DURATION_S = ms(110.0)
+PROMOTION_POWER_W = mw(1530.0)
+
+#: CDRX tail: inactivity timer, Short CDRX, then Long CDRX light sleep.
+CDRX_TAIL_PHASES = (
+    TailPhase(duration=0.1, power=mw(1750.0)),  # continuous reception
+    TailPhase(duration=2.9, power=mw(1210.0)),  # Short CDRX
+    TailPhase(duration=7.0, power=mw(640.0)),   # Long CDRX light sleep
+)
+
+ALPHA_UP_MW_PER_MBPS = 240.0
+ALPHA_DOWN_MW_PER_MBPS = 7.6
+BETA_MW = 1580.0
+
+#: Nominal link rates for the per-byte conversion — mid-band (sub-6)
+#: NR; calibration constants of the reproduction, like LTE's.
+NOMINAL_UPLINK_MBPS = 40.0
+NOMINAL_DOWNLINK_MBPS = 250.0
+
+
+def nr_model(
+    uplink_mbps: float = NOMINAL_UPLINK_MBPS,
+    downlink_mbps: float = NOMINAL_DOWNLINK_MBPS,
+) -> RadioModel:
+    """Build the 5G NR power model.
+
+    Args:
+        uplink_mbps: Nominal uplink rate for the per-byte conversion.
+        downlink_mbps: Nominal downlink rate for the per-byte conversion.
+    """
+    return RadioModel(
+        name="nr",
+        idle_power=IDLE_POWER_W,
+        promotion_duration=PROMOTION_DURATION_S,
+        promotion_power=PROMOTION_POWER_W,
+        tail_phases=CDRX_TAIL_PHASES,
+        energy_per_byte_up=energy_per_byte_from_throughput_curve(
+            ALPHA_UP_MW_PER_MBPS, BETA_MW, uplink_mbps
+        ),
+        energy_per_byte_down=energy_per_byte_from_throughput_curve(
+            ALPHA_DOWN_MW_PER_MBPS, BETA_MW, downlink_mbps
+        ),
+    )
+
+
+#: The default NR model (three-phase CDRX tail).
+NR_DEFAULT = nr_model()

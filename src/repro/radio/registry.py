@@ -7,6 +7,7 @@ from typing import Callable, Dict, List
 from repro.errors import ModelError
 from repro.radio.base import RadioModel
 from repro.radio.lte import lte_fast_dormancy_model, lte_model
+from repro.radio.nr import nr_model
 from repro.radio.umts import umts_model
 from repro.radio.wifi import wifi_model
 
@@ -17,6 +18,8 @@ _FACTORIES: Dict[str, Callable[[], RadioModel]] = {
     "umts": umts_model,
     "3g": umts_model,
     "wifi": wifi_model,
+    "nr": nr_model,
+    "5g": nr_model,
 }
 
 

@@ -185,6 +185,64 @@ def test_per_packet_figure_from_checkpoint_fails_typed(checkpointed, capsys):
     assert "table 2 needs per-packet arrays" in captured.err
 
 
+def test_whatif_from_checkpoint_fails_typed(checkpointed, capsys):
+    """Counterfactual policies need packets; a totals checkpoint must
+    refuse with the typed exit code, for the generic engine path too."""
+    _, ck = checkpointed
+    for argv in (
+        ["whatif", "--from-checkpoint", ck],
+        ["whatif", "--policy", "frequency-cap", "--from-checkpoint", ck],
+        ["coalesce", "--from-checkpoint", ck],
+    ):
+        code = main(argv)
+        captured = capsys.readouterr()
+        assert code == 3
+        assert captured.out == ""
+        assert "per-packet arrays" in captured.err
+        assert "without --from-checkpoint" in captured.err
+
+
+def test_whatif_policy_flag(capsys):
+    code, out = run(
+        capsys, "whatif", "--policy", "doze",
+        "--param", "screen_off_threshold=1800", *SMALL,
+    )
+    assert code == 0
+    assert "Policy doze(" in out
+    assert "screen_off_threshold=1800" in out
+    assert "energy saved" in out
+
+
+def test_whatif_policy_with_app_detail(capsys):
+    code, out = run(
+        capsys, "whatif", "--policy", "deadline", "--app",
+        "com.sec.spp.push", *SMALL,
+    )
+    assert code == 0
+    assert "Policy deadline(" in out
+    # Per-app columns use the last name component, like Table 2.
+    assert "push" in out
+    assert "packets delayed" in out
+
+
+def test_whatif_rejects_bad_param(capsys):
+    code = main(["whatif", "--policy", "kill", "--param", "bogus=1", *SMALL])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "bogus" in captured.err
+
+
+def test_table2_policy_flag_renders_end_to_end(capsys):
+    code, out = run(
+        capsys, "table", "2", "--policy", "kill", "--model", "nr", *SMALL
+    )
+    assert code == 0
+    assert "Policy kill(" in out
+    assert "on nr" in out
+    assert "per-app effect" in out
+    assert "energy saved" in out
+
+
 def test_report_from_checkpoint_is_totals_tier(checkpointed, capsys):
     _, ck = checkpointed
     code, out = run(capsys, "report", "--from-checkpoint", ck)

@@ -1,9 +1,10 @@
-"""docs/API.md, SERVING.md, SCALING.md and MONITORING.md cannot rot.
+"""docs/API.md, SERVING.md, SCALING.md, MONITORING.md and POLICIES.md
+cannot rot.
 
-Five contracts are enforced on every tier-1 run:
+Six contracts are enforced on every tier-1 run:
 
 * Every code span in the first column of a ``## `repro...```-titled
-  section table (in any of the four files) is an attribute of that
+  section table (in any of the five files) is an attribute of that
   section's package or a dotted module path, and must import.
 * docs/SERVING.md's endpoint table documents exactly the routes the
   server implements (``repro.store.server.ROUTES``).
@@ -15,6 +16,8 @@ Five contracts are enforced on every tier-1 run:
   ``repro.shard.MANIFEST_FORMAT``.
 * docs/MONITORING.md's published-analysis list matches
   ``repro.follow.LIVE_ANALYSES``.
+* docs/POLICIES.md's policy vocabulary matches
+  ``repro.policy.available_policies()``.
 
 The CLI block in docs/API.md is checked too: every ``repro <command>``
 line must name real subcommands.
@@ -31,6 +34,7 @@ API_MD = DOCS / "API.md"
 SERVING_MD = DOCS / "SERVING.md"
 SCALING_MD = DOCS / "SCALING.md"
 MONITORING_MD = DOCS / "MONITORING.md"
+POLICIES_MD = DOCS / "POLICIES.md"
 SECTION_RE = re.compile(r"^## `(repro[a-z_.]*)`")
 HEADING_RE = re.compile(r"^#{1,6} ")
 CODE_RE = re.compile(r"`([^`]+)`")
@@ -66,6 +70,7 @@ SYMBOLS = sorted(
     | set(_documented_symbols(SERVING_MD))
     | set(_documented_symbols(SCALING_MD))
     | set(_documented_symbols(MONITORING_MD))
+    | set(_documented_symbols(POLICIES_MD))
 )
 
 
@@ -77,6 +82,7 @@ def test_docs_were_parsed():
     assert "repro.store" in packages
     assert "repro.shard" in packages
     assert "repro.follow" in packages
+    assert "repro.policy" in packages
 
 
 @pytest.mark.parametrize(
@@ -225,6 +231,38 @@ def test_serving_md_analysis_names_are_current():
         "docs/SERVING.md must list the storable analyses exactly as "
         f"{' '.join(ANALYSIS_NAMES)}"
     )
+
+
+def test_policies_md_vocabulary_is_current():
+    """The documented policy vocabulary is the registered one."""
+    from repro.policy import available_policies
+
+    text = POLICIES_MD.read_text()
+    assert f"`{' '.join(available_policies())}`" in text, (
+        "docs/POLICIES.md must list the registered policies exactly as "
+        f"{' '.join(available_policies())}"
+    )
+
+
+def test_policies_md_documents_every_policy_params():
+    """Each registered policy's table row names its real dataclass
+    fields, so parameter docs cannot drift from the code."""
+    from dataclasses import fields
+
+    from repro.policy import available_policies, policy_class
+
+    rows = {
+        span: line
+        for span, line in _table_first_cells(POLICIES_MD, "Policy vocabulary")
+    }
+    assert set(rows) == set(available_policies())
+    for name in available_policies():
+        cls = policy_class(name)
+        for f in fields(cls):
+            assert f.name in rows[name], (
+                f"docs/POLICIES.md row for {name!r} does not mention its "
+                f"parameter {f.name!r}"
+            )
 
 
 def test_cli_block_commands_exist():

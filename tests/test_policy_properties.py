@@ -1,0 +1,580 @@
+"""Invariants and porting identity for every registered policy.
+
+Two layers:
+
+* **Properties** — for every policy in the registry, on seeded
+  generated studies: the transformed trace never gains packets or
+  bytes, stays time-sorted and inside the window; no-op parameters
+  save exactly zero; savings are bounded (negative savings only within
+  the promotion-bridging allowance — moving or removing a packet can
+  split an active radio period, costing at most one promotion each, the
+  same bound ``test_radio_agreement`` establishes for single drops);
+  kill savings are monotone in ``idle_days``.
+
+* **Porting identity** — the five legacy ``core.whatif`` entry points
+  (kill/doze/batching/coalescing/frequency-cap) were reimplemented on
+  the :class:`CounterfactualPolicy` engine. The original hand-rolled
+  implementations are frozen below (``legacy_*``, copied verbatim from
+  the pre-refactor module) and every ported function must reproduce
+  their outputs exactly — float-for-float, not approximately.
+"""
+
+import numpy as np
+import pytest
+
+from repro import StudyConfig, StudyEnergy, generate_study
+from repro.core.periodicity import burst_starts
+from repro.errors import NeedsPacketDetail
+from repro.policy import (
+    AppBatchingPolicy,
+    DelayTolerantPolicy,
+    DozePolicy,
+    FrequencyCapPolicy,
+    KillIdlePolicy,
+    OsCoalescingPolicy,
+    PolicyContext,
+    PushConversionPolicy,
+    available_policies,
+    batching_savings,
+    doze_savings,
+    evaluate_policy,
+    frequency_cap_savings,
+    get_policy,
+    kill_policy_savings,
+    os_coalescing_savings,
+    savings_on_affected_days,
+    total_savings,
+)
+from repro.radio.attribution import attribute_energy
+from repro.trace.arrays import PacketArray
+from repro.units import DAY
+
+#: One representative (active) instance per registered policy.
+ACTIVE = {
+    "kill": KillIdlePolicy(idle_days=2),
+    "doze": DozePolicy(screen_off_threshold=1800.0),
+    "batching": AppBatchingPolicy(period=3600.0),
+    "coalesce": OsCoalescingPolicy(period=3600.0),
+    "frequency-cap": FrequencyCapPolicy(min_period=1800.0),
+    "push": PushConversionPolicy(min_payload_bytes=4096),
+    "deadline": DelayTolerantPolicy(deadline=900.0),
+}
+
+#: Parameters that make each policy the identity transform.
+NOOP = {
+    "kill": KillIdlePolicy(idle_days=10**6),
+    "doze": DozePolicy(screen_off_threshold=float("inf")),
+    "batching": AppBatchingPolicy(apps=()),
+    "coalesce": OsCoalescingPolicy(apps=()),
+    "frequency-cap": FrequencyCapPolicy(min_period=30.0),
+    "push": PushConversionPolicy(min_payload_bytes=0),
+    "deadline": DelayTolerantPolicy(deadline=0.0),
+}
+
+
+def test_every_registered_policy_is_covered():
+    """Guard the guard: the property tables span the whole registry."""
+    assert set(ACTIVE) == set(available_policies())
+    assert set(NOOP) == set(available_policies())
+
+
+def _context(study, trace):
+    return PolicyContext(
+        index=study.index_for(trace.user_id),
+        start=trace.start,
+        end=trace.end,
+        id_of=study.dataset.registry.id_of,
+    )
+
+
+@pytest.fixture(scope="module")
+def seeded_studies(small_study):
+    """The shared small study plus an independently seeded one."""
+    other = StudyEnergy(
+        generate_study(StudyConfig(n_users=3, duration_days=7.0, seed=2027))
+    )
+    return [small_study, other]
+
+
+@pytest.mark.parametrize("name", sorted(ACTIVE))
+def test_transform_never_gains_packets_or_bytes(name, seeded_studies):
+    for study in seeded_studies:
+        policy = ACTIVE[name]
+        for trace in study.dataset:
+            out = policy.transform(trace.packets, _context(study, trace))
+            assert len(out.packets) <= len(trace.packets)
+            assert int(out.packets.sizes.sum()) <= int(trace.packets.sizes.sum())
+            assert out.packets.is_time_sorted()
+            if len(out.packets):
+                assert out.packets.timestamps[0] >= trace.start
+                assert out.packets.timestamps[-1] <= trace.end
+            # Drop-style and shift-style bookkeeping are exclusive.
+            if out.moved_packets:
+                assert len(out.packets) == len(trace.packets)
+                assert out.delay_seconds >= 0.0
+
+
+@pytest.mark.parametrize("name", sorted(NOOP))
+def test_noop_params_save_exactly_zero(name, seeded_studies):
+    for study in seeded_studies:
+        result = evaluate_policy(study, NOOP[name])
+        assert result.savings.total_after == result.savings.total_before
+        assert result.savings.overall_pct == 0.0
+        assert result.moved_packets == 0
+        assert result.dropped_packets == 0
+        # The no-op must be the identity *object*, not a copy — that is
+        # what makes it free.
+        for trace in study.dataset:
+            out = NOOP[name].transform(trace.packets, _context(study, trace))
+            assert out.packets is trace.packets
+
+
+@pytest.mark.parametrize("name", sorted(ACTIVE))
+def test_savings_bounded(name, seeded_studies):
+    """Savings never exceed the total, and any *negative* savings stay
+    within the promotion-bridging allowance: each dropped or moved
+    packet can split at most one active period, trading tail time for
+    at most one fresh promotion (plus its own burst cost when moved)."""
+    for study in seeded_studies:
+        result = evaluate_policy(study, ACTIVE[name])
+        savings = result.savings
+        assert savings.total_after >= 0.0
+        assert savings.total_after - savings.total_before <= 1e-9 + (
+            result.dropped_packets + result.moved_packets
+        ) * (study.model.promotion_energy + study.model.full_tail_energy)
+        assert savings.overall_pct <= 100.0
+
+
+def test_kill_savings_monotone_in_idle_days(medium_study):
+    """Longer idle thresholds kill less, so they save less — and drop
+    strictly fewer packets."""
+    results = [
+        evaluate_policy(medium_study, KillIdlePolicy(idle_days=k))
+        for k in (2, 3, 5, 8)
+    ]
+    for tighter, looser in zip(results, results[1:]):
+        assert looser.dropped_packets <= tighter.dropped_packets
+        assert (
+            looser.savings.overall_pct
+            <= tighter.savings.overall_pct + 1e-9
+        )
+
+
+def test_policies_refuse_totals_readouts(medium_study, tmp_path):
+    """Every policy routes through the packet-detail gate."""
+    from repro.core.readout import readout_from_checkpoint
+    from repro.stream import NpzStreamSource, StreamIngestor
+
+    npz = tmp_path / "study.npz"
+    medium_study.dataset.save(npz)
+    checkpoint = tmp_path / "totals.npz"
+    StreamIngestor(
+        NpzStreamSource(npz), checkpoint_path=checkpoint
+    ).run()
+    readout = readout_from_checkpoint(checkpoint)
+    for name in available_policies():
+        with pytest.raises(NeedsPacketDetail):
+            evaluate_policy(readout, ACTIVE[name])
+    # The legacy entry points refuse identically (typed, exit 3 in the
+    # CLI) — including the two this PR's issue called out.
+    for call in (
+        lambda: frequency_cap_savings(readout, min_period=1800.0),
+        lambda: os_coalescing_savings(readout, period=1800.0),
+        lambda: doze_savings(readout),
+        lambda: total_savings(readout),
+        lambda: kill_policy_savings(readout, "com.sina.weibo"),
+        lambda: batching_savings(readout, "com.sina.weibo", 3600.0),
+        lambda: savings_on_affected_days(readout, "com.sina.weibo"),
+    ):
+        with pytest.raises(NeedsPacketDetail):
+            call()
+
+
+def test_registry_param_coercion():
+    policy = get_policy(
+        "kill", {"idle_days": "7", "apps": "com.a,com.b"}
+    )
+    assert policy.idle_days == 7
+    assert policy.apps == ("com.a", "com.b")
+    doze = get_policy("doze", {"screen_off_threshold": "inf"})
+    assert doze.screen_off_threshold == float("inf")
+    assert get_policy("coalesce", {"apps": "()"}).apps == ()
+    from repro.errors import AnalysisError
+
+    with pytest.raises(AnalysisError):
+        get_policy("nope")
+    with pytest.raises(AnalysisError):
+        get_policy("kill", {"bogus": "1"})
+    with pytest.raises(AnalysisError):
+        get_policy("kill", {"idle_days": "three"})
+
+
+def test_policy_spec_is_canonical():
+    assert (
+        KillIdlePolicy(idle_days=3).spec == "kill(apps=None, idle_days=3)"
+    )
+    assert "period=1800.0" in OsCoalescingPolicy().spec
+
+
+# ----------------------------------------------------------------------
+# Porting identity: frozen pre-refactor implementations
+# ----------------------------------------------------------------------
+# Copied verbatim from core/whatif.py as of the commit before the
+# policy engine existed (modulo the `require_packet_detail` gates and
+# result dataclasses, which the ported functions still provide).
+
+
+def _legacy_killed_days(fg, bg, idle_days):
+    n = len(fg)
+    killed = np.zeros(n, dtype=bool)
+    idle = 0
+    dead = False
+    for day in range(n):
+        if fg[day]:
+            idle = 0
+            dead = False
+            continue
+        if bg[day] or dead:
+            idle += 1
+        if idle >= idle_days:
+            dead = True
+            killed[day] = True
+    return killed
+
+
+def _legacy_killed_drop_mask(index, app_id, killed, start):
+    packets = index.packets
+    idx = index.app_background_indices(app_id)
+    days = ((packets.timestamps[idx] - start) // DAY).astype(np.int64)
+    days = np.clip(days, 0, len(killed) - 1)
+    drop = np.zeros(len(packets), dtype=bool)
+    drop[idx[killed[days]]] = True
+    return drop
+
+
+def _legacy_max_bounded_run(fg, bg_only):
+    best = 0
+    run = 0
+    seen_fg = False
+    for day in range(len(fg)):
+        if fg[day]:
+            if seen_fg:
+                best = max(best, run)
+            run = 0
+            seen_fg = True
+        elif bg_only[day] and seen_fg:
+            run += 1
+        else:
+            run = 0
+    return best
+
+
+def legacy_kill_policy_savings(study, app, idle_days=3):
+    """Returns per-user tuples (uid, before, after, killed, bg_only,
+    traffic, max_run) — the fields of the legacy ``UserKillOutcome``."""
+    app_id = study.dataset.registry.id_of(app)
+    outcomes = []
+    for trace in study.dataset:
+        before = study.user_app_energy(trace.user_id, app_id)
+        if before <= 0:
+            continue
+        fg, bg = study.app_days_with_traffic(trace.user_id, app_id)
+        bg_only = bg & ~fg
+        killed = _legacy_killed_days(fg, bg, idle_days)
+        if killed.any():
+            drop = _legacy_killed_drop_mask(
+                study.index_for(trace.user_id), app_id, killed, trace.start
+            )
+            kept = trace.packets.select(~drop)
+            result = attribute_energy(
+                study.model,
+                kept,
+                window=(trace.start, trace.end),
+                policy=study.policy,
+            )
+            after = result.energy_by_app().get(app_id, 0.0)
+        else:
+            after = before
+        outcomes.append(
+            (
+                trace.user_id,
+                before,
+                after,
+                int(killed.sum()),
+                int(bg_only.sum()),
+                int((fg | bg).sum()),
+                _legacy_max_bounded_run(fg, bg_only),
+            )
+        )
+    return outcomes
+
+
+def legacy_total_savings(study, idle_days=3, apps=None):
+    registry = study.dataset.registry
+    app_ids = None if apps is None else [registry.id_of(a) for a in apps]
+    total_before = 0.0
+    total_after = 0.0
+    per_user = []
+    for trace in study.dataset:
+        before = study.user_result(trace.user_id).attributed_energy
+        index = study.index_for(trace.user_id)
+        drop = np.zeros(len(trace.packets), dtype=bool)
+        candidates = app_ids if app_ids is not None else trace.app_ids()
+        for app_id in candidates:
+            fg, bg = study.app_days_with_traffic(trace.user_id, app_id)
+            killed = _legacy_killed_days(fg, bg, idle_days)
+            if killed.any():
+                drop |= _legacy_killed_drop_mask(
+                    index, app_id, killed, trace.start
+                )
+        kept = trace.packets.select(~drop)
+        after = attribute_energy(
+            study.model, kept, window=(trace.start, trace.end), policy=study.policy
+        ).attributed_energy
+        total_before += before
+        total_after += after
+        per_user.append(100.0 * (1.0 - after / before) if before > 0 else 0.0)
+    return total_before, total_after, tuple(per_user)
+
+
+def legacy_savings_on_affected_days(study, app, idle_days=3):
+    app_id = study.dataset.registry.id_of(app)
+    affected_before = 0.0
+    affected_after = 0.0
+    for trace in study.dataset:
+        fg, bg = study.app_days_with_traffic(trace.user_id, app_id)
+        killed = _legacy_killed_days(fg, bg, idle_days)
+        if not killed.any():
+            continue
+        daily_before = study.daily_energy(trace.user_id)
+        drop = _legacy_killed_drop_mask(
+            study.index_for(trace.user_id), app_id, killed, trace.start
+        )
+        kept = trace.packets.select(~drop)
+        result = attribute_energy(
+            study.model, kept, window=(trace.start, trace.end), policy=study.policy
+        )
+        days = ((kept.timestamps - trace.start) // DAY).astype(np.int64)
+        daily_after = np.bincount(
+            days, weights=result.per_packet, minlength=len(daily_before)
+        )[: len(daily_before)]
+        affected_before += float(daily_before[killed].sum())
+        affected_after += float(daily_after[killed].sum())
+    return 100.0 * (1.0 - affected_after / affected_before)
+
+
+def legacy_doze_savings(study, screen_off_threshold=3600.0, whitelist=()):
+    registry = study.dataset.registry
+    exempt = {registry.id_of(a) for a in whitelist}
+    total_before = 0.0
+    total_after = 0.0
+    per_user = []
+    for trace in study.dataset:
+        before = study.user_result(trace.user_id).attributed_energy
+        ts = trace.packets.timestamps
+        screen = trace.events.screen_events
+        ev_times = np.array([e.timestamp for e in screen])
+        ev_on = np.array([e.on for e in screen], dtype=bool)
+        idx = np.searchsorted(ev_times, ts, side="right") - 1
+        off_since = np.where(
+            (idx >= 0) & ~ev_on[np.clip(idx, 0, None)],
+            ts - ev_times[np.clip(idx, 0, None)],
+            0.0,
+        )
+        is_bg = study.index_for(trace.user_id).background_mask
+        drop = is_bg & (off_since > screen_off_threshold)
+        if exempt:
+            drop &= ~np.isin(trace.packets.apps, np.array(sorted(exempt)))
+        kept = trace.packets.select(~drop)
+        after = attribute_energy(
+            study.model, kept, window=(trace.start, trace.end), policy=study.policy
+        ).attributed_energy
+        total_before += before
+        total_after += after
+        per_user.append(100.0 * (1.0 - after / before) if before > 0 else 0.0)
+    return total_before, total_after, tuple(per_user)
+
+
+def legacy_batching_savings(study, app, target_period):
+    app_id = study.dataset.registry.id_of(app)
+    tail_cost = study.model.full_tail_energy + study.model.promotion_energy
+    app_energy = 0.0
+    saved = 0.0
+    for trace in study.dataset:
+        idx = study.index_for(trace.user_id).app_background_indices(app_id)
+        if len(idx) == 0:
+            continue
+        result = study.user_result(trace.user_id)
+        app_energy += float(result.per_packet[idx].sum())
+        ts = trace.packets.timestamps[idx]
+        starts = burst_starts(ts)
+        if len(starts) < 2:
+            continue
+        days = ((starts - trace.start) // DAY).astype(np.int64)
+        for day in np.unique(days):
+            day_starts = starts[days == day]
+            if len(day_starts) < 2:
+                continue
+            span = float(day_starts[-1] - day_starts[0])
+            batched = max(1, int(np.ceil(span / target_period)) + 1)
+            eliminated = max(0, len(day_starts) - batched)
+            saved += eliminated * tail_cost
+    return 100.0 * min(saved / app_energy, 1.0)
+
+
+def legacy_os_coalescing_savings(study, period=1800.0):
+    total_before = 0.0
+    total_after = 0.0
+    moved = 0
+    delay_sum = 0.0
+    for trace in study.dataset:
+        total_before += study.user_result(trace.user_id).attributed_energy
+        packets = trace.packets
+        data = packets.data.copy()
+        ts = data["timestamp"]
+        is_bg = study.index_for(trace.user_id).background_mask
+        rel = ts[is_bg] - trace.start
+        shifted = np.ceil(rel / period) * period + trace.start
+        shifted = np.minimum(shifted, trace.end - 1e-6)
+        delay_sum += float((shifted - ts[is_bg]).sum())
+        moved += int(is_bg.sum())
+        data["timestamp"][is_bg] = shifted
+        coalesced = PacketArray(data).sorted_by_time()
+        total_after += attribute_energy(
+            study.model,
+            coalesced,
+            window=(trace.start, trace.end),
+            policy=study.policy,
+        ).attributed_energy
+    return total_before, total_after, moved, delay_sum / moved if moved else 0.0
+
+
+def legacy_frequency_cap_savings(study, min_period=1800.0):
+    total_before = 0.0
+    total_after = 0.0
+    per_user = []
+    for trace in study.dataset:
+        before = study.user_result(trace.user_id).attributed_energy
+        packets = trace.packets
+        index = study.index_for(trace.user_id)
+        keep = np.ones(len(packets), dtype=bool)
+        ts = packets.timestamps
+        for app_id in index:
+            idx = index.app_background_indices(app_id)
+            if len(idx) == 0:
+                continue
+            app_ts = ts[idx]
+            last_kept = -np.inf
+            for i, t in enumerate(app_ts):
+                if t - last_kept >= min_period:
+                    last_kept = t
+                elif t - last_kept > 30.0:
+                    keep[idx[i]] = False
+        kept = packets.select(keep)
+        after = attribute_energy(
+            study.model, kept, window=(trace.start, trace.end), policy=study.policy
+        ).attributed_energy
+        total_before += before
+        total_after += after
+        per_user.append(100.0 * (1.0 - after / before) if before > 0 else 0.0)
+    return total_before, total_after, tuple(per_user)
+
+
+class TestPortingIdentity:
+    """The engine reproduces the legacy numbers exactly — not approx."""
+
+    def test_kill_policy_savings(self, medium_study):
+        ported = kill_policy_savings(medium_study, "com.sina.weibo", 3)
+        legacy = legacy_kill_policy_savings(medium_study, "com.sina.weibo", 3)
+        assert [
+            (
+                u.user_id,
+                u.app_energy_before,
+                u.app_energy_after,
+                u.killed_days,
+                u.bg_only_days,
+                u.traffic_days,
+                u.max_consecutive_bg_only,
+            )
+            for u in ported.per_user
+        ] == legacy
+
+    def test_total_savings(self, medium_study):
+        ported = total_savings(medium_study, idle_days=3)
+        before, after, per_user = legacy_total_savings(medium_study, 3)
+        assert ported.total_before == before
+        assert ported.total_after == after
+        assert ported.per_user_pct == per_user
+
+    def test_total_savings_scoped_to_apps(self, medium_study):
+        apps = ["com.sina.weibo", "com.espn.score_center"]
+        ported = total_savings(medium_study, idle_days=3, apps=apps)
+        before, after, per_user = legacy_total_savings(medium_study, 3, apps)
+        assert (ported.total_before, ported.total_after) == (before, after)
+        assert ported.per_user_pct == per_user
+
+    def test_savings_on_affected_days(self, medium_study):
+        assert savings_on_affected_days(
+            medium_study, "com.sina.weibo", 3
+        ) == legacy_savings_on_affected_days(medium_study, "com.sina.weibo", 3)
+
+    def test_doze_savings(self, medium_study):
+        ported = doze_savings(
+            medium_study,
+            screen_off_threshold=1800.0,
+            whitelist=["com.sec.spp.push"],
+        )
+        before, after, per_user = legacy_doze_savings(
+            medium_study, 1800.0, ["com.sec.spp.push"]
+        )
+        assert (ported.total_before, ported.total_after) == (before, after)
+        assert ported.per_user_pct == per_user
+
+    def test_batching_savings(self, medium_study):
+        assert batching_savings(
+            medium_study, "com.sina.weibo", 3600.0
+        ) == legacy_batching_savings(medium_study, "com.sina.weibo", 3600.0)
+
+    def test_os_coalescing_savings(self, medium_study):
+        ported = os_coalescing_savings(medium_study, period=1800.0)
+        before, after, moved, mean_delay = legacy_os_coalescing_savings(
+            medium_study, 1800.0
+        )
+        assert ported.total_before == before
+        assert ported.total_after == after
+        assert ported.moved_packets == moved
+        assert ported.mean_delay == mean_delay
+
+    def test_frequency_cap_savings(self, medium_study):
+        ported = frequency_cap_savings(medium_study, min_period=1800.0)
+        before, after, per_user = legacy_frequency_cap_savings(
+            medium_study, 1800.0
+        )
+        assert (ported.total_before, ported.total_after) == (before, after)
+        assert ported.per_user_pct == per_user
+
+    def test_transform_mask_matches_legacy_drop(self, medium_study):
+        """Row-identical packet views, not just equal energies."""
+        for trace in medium_study.dataset:
+            index = medium_study.index_for(trace.user_id)
+            drop = np.zeros(len(trace.packets), dtype=bool)
+            for app_id in trace.app_ids():
+                fg, bg = medium_study.app_days_with_traffic(
+                    trace.user_id, app_id
+                )
+                killed = _legacy_killed_days(fg, bg, 3)
+                if killed.any():
+                    drop |= _legacy_killed_drop_mask(
+                        index, app_id, killed, trace.start
+                    )
+            out = KillIdlePolicy(idle_days=3).transform(
+                trace.packets,
+                PolicyContext(
+                    index=index,
+                    start=trace.start,
+                    end=trace.end,
+                    id_of=medium_study.dataset.registry.id_of,
+                ),
+            )
+            expected = trace.packets.select(~drop)
+            assert np.array_equal(out.packets.data, expected.data)

@@ -1,14 +1,19 @@
-"""Property-based agreement between the two energy engines.
+"""Property-based agreement between the three energy engines.
 
 The event-driven machine is the reference; the vectorised engine must
-agree on every component for any packet timeline, under every model.
+agree on every component for any packet timeline, under every model —
+and the streaming engine must settle bit-identical per-packet values
+for any chunk split of the same timeline.
 """
 
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
+from repro.radio.attribution import TailPolicy, attribute_energy
 from repro.radio.lte import LTE_DEFAULT, lte_fast_dormancy_model, lte_model
 from repro.radio.machine import RadioStateMachine
+from repro.radio.nr import NR_DEFAULT
+from repro.radio.streaming import StreamingAttribution
 from repro.radio.umts import UMTS_DEFAULT
 from repro.radio.vectorized import compute_packet_energy
 from repro.radio.wifi import WIFI_DEFAULT
@@ -20,6 +25,7 @@ MODELS = [
     lte_fast_dormancy_model(),
     UMTS_DEFAULT,
     WIFI_DEFAULT,
+    NR_DEFAULT,
 ]
 
 
@@ -115,3 +121,71 @@ def test_tail_bounded_by_full_tail(data):
     packets, window = data
     vector = compute_packet_energy(LTE_DEFAULT, packets, window=window)
     assert np.all(vector.tail <= LTE_DEFAULT.full_tail_energy + 1e-12)
+
+
+# ----------------------------------------------------------------------
+# Streaming differential: any chunk split, bit-identical settlement
+# ----------------------------------------------------------------------
+@given(
+    data=packet_timelines(),
+    model_idx=st.integers(0, len(MODELS) - 1),
+    policy_idx=st.integers(0, 1),
+    cut_seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=120, deadline=None)
+def test_streaming_settles_bit_identical_for_any_chunk_split(
+    data, model_idx, policy_idx, cut_seed
+):
+    """Feeding random chunk splits through StreamingAttribution yields
+    exactly — np.array_equal, not allclose — the batch per-packet
+    attribution and idle energy, for every model including NR."""
+    packets, window = data
+    model = MODELS[model_idx]
+    policy = (TailPolicy.LAST_PACKET, TailPolicy.SPLIT_ADJACENT)[policy_idx]
+    batch = attribute_energy(model, packets, window=window, policy=policy)
+
+    rng = np.random.default_rng(cut_seed)
+    n = len(packets)
+    n_cuts = int(rng.integers(0, 6))
+    cuts = sorted(set(rng.integers(0, n + 1, size=n_cuts).tolist()))
+    bounds = [0] + cuts + [n]
+
+    sim = StreamingAttribution(model, policy, window)
+    pieces = [
+        sim.feed(packets[lo:hi]).per_packet
+        for lo, hi in zip(bounds, bounds[1:])
+    ]
+    final, idle = sim.finish()
+    pieces.append(final.per_packet)
+    streamed = np.concatenate(pieces) if pieces else np.empty(0)
+
+    assert np.array_equal(streamed, batch.per_packet)
+    assert idle == batch.energy.idle_energy
+
+
+def test_nr_streaming_carries_mid_tail_across_chunks():
+    """A chunk boundary landing mid-CDRX-tail: the pending packet's
+    tail must settle against the *next chunk's* first packet, 4 s into
+    NR's 10 s tail, identically to the batch engine."""
+    times = np.array([10.0, 14.0, 100.0])
+    sizes = np.array([1000, 1000, 1000], dtype=np.uint32)
+    dirs = np.zeros(3, dtype=np.uint8)
+    apps = np.array([1, 2, 1], dtype=np.uint16)
+    packets = PacketArray.from_columns(times, sizes, dirs, apps)
+    window = (0.0, 200.0)
+    batch = attribute_energy(
+        NR_DEFAULT, packets, window=window, policy=TailPolicy.SPLIT_ADJACENT
+    )
+    sim = StreamingAttribution(
+        NR_DEFAULT, TailPolicy.SPLIT_ADJACENT, window
+    )
+    first = sim.feed(packets[:1])  # pending: packet 0, tail open
+    assert len(first) == 0
+    second = sim.feed(packets[1:])  # settles 0 (4 s gap) and 1 (full tail)
+    final, idle = sim.finish()
+    streamed = np.concatenate([second.per_packet, final.per_packet])
+    assert np.array_equal(streamed, batch.per_packet)
+    assert idle == batch.energy.idle_energy
+    # The 4 s gap spans CDRX phases 1+2 and one second of phase 3: the
+    # settled tail is strictly between one phase and the full tail.
+    assert 0.0 < batch.energy.tail[0] < NR_DEFAULT.full_tail_energy

@@ -94,6 +94,87 @@ def test_energy_in_range(packets_two_apps):
     assert early + late == pytest.approx(result.attributed_energy)
 
 
+class TestNrModel:
+    """The 5G NR CDRX model, through registry and both engines."""
+
+    def test_registry_exposes_nr(self):
+        from repro.radio.registry import available_models, get_model
+
+        assert "nr" in available_models()
+        assert "5g" in available_models()
+        nr = get_model("nr")
+        assert nr.name == "nr"
+        assert get_model("5g").name == "nr"
+        assert len(nr.tail_phases) == 3
+
+    def test_cdrx_tail_shape(self):
+        from repro.radio.nr import NR_DEFAULT
+
+        assert NR_DEFAULT.tail_duration == pytest.approx(10.0)
+        # Front-loaded: 0.1 s @ 1.75 W + 2.9 s @ 1.21 W + 7 s @ 0.64 W.
+        assert NR_DEFAULT.full_tail_energy == pytest.approx(
+            0.1 * 1.75 + 2.9 * 1.21 + 7.0 * 0.64
+        )
+        # The step-down is monotone, as CDRX sleep states must be.
+        powers = [p.power for p in NR_DEFAULT.tail_phases]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_per_byte_energy_from_throughput_curve(self):
+        from repro.radio.nr import NR_DEFAULT
+
+        # uplink: (240 * 40 + 1580) mW at 40 Mbps
+        assert NR_DEFAULT.energy_per_byte_up == pytest.approx(
+            (240.0 * 40 + 1580.0) * 1e-3 * 8.0 / (40 * 1e6)
+        )
+        # downlink: (7.6 * 250 + 1580) mW at 250 Mbps
+        assert NR_DEFAULT.energy_per_byte_down == pytest.approx(
+            (7.6 * 250 + 1580.0) * 1e-3 * 8.0 / (250 * 1e6)
+        )
+        # NR moves a byte far cheaper than LTE, down and up.
+        assert NR_DEFAULT.energy_per_byte_down < LTE_DEFAULT.energy_per_byte_down
+        assert NR_DEFAULT.energy_per_byte_up < LTE_DEFAULT.energy_per_byte_up
+
+    def test_single_packet_hand_computation(self):
+        from repro.radio.nr import NR_DEFAULT
+
+        packets = make_packets([(50.0, 10_000, Direction.DOWNLINK, 1)])
+        pe = compute_packet_energy(NR_DEFAULT, packets, window=(0.0, 100.0))
+        assert pe.promotion[0] == pytest.approx(0.110 * 1.530)
+        assert pe.tail[0] == pytest.approx(NR_DEFAULT.full_tail_energy)
+        assert pe.transfer[0] == pytest.approx(
+            10_000 * NR_DEFAULT.energy_per_byte_down
+        )
+        # Idle covers the whole window except the promotion lead-in and
+        # the 10 s CDRX tail (the transfer itself is instantaneous).
+        assert pe.idle_energy == pytest.approx((100.0 - 0.110 - 10.0) * 0.020)
+
+    def test_partial_tail_crosses_phase_boundary(self):
+        from repro.radio.nr import NR_DEFAULT
+
+        # 2 s gap: 0.1 s of phase 1 + 1.9 s of phase 2, no re-promotion.
+        packets = make_packets(
+            [
+                (10.0, 1000, Direction.DOWNLINK, 1),
+                (12.0, 1000, Direction.DOWNLINK, 1),
+            ]
+        )
+        pe = compute_packet_energy(NR_DEFAULT, packets, window=(0.0, 50.0))
+        assert pe.tail[0] == pytest.approx(0.1 * 1.75 + 1.9 * 1.21)
+        assert pe.promotion[1] == 0.0
+
+    def test_nr_attribution_end_to_end(self, packets_two_apps):
+        from repro.radio.nr import NR_DEFAULT
+
+        result = attribute_energy(
+            NR_DEFAULT, packets_two_apps, window=(0.0, 200.0)
+        )
+        by_app = result.energy_by_app()
+        assert sum(by_app.values()) == pytest.approx(result.attributed_energy)
+        assert result.total_energy == pytest.approx(
+            result.attributed_energy + result.energy.idle_energy
+        )
+
+
 def test_tail_attribution_to_last_packet_avoids_double_counting():
     """Two apps alternating within one radio-on period: total device
     energy is the sum of both apps' attributed energy — the exact
