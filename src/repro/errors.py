@@ -107,6 +107,38 @@ class ShardIncomplete(ShardError):
         )
 
 
+class TransportError(ShardError):
+    """Shards could not be placed on any transport executor.
+
+    Raised by :class:`repro.shard.coordinator.ShardCoordinator` (and
+    surfaced by :class:`repro.shard.transport.HttpTransport`) when a
+    shard exhausts its retry budget across the worker pool — every
+    worker dead, repeatedly dropped dispatches, or checkpoints that
+    keep failing verification in flight. Carries the indices still
+    unplaced so the operator can re-run exactly those shards. The merge
+    is never attempted over a partial set, so a transport failure can
+    delay a study readout but never corrupt one. Exit code 8 on the
+    CLI.
+    """
+
+    def __init__(self, manifest_path: str, indices, reason: str) -> None:
+        self.manifest_path = str(manifest_path)
+        self.indices = list(indices)
+        self.reason = reason
+        shard_list = ", ".join(str(i) for i in self.indices)
+        super().__init__(
+            f"shard(s) {shard_list} of plan {self.manifest_path} could "
+            f"not be placed: {reason}. Check the worker pool and re-run "
+            f"`repro shard run {self.manifest_path}`."
+        )
+
+    def __reduce__(self):
+        return (
+            TransportError,
+            (self.manifest_path, self.indices, self.reason),
+        )
+
+
 class FollowError(StreamError):
     """Invalid live-follow state: a tail cursor that no longer matches
     the file behind it, an npz drop directory whose app registry is not

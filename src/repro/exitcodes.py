@@ -19,6 +19,9 @@ here, so the numbers cannot drift.
 * ``EXIT_SOURCE_TRUNCATED`` — a tailed source shrank under the
   follower (:class:`~repro.errors.SourceTruncated`); the cursor no
   longer points at the data it consumed.
+* ``EXIT_TRANSPORT_FAILED`` — a remote-transport shard run could not
+  place every shard after retries and reassignment
+  (:class:`~repro.errors.TransportError`); no merge was attempted.
 """
 
 EXIT_OK = 0
@@ -28,3 +31,4 @@ EXIT_STORE_MISS = 4
 EXIT_SHARD_INCOMPLETE = 5
 EXIT_FOLLOW_INTERRUPTED = 6
 EXIT_SOURCE_TRUNCATED = 7
+EXIT_TRANSPORT_FAILED = 8

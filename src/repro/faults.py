@@ -14,8 +14,9 @@ a per-process, per-site counter and consults the armed
 attribute load. A matching :class:`FaultSpec` then either acts directly
 (``crash`` exits the process, ``hang`` sleeps, ``raise`` throws
 :class:`~repro.errors.FaultInjected`) or is returned to the site, which
-applies the data-mangling actions (``corrupt`` a CSV row, ``truncate``
-an archive stream, ``torn``-write a checkpoint file).
+applies the data-mangling actions (``corrupt`` a CSV row or a shard
+checkpoint in flight, ``truncate`` an archive stream, ``torn``-write a
+checkpoint file, ``drop`` a coordinator dispatch on the floor).
 
 Activation crosses process boundaries through an env hook:
 :func:`install` arms the plan in-process **and** exports it as JSON in
@@ -58,6 +59,9 @@ SITES = (
     "shard.manifest",  # shard manifest write (action: torn)
     "follow.tail",  # live-follow tail poll, before any read
     "follow.evict",  # live-follow ring eviction, before buckets drop
+    "transport.dispatch",  # coordinator, before a shard POST (action: drop)
+    "transport.collect",  # coordinator, downloaded bytes (action: corrupt)
+    "transport.worker",  # HTTP shard worker, before the shard runs
 )
 
 #: Which actions make sense at which sites. ``crash``/``hang``/``raise``
@@ -72,6 +76,9 @@ SITE_ACTIONS: Dict[str, Sequence[str]] = {
     "shard.manifest": ("torn",),
     "follow.tail": ("raise", "crash"),
     "follow.evict": ("raise", "crash"),
+    "transport.dispatch": ("drop", "raise"),
+    "transport.collect": ("corrupt",),
+    "transport.worker": ("crash", "hang", "raise"),
 }
 
 #: Exit code of an injected ``crash`` — distinctive in worker logs.

@@ -36,6 +36,7 @@ DERIVED_RATES = (
     ("serve_requests_per_s", "serve.requests", "serve.request"),
     ("shard_packets_per_s", "stream.packets", "shard.execute"),
     ("follow_packets_per_s", "follow.packets", "follow.attribute"),
+    ("transport_bytes_down_per_s", "transport.bytes_down", "transport.download"),
 )
 
 

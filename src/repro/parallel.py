@@ -107,6 +107,101 @@ def _short_repr(item, limit: int = 120) -> str:
     return text
 
 
+class RetryScheduler:
+    """Retry/backoff/quarantine policy for a round of keyed work items.
+
+    Extracted from :class:`TaskPool` so any executor — the in-process
+    pool here or a remote transport (:mod:`repro.shard.coordinator`) —
+    applies the *same* failure policy with the same metrics vocabulary:
+    ``faults.task_retries`` per granted retry, ``faults.tasks_quarantined``
+    per sealed failure. The scheduler knows nothing about *how* work
+    runs; it only answers "this attempt at item ``index`` failed — retry,
+    quarantine, or raise?".
+
+    Per failed attempt, :meth:`fail` increments the item's attempt count
+    and either sleeps the exponential backoff and returns ``None`` (a
+    retry is owed), returns the sealed :class:`TaskFailure` (quarantine
+    mode — also appended to :attr:`failures`), or raises (``original``
+    when given, else the :class:`TaskFailure`). Attempt counts live for
+    the scheduler's lifetime: create one per round to reset them, and
+    share a ``failures`` list across rounds to accumulate quarantined
+    items the way :class:`TaskPool` does.
+    """
+
+    def __init__(
+        self,
+        *,
+        retries: int = 0,
+        backoff: float = 0.05,
+        quarantine: bool = False,
+        metrics: Optional[RunMetrics] = None,
+        failures: Optional[List[TaskFailure]] = None,
+    ) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0: {retries}")
+        self.retries = retries
+        self.backoff = backoff
+        self.quarantine = quarantine
+        self.metrics = metrics
+        #: Quarantined failures, in the order they were sealed. Callers
+        #: may pass a shared list to accumulate across rounds.
+        self.failures: List[TaskFailure] = (
+            failures if failures is not None else []
+        )
+        self._attempts: dict = {}
+
+    def attempts(self, index) -> int:
+        """Failed attempts recorded against item ``index`` so far."""
+        return self._attempts.get(index, 0)
+
+    def should_retry(self, attempts: int) -> bool:
+        """Grant (and pay for) a retry after ``attempts`` failures.
+
+        Granting counts ``faults.task_retries`` and sleeps the
+        exponential backoff (``backoff * 2**(attempts-1)``, capped at
+        :data:`MAX_BACKOFF_S`) before returning ``True``.
+        """
+        if attempts > self.retries:
+            return False
+        self._count("faults.task_retries")
+        time.sleep(min(self.backoff * 2 ** (attempts - 1), MAX_BACKOFF_S))
+        return True
+
+    def fail(
+        self,
+        index,
+        item_repr: str,
+        kind: str,
+        cause: str,
+        original: Optional[BaseException] = None,
+    ) -> Optional[TaskFailure]:
+        """One failed attempt at item ``index``.
+
+        Returns ``None`` to keep the item pending (a retry is owed), or
+        the sealed quarantined :class:`TaskFailure`. Raises when the
+        budget is spent and quarantine is off.
+        """
+        attempts = self._attempts.get(index, 0) + 1
+        self._attempts[index] = attempts
+        if self.should_retry(attempts):
+            return None
+        failure = TaskFailure(index, item_repr, attempts, kind, cause)
+        if self.quarantine:
+            self.quarantine_failure(failure)
+            return failure
+        if original is not None:
+            raise original
+        raise failure
+
+    def quarantine_failure(self, failure: TaskFailure) -> None:
+        self.failures.append(failure)
+        self._count("faults.tasks_quarantined")
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.count(name)
+
+
 class TaskPool:
     """A process pool that survives many :meth:`map` rounds — and its
     own workers' failures.
@@ -266,25 +361,25 @@ class TaskPool:
         items: Sequence[T],
         on_result: Optional[Callable] = None,
     ) -> List[Union[R, TaskFailure]]:
+        scheduler = self._scheduler()
         results: List[Union[R, TaskFailure]] = []
         for index, item in enumerate(items):
-            attempts = 0
             while True:
                 try:
                     results.append(self.task(item))
                     break
                 except Exception as exc:
-                    attempts += 1
-                    if self._should_retry(attempts):
-                        continue
-                    failure = TaskFailure(
-                        index, _short_repr(item), attempts, "error", repr(exc)
+                    sealed = scheduler.fail(
+                        index,
+                        _short_repr(item),
+                        "error",
+                        repr(exc),
+                        original=exc,
                     )
-                    if self.quarantine:
-                        self._quarantine(failure)
-                        results.append(failure)
-                        break
-                    raise
+                    if sealed is None:
+                        continue
+                    results.append(sealed)
+                    break
             if on_result is not None:
                 on_result(index, results[-1])
         return results
@@ -294,8 +389,8 @@ class TaskPool:
         items: Sequence[T],
         on_result: Optional[Callable] = None,
     ) -> List[Union[R, TaskFailure]]:
+        scheduler = self._scheduler()
         results: List[Union[R, TaskFailure]] = [None] * len(items)
-        attempts = [0] * len(items)
         pending = set(range(len(items)))
         while pending:
             executor = self._ensure_pool()
@@ -314,13 +409,11 @@ class TaskPool:
                 # submit-time deaths seal it instead of looping forever.
                 self._count("faults.worker_deaths")
                 self._kill_pool()
-                sealed = self._fail(
+                sealed = scheduler.fail(
                     order[0],
-                    items[order[0]],
-                    attempts,
+                    _short_repr(items[order[0]]),
                     "crash",
                     f"worker died before the round started ({exc!r})",
-                    original=None,
                 )
                 if sealed is not None:
                     results[order[0]] = sealed
@@ -344,13 +437,11 @@ class TaskPool:
                     # joining a worker that will never return.
                     self._kill_pool()
                     rebuilt = True
-                    sealed = self._fail(
+                    sealed = scheduler.fail(
                         index,
-                        items[index],
-                        attempts,
+                        _short_repr(items[index]),
                         "timeout",
                         f"no result within {self.task_timeout}s",
-                        original=None,
                     )
                 except BrokenExecutor as exc:
                     # A worker died. The executor cannot say on which
@@ -361,19 +452,16 @@ class TaskPool:
                     self._count("faults.worker_deaths")
                     self._kill_pool()
                     rebuilt = True
-                    sealed = self._fail(
+                    sealed = scheduler.fail(
                         index,
-                        items[index],
-                        attempts,
+                        _short_repr(items[index]),
                         "crash",
                         f"worker died ({exc!r})",
-                        original=None,
                     )
                 except Exception as exc:
-                    sealed = self._fail(
+                    sealed = scheduler.fail(
                         index,
-                        items[index],
-                        attempts,
+                        _short_repr(items[index]),
                         "error",
                         repr(exc),
                         original=exc,
@@ -398,44 +486,20 @@ class TaskPool:
     # ------------------------------------------------------------------
     # Failure policy
     # ------------------------------------------------------------------
-    def _should_retry(self, attempts: int) -> bool:
-        if attempts > self.retries:
-            return False
-        self._count("faults.task_retries")
-        time.sleep(min(self.backoff * 2 ** (attempts - 1), MAX_BACKOFF_S))
-        return True
+    def _scheduler(self) -> RetryScheduler:
+        """A fresh :class:`RetryScheduler` for one map round.
 
-    def _fail(
-        self,
-        index: int,
-        item: T,
-        attempts: List[int],
-        kind: str,
-        cause: str,
-        original: Optional[BaseException],
-    ) -> Optional[TaskFailure]:
-        """One failed attempt at ``items[index]``.
-
-        Returns ``None`` to keep the item pending (a retry is owed), or
-        the sealed quarantined :class:`TaskFailure` to store in its
-        slot. Raises when the budget is spent and quarantine is off.
+        Attempt counts reset per round (a retried streaming chunk is a
+        new round, not a continuation); quarantined failures accumulate
+        across rounds through the shared :attr:`failures` list.
         """
-        attempts[index] += 1
-        if self._should_retry(attempts[index]):
-            return None
-        failure = TaskFailure(
-            index, _short_repr(item), attempts[index], kind, cause
+        return RetryScheduler(
+            retries=self.retries,
+            backoff=self.backoff,
+            quarantine=self.quarantine,
+            metrics=self.metrics,
+            failures=self.failures,
         )
-        if self.quarantine:
-            self._quarantine(failure)
-            return failure
-        if original is not None:
-            raise original
-        raise failure
-
-    def _quarantine(self, failure: TaskFailure) -> None:
-        self.failures.append(failure)
-        self._count("faults.tasks_quarantined")
 
     def _count(self, name: str) -> None:
         if self.metrics is not None:

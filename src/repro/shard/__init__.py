@@ -18,6 +18,14 @@ the unsharded run. Three layers, each usable on its own:
   checkpoint in canonical user order — ``array_equal`` totals, and the
   same :class:`~repro.store.keys.StoreKey`/ETag as an unsharded
   ingest, so `repro serve` and the result store are shard-oblivious.
+* **transport** (:class:`ShardTransport`): *where* the execute phase
+  runs. :class:`LocalTransport` is the in-process pool above,
+  verbatim; :class:`HttpTransport` + :class:`ShardCoordinator` drive a
+  pool of ``repro shard worker`` HTTP processes
+  (:class:`ShardWorkerServer`) with checksummed checkpoint collection,
+  retry/reassignment on worker death, and
+  :class:`~repro.errors.TransportError` (exit 8) when shards cannot be
+  placed — the merge layer cannot tell the transports apart.
 
 Typical use (the CLI surface is ``repro shard plan|run|merge`` and
 ``repro ingest --shards N``)::
@@ -37,6 +45,7 @@ and the only study-wide float fold
 time in user order — which the merge restores from the manifest.
 """
 
+from repro.shard.coordinator import ShardCoordinator
 from repro.shard.execute import (
     ShardExecTask,
     default_shard_dir,
@@ -44,6 +53,7 @@ from repro.shard.execute import (
     run_shard,
     shard_checkpoint_path,
     shard_is_complete,
+    verify_shard_checkpoint,
 )
 from repro.shard.merge import (
     merge_shard_checkpoints,
@@ -61,17 +71,40 @@ from repro.shard.plan import (
     shard_signature,
     source_spec,
 )
+from repro.shard.transport import (
+    TRANSPORT_NAMES,
+    HttpTransport,
+    LocalTransport,
+    ShardTransport,
+    make_transport,
+    parse_worker_spec,
+)
+from repro.shard.worker import (
+    WORKER_ROUTES,
+    ShardWorkerServer,
+    make_worker_server,
+)
 
 __all__ = [
     "MANIFEST_FORMAT",
+    "TRANSPORT_NAMES",
+    "WORKER_ROUTES",
+    "HttpTransport",
+    "LocalTransport",
+    "ShardCoordinator",
     "ShardExecTask",
     "ShardManifest",
     "ShardSource",
+    "ShardTransport",
+    "ShardWorkerServer",
     "build_source",
     "default_shard_dir",
+    "make_transport",
+    "make_worker_server",
     "merge_shard_checkpoints",
     "merge_to_checkpoint",
     "merged_readout",
+    "parse_worker_spec",
     "plan_shards",
     "run_all_shards",
     "run_shard",
@@ -81,4 +114,5 @@ __all__ = [
     "shard_of",
     "shard_signature",
     "source_spec",
+    "verify_shard_checkpoint",
 ]

@@ -74,6 +74,23 @@ def shard_is_complete(
     return all(user.status == "done" for user in checkpoint.users)
 
 
+def verify_shard_checkpoint(
+    manifest: ShardManifest, index: int, path: PathLike
+) -> StreamCheckpoint:
+    """Load a shard checkpoint and prove it binds to ``(plan, index)``.
+
+    The transport collect path runs this over every downloaded
+    checkpoint before it may sit where the merge will look: a torn or
+    truncated file fails :meth:`StreamCheckpoint.load`, and a checkpoint
+    from another plan or shard fails the header check — both raise
+    typed errors instead of letting wrong bytes near a merge.
+    """
+    path = Path(path)
+    checkpoint = StreamCheckpoint.load(path)
+    _verify_binding(checkpoint, manifest, index, path)
+    return checkpoint
+
+
 def _verify_binding(
     checkpoint: StreamCheckpoint,
     manifest: ShardManifest,

@@ -268,34 +268,44 @@ class ShardManifest:
     def save(self, path: PathLike) -> Path:
         """Write the manifest atomically (tmp + rename) with a digest."""
         path = Path(path)
-        document = dict(self._body())
-        document["digest"] = self.digest()
+        document = self.document()
         tmp = path.with_name(path.name + ".tmp")
         tmp.write_text(json.dumps(document, indent=2) + "\n")
         faults.fire("shard.manifest", path=tmp)
         os.replace(tmp, path)
         return path
 
+    def document(self) -> Dict[str, Any]:
+        """The full persisted form: the body plus its content digest.
+
+        What :meth:`save` writes and what an ``HttpTransport`` POST
+        ships to a ``repro shard worker`` — :meth:`from_document` on
+        the other side verifies and reconstructs it.
+        """
+        document = dict(self._body())
+        document["digest"] = self.digest()
+        return document
+
     @classmethod
-    def load(cls, path: PathLike) -> "ShardManifest":
-        """Read a manifest; torn or tampered files raise ShardError."""
-        path = Path(path)
-        if not path.exists():
-            raise ShardError(f"no shard manifest at {path}")
-        try:
-            document = json.loads(path.read_text())
-        except (ValueError, UnicodeDecodeError) as exc:
-            raise ShardError(
-                f"torn or corrupt shard manifest at {path}: {exc!r}"
-            ) from exc
+    def from_document(
+        cls, document: Any, origin: str = "manifest document"
+    ) -> "ShardManifest":
+        """Verify + reconstruct a manifest from its persisted form.
+
+        The single gate every untrusted manifest passes through — a
+        file read by :meth:`load` or a JSON body uploaded to a shard
+        worker. Wrong kind, format drift, missing fields and a digest
+        mismatch all raise :class:`~repro.errors.ShardError` naming
+        ``origin``, so a torn or foreign plan can never execute.
+        """
         if not isinstance(document, dict) or document.get(
             "kind"
         ) != "shard-manifest":
-            raise ShardError(f"{path} is not a shard manifest")
+            raise ShardError(f"{origin} is not a shard manifest")
         fmt = int(document.get("format", 0))
         if fmt != MANIFEST_FORMAT:
             raise ShardError(
-                f"shard manifest {path} is format {fmt}; this version "
+                f"shard manifest {origin} is format {fmt}; this version "
                 f"reads format {MANIFEST_FORMAT} — re-plan with "
                 "`repro shard plan`"
             )
@@ -313,15 +323,29 @@ class ShardManifest:
             )
         except KeyError as exc:
             raise ShardError(
-                f"torn or corrupt shard manifest at {path}: "
+                f"torn or corrupt shard manifest {origin}: "
                 f"missing {exc}"
             ) from exc
         if stored != manifest.digest():
             raise ShardError(
-                f"shard manifest {path} failed digest verification "
+                f"shard manifest {origin} failed digest verification "
                 "(torn or corrupt write)"
             )
         return manifest
+
+    @classmethod
+    def load(cls, path: PathLike) -> "ShardManifest":
+        """Read a manifest; torn or tampered files raise ShardError."""
+        path = Path(path)
+        if not path.exists():
+            raise ShardError(f"no shard manifest at {path}")
+        try:
+            document = json.loads(path.read_text())
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ShardError(
+                f"torn or corrupt shard manifest at {path}: {exc!r}"
+            ) from exc
+        return cls.from_document(document, origin=f"at {path}")
 
     def __repr__(self) -> str:
         sizes = [len(shard) for shard in self.shards]

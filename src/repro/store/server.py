@@ -186,7 +186,48 @@ class StudyServer(ThreadingHTTPServer):
         }
 
 
-class _Handler(BaseHTTPRequestHandler):
+class HttpResponder:
+    """Response-sending helpers shared by repro's stdlib HTTP servers.
+
+    Mixed into request handlers (here and in :mod:`repro.shard.worker`)
+    ahead of :class:`~http.server.BaseHTTPRequestHandler`: every
+    response carries an explicit ``Content-Length`` and ``Connection:
+    close``, and artefact responses may carry a strong ETag with
+    ``must-revalidate`` caching. 404s count under
+    :attr:`not_found_counter` on ``self.server.metrics``.
+    """
+
+    #: Metrics counter charged by :meth:`_send_not_found`; the shard
+    #: worker overrides this with its ``transport.*`` name.
+    not_found_counter = "serve.not_found"
+
+    def _send(self, status: int, body: bytes, content_type: str, etag=None):
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        if etag is not None:
+            self.send_header("ETag", etag)
+            self.send_header("Cache-Control", "max-age=0, must-revalidate")
+        self.send_header("Connection", "close")
+        self.close_connection = True
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_not_modified(self, etag: str) -> None:
+        self.send_response(304)
+        self.send_header("ETag", etag)
+        self.send_header("Connection", "close")
+        self.close_connection = True
+        self.end_headers()
+
+    def _send_not_found(self, reason: str) -> None:
+        self.server.metrics.count(self.not_found_counter)
+        self._send(
+            404, (reason + "\n").encode("utf-8"), "text/plain; charset=utf-8"
+        )
+
+
+class _Handler(HttpResponder, BaseHTTPRequestHandler):
     server_version = "repro-serve"
     protocol_version = "HTTP/1.1"
 
@@ -223,34 +264,6 @@ class _Handler(BaseHTTPRequestHandler):
                 f"{self.server.study_id}"
             )
         return None, f"no route for {path!r} (see GET / for the endpoint list)"
-
-    # ------------------------------------------------------------------
-    # Responses
-    # ------------------------------------------------------------------
-    def _send(self, status: int, body: bytes, content_type: str, etag=None):
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        if etag is not None:
-            self.send_header("ETag", etag)
-            self.send_header("Cache-Control", "max-age=0, must-revalidate")
-        self.send_header("Connection", "close")
-        self.close_connection = True
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _send_not_modified(self, etag: str) -> None:
-        self.send_response(304)
-        self.send_header("ETag", etag)
-        self.send_header("Connection", "close")
-        self.close_connection = True
-        self.end_headers()
-
-    def _send_not_found(self, reason: str) -> None:
-        self.server.metrics.count("serve.not_found")
-        self._send(
-            404, (reason + "\n").encode("utf-8"), "text/plain; charset=utf-8"
-        )
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         metrics = self.server.metrics

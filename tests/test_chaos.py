@@ -50,12 +50,16 @@ from repro.trace.io_text import (
 
 from test_stream import assert_streams_equal_batch
 
-# Fixed seed partitions — 30 plans total, ≥20 required by the issue.
+# Fixed seed partitions — 36 plans total, ≥20 required by the issue.
 CRASH_SEEDS = [0, 4, 8, 12, 16, 20]
 HANG_SEEDS = [1, 5, 9, 13, 17, 21]
 CORRUPT_SEEDS = [2, 6, 10, 14, 18, 22]
 TORN_SEEDS = [3, 7, 11, 15, 19, 23]
 RANDOM_SEEDS = [100, 101, 102, 103, 104, 105]
+TRANSPORT_DROP_SEEDS = [400, 401]
+TRANSPORT_CORRUPT_SEEDS = [410, 411]
+TRANSPORT_HANG_SEEDS = [420]
+TRANSPORT_RAISE_SEEDS = [430]
 
 CHUNK = 2048
 
@@ -122,9 +126,17 @@ def run_with_recovery(plan, make_ingestor, max_chunks=None):
 def test_seed_census():
     """The suite ships the promised number of deterministic plans."""
     seeds = (
-        CRASH_SEEDS + HANG_SEEDS + CORRUPT_SEEDS + TORN_SEEDS + RANDOM_SEEDS
+        CRASH_SEEDS
+        + HANG_SEEDS
+        + CORRUPT_SEEDS
+        + TORN_SEEDS
+        + RANDOM_SEEDS
+        + TRANSPORT_DROP_SEEDS
+        + TRANSPORT_CORRUPT_SEEDS
+        + TRANSPORT_HANG_SEEDS
+        + TRANSPORT_RAISE_SEEDS
     )
-    assert len(seeds) == len(set(seeds)) == 30 >= 20
+    assert len(seeds) == len(set(seeds)) == 36 >= 20
 
 
 # ----------------------------------------------------------------------
@@ -344,6 +356,132 @@ def test_corrupt_shard_checkpoint_never_merges_wrong(npz_study, tmp_path):
     assert_streams_equal_batch(
         merged_readout(manifest, shard_dir), study
     )
+
+
+# ----------------------------------------------------------------------
+# Remote transport under fire (repro.shard.transport)
+# ----------------------------------------------------------------------
+# These plans hit the three transport fault sites with every action
+# that is safe to fire in-process (``crash`` would ``os._exit`` the
+# test runner; the worker-process crash lives in
+# tests/test_transport.py with real subprocess workers). The bar is
+# the same as everywhere else in this file: faults may cost retries
+# and reassignment, never correctness — the merged readout must stay
+# ``array_equal`` to the fault-free batch reference.
+
+from test_transport import worker_pool  # noqa: E402
+
+from repro.shard import HttpTransport  # noqa: E402
+
+
+def run_http_sharded(manifest, shard_dir, tmp_path, **transport_kw):
+    """Dispatch over a 2-worker in-process pool and return the merge."""
+    with worker_pool(tmp_path / "pool", count=2) as (urls, _servers):
+        HttpTransport(urls, **transport_kw).dispatch(manifest, shard_dir)
+    return merged_readout(manifest, shard_dir)
+
+
+@pytest.mark.parametrize("seed", TRANSPORT_DROP_SEEDS)
+def test_transport_dropped_dispatch_plans(seed, npz_study, tmp_path):
+    """A shard POST evaporates before reaching any worker (the
+    ``transport.dispatch`` site). The scheduler retries the shard and
+    the merge is exact."""
+    path, study = npz_study
+    rng = random.Random(seed)
+    manifest = ShardManifest.plan(
+        NpzStreamSource(path, chunk_size=CHUNK), 3
+    )
+    plan = FaultPlan(
+        [
+            FaultSpec(
+                "transport.dispatch", "drop", hit=1 + rng.randint(0, 2)
+            )
+        ],
+        seed=seed,
+    )
+    metrics = RunMetrics()
+    with faults.installed(plan):
+        with worker_pool(tmp_path / "pool", count=2) as (urls, _servers):
+            HttpTransport(urls, retries=4).dispatch(
+                manifest, tmp_path / "shards", metrics=metrics
+            )
+    counters = metrics.as_dict()["counters"]
+    assert counters["transport.dropped_dispatches"] == 1
+    result = merged_readout(manifest, tmp_path / "shards")
+    assert_streams_equal_batch(result, study)
+
+
+@pytest.mark.parametrize("seed", TRANSPORT_CORRUPT_SEEDS)
+def test_transport_corrupt_download_plans(seed, npz_study, tmp_path):
+    """A checkpoint download corrupts in flight (the
+    ``transport.collect`` site). The checksum rejects it before it
+    lands, the re-download is clean, and the merge is exact."""
+    path, study = npz_study
+    rng = random.Random(seed)
+    manifest = ShardManifest.plan(
+        NpzStreamSource(path, chunk_size=CHUNK), 3
+    )
+    plan = FaultPlan(
+        [
+            FaultSpec(
+                "transport.collect", "corrupt", hit=1 + rng.randint(0, 2)
+            )
+        ],
+        seed=seed,
+    )
+    metrics = RunMetrics()
+    with faults.installed(plan):
+        with worker_pool(tmp_path / "pool", count=2) as (urls, _servers):
+            HttpTransport(urls, retries=4).dispatch(
+                manifest, tmp_path / "shards", metrics=metrics
+            )
+    counters = metrics.as_dict()["counters"]
+    assert counters["transport.corrupt_checkpoints"] == 1
+    result = merged_readout(manifest, tmp_path / "shards")
+    assert_streams_equal_batch(result, study)
+
+
+@pytest.mark.parametrize("seed", TRANSPORT_HANG_SEEDS)
+def test_transport_worker_hang_plans(seed, npz_study, tmp_path):
+    """A worker stalls mid-shard, single-flight lock held (the
+    ``transport.worker`` site, ``hang``). The coordinator times the
+    attempt out and reassigns; the eventual merge is exact."""
+    path, study = npz_study
+    manifest = ShardManifest.plan(
+        NpzStreamSource(path, chunk_size=CHUNK), 3
+    )
+    plan = FaultPlan(
+        [FaultSpec("transport.worker", "hang", hit=1, arg=1.0)],
+        seed=seed,
+    )
+    with faults.installed(plan):
+        result = run_http_sharded(
+            manifest,
+            tmp_path / "shards",
+            tmp_path,
+            retries=6,
+            timeout=0.3,
+        )
+    assert_streams_equal_batch(result, study)
+
+
+@pytest.mark.parametrize("seed", TRANSPORT_RAISE_SEEDS)
+def test_transport_worker_raise_plans(seed, npz_study, tmp_path):
+    """A worker's shard handler dies with an unhandled exception (the
+    ``transport.worker`` site, ``raise``): the connection drops without
+    a response, the coordinator retries, the merge is exact."""
+    path, study = npz_study
+    manifest = ShardManifest.plan(
+        NpzStreamSource(path, chunk_size=CHUNK), 3
+    )
+    plan = FaultPlan(
+        [FaultSpec("transport.worker", "raise", hit=1)], seed=seed
+    )
+    with faults.installed(plan):
+        result = run_http_sharded(
+            manifest, tmp_path / "shards", tmp_path, retries=6
+        )
+    assert_streams_equal_batch(result, study)
 
 
 # ----------------------------------------------------------------------

@@ -150,17 +150,21 @@ def test_serving_md_exit_codes_match_cli_constants():
 
 def test_scaling_md_exit_codes_match_cli_constants():
     """docs/SCALING.md documents the full exit-code set including the
-    shard-merge refusal code."""
+    shard-merge refusal and transport-failure codes."""
     from repro import cli
 
     rows = {
         span: line
         for span, line in _table_first_cells(SCALING_MD, "CLI exit codes")
     }
-    assert set(rows) == {"0", "2", "3", "4", "5"}
+    assert set(rows) == {"0", "2", "3", "4", "5", "8"}
     assert cli.EXIT_SHARD_INCOMPLETE == 5
     assert "ShardIncomplete" in rows[str(cli.EXIT_SHARD_INCOMPLETE)]
     assert "repro shard run" in rows[str(cli.EXIT_SHARD_INCOMPLETE)]
+    assert cli.EXIT_TRANSPORT_FAILED == 8
+    transport_row = rows[str(cli.EXIT_TRANSPORT_FAILED)]
+    assert "TransportError" in transport_row
+    assert "repro shard run" in transport_row
 
 
 def test_monitoring_md_exit_codes_match_cli_constants():
